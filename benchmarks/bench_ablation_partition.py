@@ -1,0 +1,121 @@
+"""Ablation — the partition-size trade-off and the heuristics around it.
+
+§IV-C: "A small partition size reduces the decryption time on the user
+side while a larger partition size reduces the number of operations
+performed by the administrator."  This bench maps that trade-off curve,
+evaluates the re-partitioning heuristic on/off, and checks the adaptive
+policy (future-work extension) lands near the measured optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_seconds
+from repro.core.adaptive import AdaptivePolicy
+from repro.workloads import IbbeSgxReplayAdapter, ReplayEngine
+from repro.workloads.synthetic import generate_trace
+
+from conftest import make_bench_system, scaled
+
+CAPACITIES = [4, 8, 16, 32, 64]
+OPS = 120
+
+
+@pytest.fixture(scope="module")
+def tradeoff_curve():
+    n_ops = scaled(OPS)
+    initial = [f"init{i}" for i in range(64)]
+    trace = generate_trace(n_ops, 0.4, initial_members=initial,
+                           seed="ablation-partition")
+    curve = []
+    for capacity in CAPACITIES:
+        system = make_bench_system(f"ablp-{capacity}", capacity,
+                                   params="toy64")
+        engine = ReplayEngine(IbbeSgxReplayAdapter(system), group_id="g",
+                              decrypt_sample_every=15, seed=f"{capacity}")
+        report = engine.run(trace, initial_members=initial)
+        curve.append((capacity, report.admin_seconds,
+                      report.mean_decrypt_seconds))
+    return curve
+
+
+def test_tradeoff_directions(tradeoff_curve, sink, benchmark):
+    rows = [[c, format_seconds(a), format_seconds(d)]
+            for c, a, d in tradeoff_curve]
+    sink.table("Ablation: partition-size trade-off (0.4 revocation trace)",
+               ["capacity", "admin total", "mean decrypt"], rows)
+
+    # Direction 1: admin cost falls as partitions grow.
+    admin = [a for _, a, _ in tradeoff_curve]
+    assert admin[0] > admin[-1], "larger partitions must help the admin"
+    # Direction 2: decrypt cost rises as partitions grow.
+    decrypt = [d for _, _, d in tradeoff_curve]
+    assert decrypt[-1] > decrypt[0], "larger partitions must hurt clients"
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_repartition_heuristic_on_off(sink, benchmark):
+    """The §V-A occupancy heuristic must pay off under heavy revocation."""
+    n_ops = scaled(OPS)
+    initial = [f"init{i}" for i in range(64)]
+    trace = generate_trace(n_ops, 0.9, initial_members=initial,
+                           seed="ablation-heuristic")
+    results = {}
+    for auto in (True, False):
+        system = make_bench_system(f"ablh-{auto}", 8, params="toy64",
+                                   auto_repartition=auto)
+        engine = ReplayEngine(IbbeSgxReplayAdapter(system), group_id="g",
+                              seed=f"h{auto}")
+        report = engine.run(trace, initial_members=initial)
+        final_partitions = system.admin.group_state("g").table.partition_count
+        results[auto] = (report.admin_seconds, final_partitions,
+                         system.admin.metrics.repartitions)
+    sink.table(
+        "Ablation: re-partitioning heuristic on/off (0.9 revocation trace)",
+        ["heuristic", "admin total", "final partitions", "repartitions"],
+        [["on", format_seconds(results[True][0]), results[True][1],
+          results[True][2]],
+         ["off", format_seconds(results[False][0]), results[False][1],
+          results[False][2]]],
+    )
+    assert results[True][2] > 0, "the heuristic must fire on this trace"
+    assert results[True][1] <= results[False][1], (
+        "merging must not leave more partitions than no merging"
+    )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_adaptive_policy_tracks_measured_optimum(tradeoff_curve, sink,
+                                                 benchmark):
+    """Calibrate the adaptive policy from the measured curve and check its
+    recommendation lands inside the measured sweet range."""
+    # Combined cost with one decrypt sampled per membership op.
+    combined = [(c, a + d * scaled(OPS)) for c, a, d in tradeoff_curve]
+    best_capacity = min(combined, key=lambda item: item[1])[0]
+
+    # Calibrate coefficients from the endpoints of the measured curve.
+    c_small, admin_small, dec_small = tradeoff_curve[0]
+    c_large, admin_large, dec_large = tradeoff_curve[-1]
+    c_rekey = admin_large * c_large / (scaled(OPS) * 64)
+    c_decrypt = dec_large / (c_large ** 2)
+    policy = AdaptivePolicy(c_rekey=max(c_rekey, 1e-9),
+                            c_decrypt=max(c_decrypt, 1e-12),
+                            min_capacity=CAPACITIES[0],
+                            max_capacity=CAPACITIES[-1])
+    recommended = policy.optimal_capacity(
+        group_size=64, revocation_rate=0.4, decrypt_rate=1.0
+    )
+    sink.line(f"measured best capacity: {best_capacity}; "
+              f"policy recommends: {recommended}")
+    # Within one step of the measured optimum on the capacity ladder.
+    ladder = CAPACITIES
+    best_index = ladder.index(best_capacity)
+    nearest = min(range(len(ladder)),
+                  key=lambda i: abs(ladder[i] - recommended))
+    assert abs(nearest - best_index) <= 1, (
+        "the adaptive policy must land within one step of the optimum"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

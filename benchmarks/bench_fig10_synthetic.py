@@ -1,0 +1,87 @@
+"""Figure 10 — synthetic traces with increasing revocation rates.
+
+Paper's observations (11 traces × 10,000 ops, partition sizes 1000-2000):
+
+* total administrator replay time increases roughly linearly with the
+  revocation ratio while adds dominate (up to ~50 %),
+* plateaus between ~50 % and ~90 %,
+* and *drops* beyond ~90 % because heavy revocation keeps merging sparse
+  partitions (the re-partitioning heuristic), leaving fewer partitions to
+  re-key per revocation.
+
+Scaled down for pure Python: fewer ops and proportionally smaller
+partitions; the revocation-rate axis is kept at the paper's 11 steps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_seconds
+from repro.workloads import IbbeSgxReplayAdapter, ReplayEngine
+from repro.workloads.synthetic import revocation_rate_sweep, trace_stats
+
+from conftest import make_bench_system, scaled
+
+OPS_PER_TRACE = 150
+RATE_STEPS = 11
+PARTITION_SIZES = [8, 16]
+
+
+def test_fig10_revocation_rate_sweep(sink, benchmark):
+    n_ops = scaled(OPS_PER_TRACE)
+    # The paper replays each trace against a standing group (revocations
+    # then pay one re-key per partition); scale the initial population
+    # with the op budget.
+    initial = [f"init{i}" for i in range(max(16, n_ops // 2))]
+    sweep = revocation_rate_sweep(n_ops, steps=RATE_STEPS, seed="fig10",
+                                  initial_members=initial)
+    rows = []
+    totals = {}
+    for capacity in PARTITION_SIZES:
+        series = []
+        for rate, trace in sweep:
+            system = make_bench_system(
+                f"fig10-{capacity}-{rate:.1f}", capacity, params="toy64"
+            )
+            engine = ReplayEngine(IbbeSgxReplayAdapter(system),
+                                  group_id="g", seed=f"{capacity}-{rate}")
+            report = engine.run(trace, initial_members=initial)
+            series.append((rate, report.admin_seconds,
+                           system.admin.metrics.repartitions))
+            rows.append([capacity, f"{rate:.0%}",
+                         format_seconds(report.admin_seconds),
+                         report.adds, report.removes,
+                         system.admin.metrics.repartitions])
+        totals[capacity] = series
+    sink.table(
+        f"Fig 10: total replay time vs revocation rate ({n_ops} ops)",
+        ["partition", "revocation rate", "admin total", "adds", "removes",
+         "repartitions"],
+        rows,
+    )
+
+    for capacity, series in totals.items():
+        times = [t for _, t, _ in series]
+        # Shape 1: replay cost rises while adds dominate: the 50 % point
+        # is clearly above the 0 % point.
+        assert times[5] > 1.5 * times[0], (
+            f"capacity {capacity}: cost must rise up to ~50% revocations"
+        )
+        # Shape 2: the curve flattens/drops at the extreme end relative
+        # to its mid-range growth (partition merging).  The 100 % trace
+        # must not continue the pre-50 % growth slope.
+        mid_growth = times[5] - times[0]
+        tail_growth = times[10] - times[5]
+        sink.line(
+            f"  capacity {capacity}: growth 0→50% "
+            f"{format_seconds(mid_growth)}, 50→100% "
+            f"{format_seconds(tail_growth)} (paper: plateau then drop)"
+        )
+        assert tail_growth < mid_growth, (
+            f"capacity {capacity}: the curve must flatten past 50%"
+        )
+        # Shape 3: high revocation rates exercise re-partitioning.
+        assert series[-1][2] > 0, "100% revocations must trigger merges"
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+"""Figure 6 — system bootstrap: setup latency and key-extract throughput.
+
+Paper's observations:
+
+* 6a: system setup latency grows linearly with the partition size
+  (~1.2 s per 1,000 users on their hardware);
+* 6b: key-extract throughput is constant (~764 op/s), independent of the
+  partition size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ibbe
+from repro.bench import fit_power_law, format_seconds, time_call
+from repro.crypto.rng import DeterministicRng
+
+from conftest import scaled
+
+PARTITION_SIZES = [64, 128, 256, 512]
+EXTRACTS_PER_SIZE = 20
+
+
+def test_fig6a_setup_latency(std_group, sink, benchmark):
+    rng = DeterministicRng("fig6a")
+    points = []
+    for m in (scaled(m) for m in PARTITION_SIZES):
+        _, elapsed = time_call(ibbe.setup, std_group, m, rng)
+        points.append((m, elapsed))
+    fit = fit_power_law(points)
+    sink.table(
+        "Fig 6a: system setup latency per partition size",
+        ["partition size", "latency"],
+        [[m, format_seconds(t)] for m, t in points],
+    )
+    per_1000 = fit.predict(1000)
+    sink.line(f"  fit: {fit.describe()}")
+    sink.line(f"  projected setup @1000 users: {format_seconds(per_1000)} "
+              "(paper: ~1.2 s growth per 1000)")
+    assert 0.85 <= fit.exponent <= 1.15, "setup must be linear in m"
+
+    benchmark.pedantic(
+        lambda: ibbe.setup(std_group, scaled(64), rng),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig6b_extract_throughput(std_group, sink, benchmark):
+    rng = DeterministicRng("fig6b")
+    rows = []
+    throughputs = []
+    for m in (scaled(m) for m in PARTITION_SIZES):
+        msk, pk = ibbe.setup(std_group, m, rng)
+        start = time.perf_counter()
+        for i in range(EXTRACTS_PER_SIZE):
+            ibbe.extract(msk, pk, f"user{i}")
+        elapsed = time.perf_counter() - start
+        throughput = EXTRACTS_PER_SIZE / elapsed
+        throughputs.append((m, throughput))
+        rows.append([m, f"{throughput:.0f} op/s"])
+    sink.table("Fig 6b: key extract throughput per partition size",
+               ["partition size", "throughput"], rows)
+    sink.line("  (paper: ~764 op/s, constant across partition sizes)")
+
+    # Constant across partition sizes: max/min within 40 %.
+    values = [t for _, t in throughputs]
+    assert max(values) / min(values) < 1.4, (
+        "extract throughput must be independent of the partition size"
+    )
+
+    msk, pk = ibbe.setup(std_group, scaled(64), rng)
+    benchmark(lambda: ibbe.extract(msk, pk, "bench-user"))

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Pay-per-view broadcasting — the paper's §I alternative use case.
+
+"The proposed solution can be applied for encrypting arbitrary information
+that is securely broadcasted to a group of users over any shared media …
+for example pay-per-view TV."
+
+A broadcaster streams encrypted segments over a shared channel (the cloud
+store plays the channel's role).  Subscribers derive the current channel
+key through IBBE-SGX; churn (subscribe / unsubscribe between segments) is
+handled by the O(1) membership operations, and every unsubscribe rotates
+the channel key so lapsed subscribers lose access immediately.
+
+Usage: python examples/pay_per_view.py
+"""
+
+from repro import quickstart_system
+from repro.crypto.modes import gcm_decrypt, gcm_encrypt
+from repro.crypto.rng import SystemRng
+from repro.errors import RevokedError
+
+CHANNEL = "ppv-boxing-night"
+
+
+def broadcast_segment(cloud, key: bytes, index: int, payload: str,
+                      rng) -> None:
+    nonce = rng.random_bytes(12)
+    aad = f"{CHANNEL}:{index}".encode()
+    cloud.put(f"/{CHANNEL}-stream/seg{index}",
+              nonce + gcm_encrypt(key, nonce, payload.encode(), aad=aad))
+
+
+def watch_segment(cloud, key: bytes, index: int) -> str:
+    blob = cloud.get(f"/{CHANNEL}-stream/seg{index}").data
+    aad = f"{CHANNEL}:{index}".encode()
+    return gcm_decrypt(key, blob[:12], blob[12:], aad=aad).decode()
+
+
+def main() -> None:
+    rng = SystemRng()
+    system = quickstart_system(partition_capacity=4, params="toy64")
+    admin = system.admin
+
+    subscribers = [f"viewer{i}" for i in range(12)]
+    admin.create_group(CHANNEL, subscribers)
+    print(f"channel {CHANNEL!r}: {len(subscribers)} subscribers, "
+          f"{admin.group_state(CHANNEL).table.partition_count} partitions")
+
+    clients = {}
+    for name in ("viewer0", "viewer5", "viewer11"):
+        client = system.make_client(CHANNEL, name)
+        client.sync()
+        clients[name] = client
+
+    # Segment 1: everyone watches.
+    key = clients["viewer0"].current_group_key()
+    broadcast_segment(system.cloud, key, 1, "ROUND 1: jab, cross…", rng)
+    for name, client in clients.items():
+        assert watch_segment(system.cloud, client.current_group_key(), 1)
+    print("segment 1 delivered to all sampled viewers")
+
+    # Between segments: viewer5's payment lapses; two new viewers join.
+    admin.remove_user(CHANNEL, "viewer5")
+    admin.add_user(CHANNEL, "viewer12")
+    admin.add_user(CHANNEL, "viewer13")
+    print("churn applied: -viewer5, +viewer12, +viewer13")
+
+    # Segment 2 under the rotated key.
+    clients["viewer0"].sync()
+    key2 = clients["viewer0"].current_group_key()
+    assert key2 != key
+    broadcast_segment(system.cloud, key2, 2, "ROUND 2: uppercut!", rng)
+
+    late_joiner = system.make_client(CHANNEL, "viewer13")
+    late_joiner.sync()
+    print("viewer13 (joined mid-event) watches:",
+          watch_segment(system.cloud, late_joiner.current_group_key(), 2))
+
+    lapsed = clients["viewer5"]
+    lapsed.sync()
+    try:
+        lapsed.current_group_key()
+        raise SystemExit("BUG: lapsed subscriber still has the key")
+    except RevokedError:
+        print("viewer5 (lapsed) is locked out of segment 2 ✓")
+    # …but their old key still opens segment 1, which they paid for.
+    print("viewer5 can still replay segment 1:",
+          watch_segment(system.cloud, key, 1))
+
+    # Broadcast efficiency: metadata pushed per churn operation is tiny
+    # and independent of the audience size (the paper's headline).
+    state = admin.group_state(CHANNEL)
+    print(f"\nper-partition crypto metadata: "
+          f"{next(iter(state.records.values())).crypto_bytes()} bytes; "
+          f"audience size plays no role")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+A classic setup.py is kept (rather than PEP-660 metadata only) so that
+``pip install -e .`` works in fully offline environments where the ``wheel``
+package is unavailable and pip falls back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "IBBE-SGX: cryptographic group access control using trusted "
+        "execution environments (DSN'18 reproduction)"
+    ),
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"test": ["pytest", "hypothesis", "pytest-benchmark"]},
+)

@@ -1,0 +1,160 @@
+"""IBBE-SGX — cryptographic group access control using trusted execution
+environments.
+
+A from-scratch Python reproduction of Contiu et al., DSN 2018.
+
+Quickstart::
+
+    from repro import quickstart_system
+
+    system = quickstart_system(partition_capacity=4)
+    admin, cloud = system.admin, system.cloud
+    admin.create_group("team", ["alice", "bob", "carol"])
+    alice = system.make_client("team", "alice")
+    alice.sync()
+    gk = alice.current_group_key()   # 32-byte shared group key
+
+See the ``examples/`` directory for end-to-end scenarios and ``DESIGN.md``
+for the architecture and experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cloud import CloudStore, LatencyModel
+from repro.core import GroupAdministrator, GroupClient
+from repro.crypto import DeterministicRng, Rng, SystemRng
+from repro.crypto import ecdsa
+from repro.enclave_app import IbbeEnclave
+from repro.errors import ReproError
+from repro.pairing import PairingGroup, preset, std160, toy64
+from repro.sgx import (
+    Auditor,
+    IntelAttestationService,
+    SgxDevice,
+    provision_user_key,
+    setup_trust,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "CloudStore",
+    "LatencyModel",
+    "GroupAdministrator",
+    "GroupClient",
+    "IbbeEnclave",
+    "PairingGroup",
+    "preset",
+    "toy64",
+    "std160",
+    "SgxDevice",
+    "IntelAttestationService",
+    "Auditor",
+    "System",
+    "quickstart_system",
+]
+
+
+@dataclass
+class System:
+    """A fully wired IBBE-SGX deployment (device, enclave, trust chain,
+    administrator, cloud) — the paper's Fig. 5 in one object.
+
+    Convenience for examples, tests and benchmarks; production-style code
+    can compose the parts directly.
+    """
+
+    group: PairingGroup
+    device: SgxDevice
+    enclave: IbbeEnclave
+    ias: IntelAttestationService
+    auditor: Auditor
+    cloud: CloudStore
+    admin: GroupAdministrator
+    certificate: object
+    public_key: object
+    sealed_msk: bytes
+    rng: Rng
+    _user_keys: Dict[str, object] = field(default_factory=dict)
+
+    def user_key(self, identity: str):
+        """Provision (and cache) a user's IBBE secret key via the attested
+        channel of Fig. 3."""
+        if identity not in self._user_keys:
+            from repro import ibbe as _ibbe
+            from repro.pairing.group import G1Element
+
+            raw = provision_user_key(
+                self.enclave, self.certificate, self.auditor.ca_public_key,
+                identity, self.rng,
+            )
+            self._user_keys[identity] = _ibbe.IbbeUserKey(
+                identity=identity,
+                element=G1Element.decode(self.group, raw),
+            )
+        return self._user_keys[identity]
+
+    def make_client(self, group_id: str, identity: str) -> GroupClient:
+        return GroupClient(
+            group_id=group_id,
+            identity=identity,
+            user_key=self.user_key(identity),
+            public_key=self.public_key,
+            cloud=self.cloud,
+            admin_verification_key=self.admin.verification_key,
+        )
+
+
+def quickstart_system(partition_capacity: int = 1000,
+                      params: str = "std160",
+                      rng: Optional[Rng] = None,
+                      latency: Optional[LatencyModel] = None,
+                      auto_repartition: bool = True,
+                      system_bound: Optional[int] = None) -> System:
+    """Stand up a complete single-admin deployment.
+
+    Performs manufacturing (device + IAS registration), enclave load,
+    system setup (Fig. 6a), auditing and certification (Fig. 3), and wires
+    an administrator to a fresh cloud store.
+
+    ``system_bound`` is the enclave's maximal partition size ``m`` (the
+    IBBE public key is linear in it); it defaults to ``partition_capacity``
+    and must be raised at setup time if partitions may later grow (e.g.
+    under the adaptive-sizing extension).
+    """
+    rng = rng or SystemRng()
+    pairing_group = PairingGroup(preset(params))
+    device = SgxDevice(rng=rng)
+    ias = IntelAttestationService(rng=rng)
+    ias.register_device(device.device_id, device.attestation_public_key)
+    auditor = Auditor(ias, rng=rng)
+    # The CA key is pinned in the enclave configuration (hence in its
+    # measurement): the enclave will release its master secret only to
+    # peers certified under this exact CA (see core.multiadmin).
+    enclave = IbbeEnclave.load(device, {
+        "pairing_group": pairing_group,
+        "ca_public_key": auditor.ca_public_key.encode().hex(),
+    })
+    auditor.approve_measurement(enclave.measurement)
+    certificate = setup_trust(enclave, auditor)
+    public_key, sealed_msk = enclave.call(
+        "setup_system", system_bound or partition_capacity
+    )
+    cloud = CloudStore(latency=latency)
+    admin = GroupAdministrator(
+        enclave=enclave,
+        cloud=cloud,
+        signing_key=ecdsa.generate_keypair(rng),
+        partition_capacity=partition_capacity,
+        rng=rng,
+        auto_repartition=auto_repartition,
+    )
+    return System(
+        group=pairing_group, device=device, enclave=enclave, ias=ias,
+        auditor=auditor, cloud=cloud, admin=admin, certificate=certificate,
+        public_key=public_key, sealed_msk=sealed_msk, rng=rng,
+    )

@@ -1,0 +1,25 @@
+"""Baseline access-control schemes the paper evaluates against.
+
+* :mod:`repro.baselines.hybrid` — Hybrid Encryption with per-user
+  public-key (HE-PKI) or identity-based (HE-IBE) encryption of the group
+  key; the "traditional approach" of Figs. 2/7/8/9.
+* :mod:`repro.baselines.raw_ibbe` — classic IBBE without the master secret
+  (public-key encryption path, O(n²)); the third line of Fig. 2.
+"""
+
+from repro.baselines.hybrid import (
+    HeIbeScheme,
+    HePkiScheme,
+    HybridGroupManager,
+)
+from repro.baselines.hybrid_sgx import HeSgxEnclave, HeSgxGroupManager
+from repro.baselines.raw_ibbe import RawIbbeGroupManager
+
+__all__ = [
+    "HePkiScheme",
+    "HeIbeScheme",
+    "HybridGroupManager",
+    "HeSgxEnclave",
+    "HeSgxGroupManager",
+    "RawIbbeGroupManager",
+]

@@ -1,0 +1,24 @@
+"""Shared benchmark harness utilities (timing, curve fitting, reporting)."""
+
+from repro.bench.fitting import FitResult, extrapolate, fit_power_law
+from repro.bench.reporting import (
+    cdf_points,
+    format_bytes,
+    format_seconds,
+    print_series,
+    print_table,
+)
+from repro.bench.timing import Timer, time_call
+
+__all__ = [
+    "Timer",
+    "time_call",
+    "FitResult",
+    "fit_power_law",
+    "extrapolate",
+    "print_table",
+    "print_series",
+    "cdf_points",
+    "format_seconds",
+    "format_bytes",
+]

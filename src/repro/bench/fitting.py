@@ -1,0 +1,88 @@
+"""Complexity-curve fitting and extrapolation.
+
+The paper sweeps group sizes up to one million users on a C/SGX
+implementation; the pure-Python substrate measures smaller sweeps and
+extrapolates along the *known* complexity class of each operation
+(Table I).  The fit doubles as an empirical check of that class: the
+Table I benchmark asserts the fitted exponent of each operation against
+the theoretical one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Power-law fit ``t ≈ coefficient · n^exponent``."""
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        return self.coefficient * (n ** self.exponent)
+
+    def describe(self) -> str:
+        return (
+            f"t ≈ {self.coefficient:.3g}·n^{self.exponent:.2f} "
+            f"(R²={self.r_squared:.3f})"
+        )
+
+
+def fit_power_law(points: Sequence[Tuple[float, float]]) -> FitResult:
+    """Least-squares fit of ``log t = log a + b·log n``.
+
+    Points with non-positive coordinates are rejected (they have no
+    log-log image).
+    """
+    if len(points) < 2:
+        raise ValueError("power-law fit needs at least two points")
+    xs: List[float] = []
+    ys: List[float] = []
+    for n, t in points:
+        if n <= 0 or t <= 0:
+            raise ValueError(f"power-law fit needs positive points, got {(n, t)}")
+        xs.append(math.log(n))
+        ys.append(math.log(t))
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("all sweep points share one n; cannot fit")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    # R² in log space.
+    ss_res = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return FitResult(
+        coefficient=math.exp(intercept), exponent=slope, r_squared=r_squared
+    )
+
+
+def extrapolate(points: Sequence[Tuple[float, float]], target_n: float,
+                exponent: float | None = None) -> float:
+    """Predict the metric at ``target_n``.
+
+    With ``exponent`` given, only the coefficient is fitted (anchored to
+    the theoretical complexity class); otherwise both are fitted.
+    """
+    if exponent is None:
+        return fit_power_law(points).predict(target_n)
+    # Anchored fit: a = geometric mean of t / n^b.
+    log_as = [
+        math.log(t) - exponent * math.log(n)
+        for n, t in points if n > 0 and t > 0
+    ]
+    if not log_as:
+        raise ValueError("no usable points for anchored extrapolation")
+    coefficient = math.exp(sum(log_as) / len(log_as))
+    return coefficient * (target_n ** exponent)

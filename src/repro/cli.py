@@ -1,0 +1,472 @@
+"""Command-line deployment of IBBE-SGX.
+
+Turns the library into an operable tool: a *state directory* holds the
+persistent identities (device fuses, sealed master secret, system public
+key, administrator signing key, auditor/IAS keys) and a *cloud directory*
+holds the file-backed store shared between administrator and clients —
+mirroring the paper's deployment of an admin machine plus Dropbox.
+
+Usage overview::
+
+    python -m repro.cli init         --state S --cloud C [--params toy64]
+                                     [--capacity 4] [--bound 16]
+    python -m repro.cli create-group --state S --cloud C GROUP M1 M2 …
+    python -m repro.cli add-user     --state S --cloud C GROUP USER
+    python -m repro.cli remove-user  --state S --cloud C GROUP USER
+    python -m repro.cli rekey        --state S --cloud C GROUP
+    python -m repro.cli delete-group --state S --cloud C GROUP
+    python -m repro.cli show         --state S --cloud C [GROUP]
+    python -m repro.cli provision    --state S --cloud C IDENTITY --out F
+    python -m repro.cli client-key   --cloud C --user-key F GROUP IDENTITY
+    python -m repro.cli gen-trace    --kind {synthetic,kernel} --out F …
+    python -m repro.cli replay       --state S --cloud C --trace F
+
+``provision`` runs the Fig. 3 flow (attestation + encrypted channel) and
+writes the user's IBBE secret key to a file; ``client-key`` then acts as
+that user: it syncs the group directory and prints the derived group key.
+
+Every invocation reconstructs the enclave on the same simulated platform
+(the device secret in the state directory models the CPU fuses) and
+restores the sealed master secret — no plaintext key material is ever in
+the state directory except the user-side files explicitly exported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro import ibbe
+from repro.cloud import FileCloudStore
+from repro.core import GroupAdministrator, GroupClient
+from repro.crypto import ecdsa
+from repro.crypto.rng import SystemRng
+from repro.enclave_app import IbbeEnclave
+from repro.errors import NotFoundError, ReproError
+from repro.pairing import PairingGroup, preset
+from repro.pairing.group import G1Element
+from repro.sgx import (
+    Auditor,
+    IntelAttestationService,
+    SgxDevice,
+    provision_user_key,
+    setup_trust,
+)
+
+_CONFIG = "config.json"
+_DEVICE_SECRET = "device-secret.bin"
+_SEALED_MSK = "sealed-msk.bin"
+_PUBLIC_KEY = "public-key.bin"
+_ADMIN_KEY = "admin-signing.key"
+_CA_KEY = "auditor-ca.key"
+_IAS_KEY = "ias-report.key"
+
+
+class Deployment:
+    """A reconstructed admin-side deployment from a state directory."""
+
+    def __init__(self, state_dir: Path, cloud_dir: Path) -> None:
+        self.state_dir = state_dir
+        config = json.loads((state_dir / _CONFIG).read_text("utf-8"))
+        self.params_name = config["params"]
+        self.capacity = config["capacity"]
+        self.bound = config["bound"]
+        self.group = PairingGroup(preset(self.params_name))
+        self.rng = SystemRng()
+
+        device_secret = (state_dir / _DEVICE_SECRET).read_bytes()
+        self.device = SgxDevice(rng=self.rng, device_secret=device_secret)
+        self.ias = IntelAttestationService(
+            report_key=_load_scalar(state_dir / _IAS_KEY)
+        )
+        self.ias.register_device(self.device.device_id,
+                                 self.device.attestation_public_key)
+        ca_key = _load_scalar(state_dir / _CA_KEY)
+        self.enclave = IbbeEnclave.load(self.device, {
+            "pairing_group": self.group,
+            "ca_public_key": ca_key.public_key().encode().hex(),
+        })
+        self.auditor = Auditor(self.ias, ca_key=ca_key)
+        self.auditor.approve_measurement(self.enclave.measurement)
+        self.certificate = setup_trust(self.enclave, self.auditor)
+
+        pk_bytes = (state_dir / _PUBLIC_KEY).read_bytes()
+        self.public_key = ibbe.IbbePublicKey.decode(pk_bytes, self.group)
+        self.enclave.call(
+            "restore_system", (state_dir / _SEALED_MSK).read_bytes(),
+            self.public_key,
+        )
+
+        self.cloud = FileCloudStore(cloud_dir)
+        self.admin = GroupAdministrator(
+            enclave=self.enclave,
+            cloud=self.cloud,
+            signing_key=_load_scalar(state_dir / _ADMIN_KEY),
+            partition_capacity=self.capacity,
+            rng=self.rng,
+        )
+
+    def load_group(self, group_id: str) -> None:
+        if self.admin.cache.get(group_id) is None:
+            self.admin.load_group_from_cloud(group_id)
+
+
+def _load_scalar(path: Path) -> ecdsa.EcdsaPrivateKey:
+    return ecdsa.EcdsaPrivateKey(int(path.read_text("utf-8").strip(), 16))
+
+
+def _save_scalar(path: Path, key: ecdsa.EcdsaPrivateKey) -> None:
+    path.write_text(f"{key.scalar:064x}\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_init(args) -> int:
+    state_dir = Path(args.state)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    if (state_dir / _CONFIG).exists() and not args.force:
+        print(f"error: {state_dir} is already initialized "
+              "(use --force to overwrite)", file=sys.stderr)
+        return 2
+    rng = SystemRng()
+    group = PairingGroup(preset(args.params))
+
+    device_secret = rng.random_bytes(32)
+    (state_dir / _DEVICE_SECRET).write_bytes(device_secret)
+    device = SgxDevice(rng=rng, device_secret=device_secret)
+    ca_key = ecdsa.generate_keypair(rng)
+    enclave = IbbeEnclave.load(device, {
+        "pairing_group": group,
+        "ca_public_key": ca_key.public_key().encode().hex(),
+    })
+    bound = args.bound or args.capacity
+    public_key, sealed_msk = enclave.call("setup_system", bound)
+
+    (state_dir / _SEALED_MSK).write_bytes(sealed_msk)
+    (state_dir / _PUBLIC_KEY).write_bytes(public_key.encode())
+    _save_scalar(state_dir / _ADMIN_KEY, ecdsa.generate_keypair(rng))
+    _save_scalar(state_dir / _CA_KEY, ca_key)
+    _save_scalar(state_dir / _IAS_KEY, ecdsa.generate_keypair(rng))
+    (state_dir / _CONFIG).write_text(json.dumps({
+        "params": args.params,
+        "capacity": args.capacity,
+        "bound": bound,
+    }, indent=2), encoding="utf-8")
+    FileCloudStore(Path(args.cloud))  # materialize the store directory
+    print(f"initialized: params={args.params}, partition capacity="
+          f"{args.capacity}, system bound m={bound}")
+    print(f"enclave measurement: {enclave.measurement.hex()}")
+    return 0
+
+
+def cmd_create_group(args) -> int:
+    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment.admin.create_group(args.group, args.members)
+    state = deployment.admin.group_state(args.group)
+    print(f"group {args.group!r}: {len(args.members)} members in "
+          f"{state.table.partition_count} partitions")
+    return 0
+
+
+def cmd_add_user(args) -> int:
+    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment.load_group(args.group)
+    deployment.admin.add_user(args.group, args.user)
+    print(f"added {args.user!r} to {args.group!r}")
+    return 0
+
+
+def cmd_remove_user(args) -> int:
+    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment.load_group(args.group)
+    deployment.admin.remove_user(args.group, args.user)
+    print(f"removed {args.user!r} from {args.group!r} (group key rotated)")
+    return 0
+
+
+def cmd_delete_group(args) -> int:
+    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment.load_group(args.group)
+    deployment.admin.delete_group(args.group)
+    print(f"deleted group {args.group!r} and its cloud metadata")
+    return 0
+
+
+def cmd_rekey(args) -> int:
+    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment.load_group(args.group)
+    deployment.admin.rekey(args.group)
+    print(f"re-keyed {args.group!r}")
+    return 0
+
+
+def cmd_show(args) -> int:
+    deployment = Deployment(Path(args.state), Path(args.cloud))
+    if args.group:
+        deployment.load_group(args.group)
+        state = deployment.admin.group_state(args.group)
+        print(f"group {args.group!r} (epoch {state.epoch}):")
+        for pid in state.table.partition_ids:
+            members = ", ".join(state.table.members_of(pid))
+            print(f"  p{pid}: {members}")
+        print(f"  crypto metadata: {state.crypto_footprint()} bytes")
+        return 0
+    groups = sorted({
+        path.strip("/").split("/")[0]
+        for path in deployment.cloud.list_dir("/")
+    })
+    if not groups:
+        print("no groups")
+        return 0
+    for group_id in groups:
+        try:
+            deployment.load_group(group_id)
+            state = deployment.admin.group_state(group_id)
+            print(f"{group_id}: {len(state.table)} members, "
+                  f"{state.table.partition_count} partitions")
+        except (NotFoundError, ReproError) as exc:
+            print(f"{group_id}: <unreadable: {exc}>")
+    return 0
+
+
+def cmd_provision(args) -> int:
+    deployment = Deployment(Path(args.state), Path(args.cloud))
+    raw = provision_user_key(
+        deployment.enclave, deployment.certificate,
+        deployment.auditor.ca_public_key, args.identity, deployment.rng,
+    )
+    out = Path(args.out)
+    out.write_bytes(raw)
+    # The user also needs the public key and the admin verification key;
+    # write a companion bundle.
+    bundle = {
+        "identity": args.identity,
+        "params": deployment.params_name,
+        "public_key": deployment.public_key.encode().hex(),
+        "admin_verification_key":
+            deployment.admin.verification_key.encode().hex(),
+    }
+    out.with_suffix(out.suffix + ".bundle.json").write_text(
+        json.dumps(bundle, indent=2), encoding="utf-8"
+    )
+    print(f"provisioned user key for {args.identity!r} -> {out} "
+          f"(+ .bundle.json)")
+    return 0
+
+
+def cmd_client_key(args) -> int:
+    key_path = Path(args.user_key)
+    bundle = json.loads(
+        key_path.with_suffix(key_path.suffix + ".bundle.json")
+        .read_text("utf-8")
+    )
+    if bundle["identity"] != args.identity:
+        print("error: user key file belongs to a different identity",
+              file=sys.stderr)
+        return 2
+    group = PairingGroup(preset(bundle["params"]))
+    public_key = ibbe.IbbePublicKey.decode(
+        bytes.fromhex(bundle["public_key"]), group
+    )
+    user_key = ibbe.IbbeUserKey(
+        identity=args.identity,
+        element=G1Element.decode(group, key_path.read_bytes()),
+    )
+    client = GroupClient(
+        group_id=args.group,
+        identity=args.identity,
+        user_key=user_key,
+        public_key=public_key,
+        cloud=FileCloudStore(Path(args.cloud)),
+        admin_verification_key=ecdsa.EcdsaPublicKey.decode(
+            bytes.fromhex(bundle["admin_verification_key"])
+        ),
+    )
+    client.sync()
+    try:
+        group_key = client.current_group_key()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(group_key.hex())
+    return 0
+
+
+def cmd_gen_trace(args) -> int:
+    """Generate a workload trace file (synthetic or kernel-like)."""
+    from repro.workloads import (
+        KernelTraceConfig,
+        generate_trace,
+        save_trace,
+        synthesize_kernel_trace,
+    )
+    from repro.workloads.synthetic import trace_stats
+
+    if args.kind == "synthetic":
+        trace = generate_trace(args.ops, args.rate, seed=args.seed)
+    else:
+        trace = synthesize_kernel_trace(
+            KernelTraceConfig(scale=args.scale, seed=args.seed)
+        )
+    save_trace(args.out, trace)
+    print(f"wrote {args.out}: {trace_stats(trace).describe()}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Replay a trace file against this deployment and report costs."""
+    from repro.bench import format_seconds
+    from repro.workloads import ReplayEngine, load_trace
+    from repro.workloads.replay import IbbeSgxReplayAdapter
+
+    deployment = Deployment(Path(args.state), Path(args.cloud))
+    trace = load_trace(args.trace)
+
+    class _DeploymentShim:
+        """Adapter expects a System-shaped object."""
+
+        admin = deployment.admin
+
+        @staticmethod
+        def make_client(group_id, identity):
+            raw = deployment.enclave.call("extract_user_key_raw", identity)
+            user_key = ibbe.IbbeUserKey(
+                identity=identity,
+                element=G1Element.decode(deployment.group, raw),
+            )
+            return GroupClient(
+                group_id=group_id, identity=identity, user_key=user_key,
+                public_key=deployment.public_key, cloud=deployment.cloud,
+                admin_verification_key=deployment.admin.verification_key,
+            )
+
+    engine = ReplayEngine(IbbeSgxReplayAdapter(_DeploymentShim()),
+                          group_id=args.group,
+                          decrypt_sample_every=args.sample_every)
+    report = engine.run(trace)
+    print(f"replayed {report.operations_applied} operations "
+          f"({report.adds} add / {report.removes} rm, "
+          f"{report.skipped} skipped)")
+    print(f"admin total: {format_seconds(report.admin_seconds)}")
+    if report.decrypt_samples:
+        print(f"mean client decrypt: "
+              f"{format_seconds(report.mean_decrypt_seconds)}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="IBBE-SGX group access control (DSN'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--state", required=True,
+                       help="state directory (admin-side identities)")
+        p.add_argument("--cloud", required=True,
+                       help="cloud directory (file-backed store)")
+
+    p = sub.add_parser("init", help="set up a new deployment")
+    common(p)
+    p.add_argument("--params", default="toy64",
+                   choices=["toy64", "std160"],
+                   help="pairing preset (std160 = the paper's level)")
+    p.add_argument("--capacity", type=int, default=4,
+                   help="partition capacity")
+    p.add_argument("--bound", type=int, default=None,
+                   help="enclave system bound m (default: capacity)")
+    p.add_argument("--force", action="store_true")
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("create-group", help="create a group")
+    common(p)
+    p.add_argument("group")
+    p.add_argument("members", nargs="+")
+    p.set_defaults(func=cmd_create_group)
+
+    for name, fn, help_text in (
+        ("add-user", cmd_add_user, "add a member"),
+        ("remove-user", cmd_remove_user, "revoke a member"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p)
+        p.add_argument("group")
+        p.add_argument("user")
+        p.set_defaults(func=fn)
+
+    p = sub.add_parser("rekey", help="rotate a group key")
+    common(p)
+    p.add_argument("group")
+    p.set_defaults(func=cmd_rekey)
+
+    p = sub.add_parser("delete-group", help="delete a group entirely")
+    common(p)
+    p.add_argument("group")
+    p.set_defaults(func=cmd_delete_group)
+
+    p = sub.add_parser("show", help="inspect groups")
+    common(p)
+    p.add_argument("group", nargs="?")
+    p.set_defaults(func=cmd_show)
+
+    p = sub.add_parser("provision",
+                       help="extract a user secret key (Fig. 3 flow)")
+    common(p)
+    p.add_argument("identity")
+    p.add_argument("--out", required=True, help="user key output file")
+    p.set_defaults(func=cmd_provision)
+
+    p = sub.add_parser("client-key",
+                       help="derive a group key as a user")
+    p.add_argument("--cloud", required=True)
+    p.add_argument("--user-key", required=True)
+    p.add_argument("group")
+    p.add_argument("identity")
+    p.set_defaults(func=cmd_client_key)
+
+    p = sub.add_parser("gen-trace", help="generate a workload trace file")
+    p.add_argument("--kind", choices=["synthetic", "kernel"],
+                   default="synthetic")
+    p.add_argument("--ops", type=int, default=200,
+                   help="operation count (synthetic)")
+    p.add_argument("--rate", type=float, default=0.3,
+                   help="revocation rate (synthetic)")
+    p.add_argument("--scale", type=float, default=0.005,
+                   help="down-scaling factor (kernel)")
+    p.add_argument("--seed", default="cli")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_gen_trace)
+
+    p = sub.add_parser("replay",
+                       help="replay a trace file against this deployment")
+    common(p)
+    p.add_argument("--trace", required=True)
+    p.add_argument("--group", default="replayed")
+    p.add_argument("--sample-every", type=int, default=0,
+                   help="sample a client decrypt every N operations")
+    p.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

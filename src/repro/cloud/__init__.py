@@ -1,0 +1,19 @@
+"""Honest-but-curious cloud storage substrate (the paper's Dropbox role).
+
+The cloud stores group metadata under the bi-level hierarchy
+``/<group>/p<k>`` and doubles as the broadcast channel for membership
+changes: administrators PUT partition objects, clients long-poll the group
+directory (Dropbox long polling works at directory level, paper §V-A).
+"""
+
+from repro.cloud.filestore import FileCloudStore
+from repro.cloud.latency import LatencyModel
+from repro.cloud.store import CloudObject, CloudStore, DirectoryEvent
+
+__all__ = [
+    "CloudStore",
+    "FileCloudStore",
+    "CloudObject",
+    "DirectoryEvent",
+    "LatencyModel",
+]

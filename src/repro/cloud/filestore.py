@@ -1,0 +1,190 @@
+"""File-backed cloud store.
+
+Persists the :class:`~repro.cloud.store.CloudStore` contract to a local
+directory so separate processes (an administrator CLI invocation, client
+daemons) share one storage substrate:
+
+* each object lives at ``objects/<urlsafe path>`` with a sidecar version;
+* the event log (long-polling source) is an append-only JSONL file;
+* metrics are process-local (not persisted).
+
+Concurrency model: single-writer-at-a-time per object (the paper's single
+administrator; the multi-admin extension layers optimistic concurrency on
+top via conditional puts, which this store honours).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.cloud.latency import LatencyModel
+from repro.cloud.store import (
+    CloudMetrics,
+    CloudObject,
+    DirectoryEvent,
+    _normalize,
+)
+from repro.errors import ConflictError, NotFoundError, StorageError
+
+
+def _slug(path: str) -> str:
+    return base64.urlsafe_b64encode(path.encode("utf-8")).decode("ascii")
+
+
+def _unslug(name: str) -> str:
+    return base64.urlsafe_b64decode(name.encode("ascii")).decode("utf-8")
+
+
+class FileCloudStore:
+    """Drop-in replacement for :class:`CloudStore` backed by a directory."""
+
+    def __init__(self, root: str | Path,
+                 latency: Optional[LatencyModel] = None) -> None:
+        self.root = Path(root)
+        self._objects_dir = self.root / "objects"
+        self._events_path = self.root / "events.jsonl"
+        self._objects_dir.mkdir(parents=True, exist_ok=True)
+        if not self._events_path.exists():
+            self._events_path.write_text("", encoding="utf-8")
+        self._latency = latency or LatencyModel.disabled()
+        self.metrics = CloudMetrics()
+
+    # -- object API -----------------------------------------------------------
+
+    def put(self, path: str, data: bytes,
+            expected_version: Optional[int] = None) -> int:
+        path = _normalize(path)
+        self._account(len(data))
+        object_path = self._objects_dir / _slug(path)
+        meta_path = object_path.with_suffix(".meta")
+        current = self._read_version(meta_path)
+        if expected_version is not None and current != expected_version:
+            raise ConflictError(
+                f"version conflict on {path}: have {current}, "
+                f"expected {expected_version}"
+            )
+        version = current + 1
+        object_path.write_bytes(data)
+        meta_path.write_text(json.dumps({"version": version}),
+                             encoding="utf-8")
+        self._append_event(path, "put", version)
+        return version
+
+    def get(self, path: str) -> CloudObject:
+        path = _normalize(path)
+        object_path = self._objects_dir / _slug(path)
+        if not object_path.exists():
+            raise NotFoundError(f"no object at {path}")
+        data = object_path.read_bytes()
+        self._account(len(data))
+        version = self._read_version(object_path.with_suffix(".meta"))
+        return CloudObject(path=path, data=data, version=version)
+
+    def exists(self, path: str) -> bool:
+        return (self._objects_dir / _slug(_normalize(path))).exists()
+
+    def delete(self, path: str) -> None:
+        path = _normalize(path)
+        object_path = self._objects_dir / _slug(path)
+        if not object_path.exists():
+            raise NotFoundError(f"no object at {path}")
+        version = self._read_version(object_path.with_suffix(".meta"))
+        object_path.unlink()
+        object_path.with_suffix(".meta").unlink(missing_ok=True)
+        self._account(0)
+        self._append_event(path, "delete", version)
+
+    def list_dir(self, directory: str) -> List[str]:
+        directory = _normalize(directory).rstrip("/") + "/"
+        self._account(0)
+        children = set()
+        for entry in self._objects_dir.iterdir():
+            if entry.suffix == ".meta":
+                continue
+            path = _unslug(entry.name)
+            if path.startswith(directory):
+                remainder = path[len(directory):]
+                children.add(directory + remainder.split("/")[0])
+        return sorted(children)
+
+    # -- long polling ------------------------------------------------------------
+
+    def poll_dir(self, directory: str, after_sequence: int = 0,
+                 ) -> Tuple[List[DirectoryEvent], int]:
+        directory = _normalize(directory).rstrip("/") + "/"
+        self._account(0)
+        events = []
+        cursor = after_sequence
+        for event in self._read_events():
+            cursor = max(cursor, event.sequence)
+            if event.sequence <= after_sequence:
+                continue
+            if event.path.startswith(directory) or event.path == directory[:-1]:
+                events.append(event)
+        return events, cursor
+
+    # -- adversary interface -------------------------------------------------------
+
+    def adversary_view(self):
+        for entry in sorted(self._objects_dir.iterdir()):
+            if entry.suffix == ".meta":
+                continue
+            path = _unslug(entry.name)
+            yield CloudObject(
+                path=path,
+                data=entry.read_bytes(),
+                version=self._read_version(entry.with_suffix(".meta")),
+            )
+
+    def total_stored_bytes(self, prefix: str = "/") -> int:
+        prefix = _normalize(prefix)
+        return sum(
+            len(obj.data) for obj in self.adversary_view()
+            if obj.path.startswith(prefix)
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _read_version(self, meta_path: Path) -> int:
+        if not meta_path.exists():
+            return 0
+        try:
+            return int(json.loads(meta_path.read_text("utf-8"))["version"])
+        except (ValueError, KeyError) as exc:
+            raise StorageError(f"corrupt metadata at {meta_path}") from exc
+
+    def _append_event(self, path: str, kind: str, version: int) -> None:
+        sequence = self._last_sequence() + 1
+        record = {"seq": sequence, "path": path, "kind": kind,
+                  "version": version}
+        with self._events_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+    def _last_sequence(self) -> int:
+        last = 0
+        for event in self._read_events():
+            last = max(last, event.sequence)
+        return last
+
+    def _read_events(self) -> List[DirectoryEvent]:
+        events = []
+        for line in self._events_path.read_text("utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                events.append(DirectoryEvent(
+                    sequence=int(record["seq"]), path=record["path"],
+                    kind=record["kind"], version=int(record["version"]),
+                ))
+            except (ValueError, KeyError) as exc:
+                raise StorageError("corrupt event log") from exc
+        return events
+
+    def _account(self, payload: int) -> None:
+        self.metrics.requests += 1
+        self.metrics.bytes_in += payload
+        self.metrics.simulated_latency_ms += self._latency.sample(payload)

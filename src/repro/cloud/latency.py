@@ -1,0 +1,53 @@
+"""Cloud latency model.
+
+Benchmarks isolate cryptographic cost by default (zero latency); system
+experiments can inject a distribution calibrated to public-cloud storage
+round trips to study end-to-end behaviour (the paper notes client decrypt
+cost is overshadowed by cloud response time, §VI-A).
+
+The model is deterministic given its seed: latencies are *accounted*, not
+slept, so simulated time stays decoupled from wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rng import DeterministicRng
+
+
+@dataclass
+class LatencyModel:
+    """Log-normal-ish latency sampler with deterministic replay.
+
+    ``base_ms`` is the per-request floor; ``jitter_ms`` scales a smoothed
+    uniform term; ``per_kb_ms`` adds size-dependent transfer time.
+    """
+
+    base_ms: float = 0.0
+    jitter_ms: float = 0.0
+    per_kb_ms: float = 0.0
+    seed: str = "latency"
+    _rng: DeterministicRng = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = DeterministicRng(f"cloud-latency:{self.seed}")
+
+    def sample(self, payload_bytes: int = 0) -> float:
+        """Latency in milliseconds for one request."""
+        if self.base_ms == 0 and self.jitter_ms == 0 and self.per_kb_ms == 0:
+            return 0.0
+        # Average two uniforms for a crude bell shape without trig.
+        u1 = self._rng.randint_below(10_000) / 10_000
+        u2 = self._rng.randint_below(10_000) / 10_000
+        jitter = self.jitter_ms * (u1 + u2) / 2
+        return self.base_ms + jitter + self.per_kb_ms * payload_bytes / 1024
+
+    @classmethod
+    def disabled(cls) -> "LatencyModel":
+        return cls()
+
+    @classmethod
+    def public_cloud(cls, seed: str = "latency") -> "LatencyModel":
+        """Roughly a commercial object store over WAN: ~80 ms + transfer."""
+        return cls(base_ms=80.0, jitter_ms=40.0, per_kb_ms=0.08, seed=seed)

@@ -1,0 +1,179 @@
+"""In-process cloud object store with directory long polling.
+
+Semantics follow what the paper uses from Dropbox:
+
+* PUT/GET of opaque objects addressed by ``/group/partition`` style paths;
+* optimistic concurrency via per-object version numbers;
+* *long polling at directory level*: a client subscribes to a directory and
+  is handed every subsequent change event in order (§V-A: "In Dropbox, long
+  polling works at the directory level, so we index the group metadata as a
+  bi-level hierarchy").
+
+The store is honest-but-curious: it faithfully executes requests while
+keeping everything it has seen readable through :meth:`adversary_view`,
+which the security tests use to verify that stored metadata never reveals
+group keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.cloud.latency import LatencyModel
+from repro.errors import ConflictError, NotFoundError, StorageError
+
+
+@dataclass(frozen=True)
+class CloudObject:
+    path: str
+    data: bytes
+    version: int
+
+
+@dataclass(frozen=True)
+class DirectoryEvent:
+    """One change visible to a long-polling watcher."""
+
+    sequence: int
+    path: str
+    kind: str        # "put" | "delete"
+    version: int
+
+
+@dataclass
+class CloudMetrics:
+    requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    simulated_latency_ms: float = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "simulated_latency_ms": self.simulated_latency_ms,
+        }
+
+
+class CloudStore:
+    """The storage + broadcast substrate."""
+
+    def __init__(self, latency: Optional[LatencyModel] = None) -> None:
+        self._objects: Dict[str, CloudObject] = {}
+        self._latency = latency or LatencyModel.disabled()
+        self._event_log: List[DirectoryEvent] = []
+        self._sequence = itertools.count(1)
+        self.metrics = CloudMetrics()
+
+    # -- object API -----------------------------------------------------------
+
+    def put(self, path: str, data: bytes,
+            expected_version: Optional[int] = None) -> int:
+        """Store an object; returns its new version.
+
+        With ``expected_version`` set, the put is conditional (used by
+        multi-admin setups to detect lost updates)."""
+        path = _normalize(path)
+        self._account(len(data))
+        current = self._objects.get(path)
+        if expected_version is not None:
+            have = current.version if current else 0
+            if have != expected_version:
+                raise ConflictError(
+                    f"version conflict on {path}: have {have}, "
+                    f"expected {expected_version}"
+                )
+        version = (current.version if current else 0) + 1
+        self._objects[path] = CloudObject(path=path, data=data, version=version)
+        self._event_log.append(DirectoryEvent(
+            sequence=next(self._sequence), path=path, kind="put",
+            version=version,
+        ))
+        return version
+
+    def get(self, path: str) -> CloudObject:
+        path = _normalize(path)
+        obj = self._objects.get(path)
+        if obj is None:
+            raise NotFoundError(f"no object at {path}")
+        self._account(len(obj.data))
+        return obj
+
+    def exists(self, path: str) -> bool:
+        return _normalize(path) in self._objects
+
+    def delete(self, path: str) -> None:
+        path = _normalize(path)
+        obj = self._objects.pop(path, None)
+        if obj is None:
+            raise NotFoundError(f"no object at {path}")
+        self._account(0)
+        self._event_log.append(DirectoryEvent(
+            sequence=next(self._sequence), path=path, kind="delete",
+            version=obj.version,
+        ))
+
+    def list_dir(self, directory: str) -> List[str]:
+        """Immediate children (paths) under a directory."""
+        directory = _normalize(directory).rstrip("/") + "/"
+        self._account(0)
+        children = set()
+        for path in self._objects:
+            if path.startswith(directory):
+                remainder = path[len(directory):]
+                children.add(directory + remainder.split("/")[0])
+        return sorted(children)
+
+    # -- long polling ------------------------------------------------------------
+
+    def poll_dir(self, directory: str, after_sequence: int = 0,
+                 ) -> Tuple[List[DirectoryEvent], int]:
+        """Return events under ``directory`` past ``after_sequence``.
+
+        Models one long-poll round trip: the caller passes the cursor from
+        the previous call and receives (possibly empty) ordered events plus
+        the new cursor.
+        """
+        directory = _normalize(directory).rstrip("/") + "/"
+        self._account(0)
+        events = [
+            ev for ev in self._event_log
+            if ev.sequence > after_sequence
+            and (ev.path.startswith(directory) or ev.path == directory[:-1])
+        ]
+        cursor = self._event_log[-1].sequence if self._event_log else after_sequence
+        return events, max(after_sequence, cursor)
+
+    # -- adversary interface -------------------------------------------------------
+
+    def adversary_view(self) -> Iterator[CloudObject]:
+        """Everything the curious cloud can inspect (for security tests)."""
+        return iter(list(self._objects.values()))
+
+    def total_stored_bytes(self, prefix: str = "/") -> int:
+        prefix = _normalize(prefix)
+        return sum(
+            len(obj.data) for path, obj in self._objects.items()
+            if path.startswith(prefix)
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _account(self, payload: int) -> None:
+        self.metrics.requests += 1
+        self.metrics.bytes_in += payload
+        self.metrics.simulated_latency_ms += self._latency.sample(payload)
+
+
+def _normalize(path: str) -> str:
+    if not path or ".." in path.split("/"):
+        raise StorageError(f"invalid path {path!r}")
+    if not path.startswith("/"):
+        path = "/" + path
+    while "//" in path:
+        path = path.replace("//", "/")
+    return path

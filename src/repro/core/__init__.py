@@ -1,0 +1,19 @@
+"""The IBBE-SGX group access control system (paper §V).
+
+* :mod:`repro.core.envelope` — AES-GCM wrapping of the group key under the
+  hashed partition broadcast key.
+* :mod:`repro.core.partitions` — the partitioning mechanism (§IV-C).
+* :mod:`repro.core.metadata` — group metadata records and binary codecs.
+* :mod:`repro.core.admin` — administrator API (Algorithms 1-3 + heuristics).
+* :mod:`repro.core.client` — user API (listen, decrypt).
+* :mod:`repro.core.cache` — admin/client local metadata caches.
+* :mod:`repro.core.adaptive` — dynamic partition sizing (paper future work).
+* :mod:`repro.core.oplog` — hash-chained membership operation log (paper
+  future work, simplified blockchain-like certification).
+"""
+
+from repro.core.admin import GroupAdministrator
+from repro.core.client import GroupClient
+from repro.core.partitions import PartitionTable
+
+__all__ = ["GroupAdministrator", "GroupClient", "PartitionTable"]

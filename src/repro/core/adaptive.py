@@ -1,0 +1,169 @@
+"""Dynamic partition sizing (paper §VIII, first future-work avenue).
+
+§IV-C describes the trade-off: small partitions make user decryption fast
+(quadratic in the partition size) but multiply the administrator's per-
+revocation work (one O(1) re-key *per partition*); large partitions do the
+reverse.  The paper fixes the size ahead of time; this extension picks it
+from the observed workload.
+
+Cost model per unit time, for group size ``n``, partition size ``m``,
+revocation rate ``r`` (ops/s) and decrypt rate ``d`` (ops/s)::
+
+    cost(m) = r · c_rekey · (n / m)  +  d · c_decrypt · m²
+
+Minimising over m gives the closed form::
+
+    m* = cbrt( r · c_rekey · n / (2 · d · c_decrypt) )
+
+The coefficients ``c_rekey`` (seconds per partition re-key) and
+``c_decrypt`` (seconds per member per member — the quadratic constant) are
+calibrated from measurements or left at defaults estimated from the
+microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.admin import GroupAdministrator
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Closed-form optimal partition size with hysteresis."""
+
+    c_rekey: float = 5e-3        # seconds per partition re-key
+    c_decrypt: float = 2e-7      # seconds per (partition member)²
+    min_capacity: int = 8
+    max_capacity: int = 4000
+    #: Re-partitioning is only recommended when the optimum differs from
+    #: the current size by more than this factor (avoids thrashing).
+    hysteresis: float = 1.5
+
+    def optimal_capacity(self, group_size: int, revocation_rate: float,
+                         decrypt_rate: float) -> int:
+        """``m*`` for the given workload mix."""
+        if group_size < 1:
+            raise ParameterError("group size must be positive")
+        if revocation_rate < 0 or decrypt_rate < 0:
+            raise ParameterError("rates must be non-negative")
+        if decrypt_rate == 0:
+            # Nobody decrypts: make partitions as large as allowed.
+            return min(self.max_capacity, max(self.min_capacity, group_size))
+        if revocation_rate == 0:
+            # Nobody is revoked: minimize decrypt cost.
+            return self.min_capacity
+        optimum = (
+            revocation_rate * self.c_rekey * group_size
+            / (2.0 * decrypt_rate * self.c_decrypt)
+        ) ** (1.0 / 3.0)
+        clamped = int(round(optimum))
+        return max(self.min_capacity, min(self.max_capacity, clamped))
+
+    def should_repartition(self, current_capacity: int,
+                           optimal: int) -> bool:
+        if current_capacity <= 0:
+            return True
+        ratio = optimal / current_capacity
+        return ratio > self.hysteresis or ratio < 1.0 / self.hysteresis
+
+
+@dataclass
+class WorkloadWindow:
+    """Sliding counters of observed operations for one group."""
+
+    revocations: int = 0
+    decrypts: int = 0
+    window_ops: int = 0
+
+    def record_revocation(self) -> None:
+        self.revocations += 1
+        self.window_ops += 1
+
+    def record_add(self) -> None:
+        self.window_ops += 1
+
+    def record_decrypt(self) -> None:
+        self.decrypts += 1
+
+    def reset(self) -> None:
+        self.revocations = 0
+        self.decrypts = 0
+        self.window_ops = 0
+
+
+class AdaptiveAdministrator:
+    """Wraps a :class:`GroupAdministrator` with workload-driven sizing.
+
+    Clients report decryptions through :meth:`record_decrypt` (in a real
+    deployment, a coarse counter piggybacked on long-poll requests);
+    membership operations are observed directly.  Every ``review_every``
+    membership operations the policy re-evaluates the partition size and
+    triggers a re-partition when warranted.
+    """
+
+    def __init__(self, admin: GroupAdministrator,
+                 policy: Optional[AdaptivePolicy] = None,
+                 review_every: int = 64) -> None:
+        if review_every < 1:
+            raise ParameterError("review_every must be >= 1")
+        self.admin = admin
+        self.policy = policy or AdaptivePolicy()
+        self.review_every = review_every
+        self._windows: Dict[str, WorkloadWindow] = {}
+        self.resizes = 0
+
+    # -- pass-through operations with observation --------------------------------
+
+    def create_group(self, group_id: str, members) -> None:
+        self.admin.create_group(group_id, members)
+        self._windows[group_id] = WorkloadWindow()
+
+    def add_user(self, group_id: str, user: str) -> None:
+        self.admin.add_user(group_id, user)
+        window = self._window(group_id)
+        window.record_add()
+        self._maybe_review(group_id)
+
+    def remove_user(self, group_id: str, user: str) -> None:
+        self.admin.remove_user(group_id, user)
+        window = self._window(group_id)
+        window.record_revocation()
+        self._maybe_review(group_id)
+
+    def record_decrypt(self, group_id: str, count: int = 1) -> None:
+        window = self._window(group_id)
+        for _ in range(count):
+            window.record_decrypt()
+
+    # -- the adaptation loop ---------------------------------------------------------
+
+    def _maybe_review(self, group_id: str) -> None:
+        window = self._window(group_id)
+        if window.window_ops < self.review_every:
+            return
+        state = self.admin.group_state(group_id)
+        group_size = len(state.table)
+        if group_size == 0:
+            window.reset()
+            return
+        # Rates are per membership operation; the shared factor cancels in
+        # the ratio inside the cube root.
+        revocation_rate = window.revocations / max(window.window_ops, 1)
+        decrypt_rate = window.decrypts / max(window.window_ops, 1)
+        optimal = self.policy.optimal_capacity(
+            group_size, revocation_rate, max(decrypt_rate, 1e-6)
+        )
+        if self.policy.should_repartition(state.table.capacity, optimal):
+            self.admin.repartition(group_id, new_capacity=optimal)
+            self.resizes += 1
+        window.reset()
+
+    def _window(self, group_id: str) -> WorkloadWindow:
+        window = self._windows.get(group_id)
+        if window is None:
+            window = WorkloadWindow()
+            self._windows[group_id] = window
+        return window

@@ -1,0 +1,431 @@
+"""The administrator API (paper §V, Algorithms 1-3).
+
+An administrator is honest-but-curious: this class is *untrusted* code.  It
+orchestrates partition bookkeeping, drives the IBBE-SGX enclave for every
+cryptographic step, signs the resulting metadata, and pushes it to the
+cloud.  At no point does it see a plaintext group or broadcast key — the
+zero-knowledge tests run these exact code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cloud.store import CloudStore
+from repro.core.cache import AdminCache, AdminGroupState
+from repro.core.metadata import (
+    GroupDescriptor,
+    PartitionRecord,
+    descriptor_path,
+    partition_path,
+    sealed_key_path,
+)
+from repro.core.partitions import PartitionTable
+from repro.crypto import ecdsa
+from repro.crypto.rng import Rng, SystemRng
+from repro.enclave_app.ibbe_enclave import IbbeEnclave, PartitionBlob
+from repro.errors import AccessControlError, MembershipError, SealingError
+
+
+@dataclass
+class AdminMetrics:
+    """Operation counters for the macrobenchmarks."""
+
+    groups_created: int = 0
+    users_added: int = 0
+    users_removed: int = 0
+    rekeys: int = 0
+    repartitions: int = 0
+    partitions_written: int = 0
+    bytes_pushed: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class GroupAdministrator:
+    """Drives group membership through the enclave and the cloud."""
+
+    def __init__(self, enclave: IbbeEnclave, cloud: CloudStore,
+                 signing_key: ecdsa.EcdsaPrivateKey,
+                 partition_capacity: int,
+                 rng: Optional[Rng] = None,
+                 auto_repartition: bool = True) -> None:
+        if partition_capacity < 1:
+            raise AccessControlError("partition capacity must be >= 1")
+        self.enclave = enclave
+        self.cloud = cloud
+        self.partition_capacity = partition_capacity
+        self.auto_repartition = auto_repartition
+        self._signing_key = signing_key
+        self._rng = rng or SystemRng()
+        self.cache = AdminCache()
+        self.metrics = AdminMetrics()
+
+    @property
+    def verification_key(self) -> ecdsa.EcdsaPublicKey:
+        """Clients pin this key to authenticate metadata."""
+        return self._signing_key.public_key()
+
+    # -- Algorithm 1: create group --------------------------------------------------
+
+    def create_group(self, group_id: str, members: Sequence[str],
+                     ) -> AdminGroupState:
+        """Create a group: partition, run the enclaved region, push."""
+        if group_id in self.cache:
+            raise AccessControlError(f"group {group_id!r} already exists")
+        if not members:
+            raise AccessControlError("cannot create an empty group")
+        state = self._build_group(group_id, members)
+        self.cache.put(state)
+        self.metrics.groups_created += 1
+        return state
+
+    def _build_group(self, group_id: str, members: Sequence[str],
+                     epoch: int = 0,
+                     descriptor_version: int = 0) -> AdminGroupState:
+        table = PartitionTable.build(members, self.partition_capacity)
+        partition_members = [table.members_of(pid) for pid in table.partition_ids]
+        blobs, sealed_gk = self.enclave.call(
+            "create_group", group_id, partition_members
+        )
+        state = AdminGroupState(group_id=group_id, table=table,
+                                sealed_group_key=sealed_gk, epoch=epoch,
+                                descriptor_version=descriptor_version)
+        # The descriptor is the commit point: its conditional put claims
+        # the next version *before* any other object is touched, so a
+        # lost multi-admin race leaves no partial writes behind.
+        self._push_descriptor(state)
+        for pid, blob in zip(table.partition_ids, blobs):
+            self._install_partition(state, pid, blob)
+        self._push_sealed_gk(state)
+        return state
+
+    # -- Algorithm 2: add user ---------------------------------------------------------
+
+    def add_user(self, group_id: str, user: str) -> None:
+        """Add ``user``: random open partition, or a fresh one when all are
+        full (the two CDF modes of Fig. 8a)."""
+        state = self._require_group(group_id)
+        if user in state.table:
+            raise MembershipError(f"user {user!r} is already a member")
+        pid = state.table.pick_open_partition(self._rng)
+        if pid is None:
+            pid = state.table.add_new_partition(user)
+            blob = self._create_partition_blob(state, [user])
+        else:
+            state.table.add_to_partition(pid, user)
+            old_record = state.records[pid]
+            new_ciphertext = self.enclave.call(
+                "add_user_to_partition", old_record.ciphertext, user
+            )
+            # The broadcast key is unchanged: y_p is carried over verbatim
+            # (Algorithm 2 pushes only members and ciphertext).
+            blob = PartitionBlob(ciphertext=new_ciphertext,
+                                 envelope=old_record.envelope)
+        state.epoch += 1
+        self._push_descriptor(state)  # commit point (may raise Conflict)
+        self._install_partition(state, pid, blob)
+        self.metrics.users_added += 1
+
+    def add_users(self, group_id: str, users: Sequence[str]) -> None:
+        """Batch addition: one descriptor commit for the whole batch.
+
+        Amortizes the commit/record pushes over many joins (administrators
+        "perform membership changes for multiple groups at a time", §II —
+        bulk on-boarding is the common case this serves).  The broadcast
+        keys are unchanged throughout, exactly as in repeated single adds.
+        """
+        state = self._require_group(group_id)
+        users = list(users)
+        for user in users:
+            if user in state.table or users.count(user) > 1:
+                raise MembershipError(
+                    f"user {user!r} is already a member or duplicated"
+                )
+        touched: Dict[int, PartitionBlob] = {}
+        for user in users:
+            pid = state.table.pick_open_partition(self._rng)
+            if pid is None:
+                pid = state.table.add_new_partition(user)
+                touched[pid] = self._create_partition_blob(state, [user])
+            else:
+                state.table.add_to_partition(pid, user)
+                previous = touched.get(pid)
+                base_ciphertext = (
+                    previous.ciphertext if previous
+                    else state.records[pid].ciphertext
+                )
+                envelope = (
+                    previous.envelope if previous
+                    else state.records[pid].envelope
+                )
+                new_ciphertext = self.enclave.call(
+                    "add_user_to_partition", base_ciphertext, user
+                )
+                touched[pid] = PartitionBlob(ciphertext=new_ciphertext,
+                                             envelope=envelope)
+        state.epoch += 1
+        self._push_descriptor(state)  # commit point
+        for pid, blob in touched.items():
+            self._install_partition(state, pid, blob)
+        self.metrics.users_added += len(users)
+
+    def delete_group(self, group_id: str) -> None:
+        """Remove a group and all of its cloud metadata."""
+        state = self._require_group(group_id)
+        for pid in list(state.table.partition_ids):
+            self._delete_partition(state, pid)
+        for path in (descriptor_path(group_id), sealed_key_path(group_id)):
+            if self.cloud.exists(path):
+                self.cloud.delete(path)
+        self.cache.drop(group_id)
+
+    # -- Algorithm 3: remove user --------------------------------------------------------
+
+    def remove_user(self, group_id: str, user: str) -> None:
+        """Revoke ``user``: fresh group key, O(1) update of the hosting
+        partition, O(1) re-key of every other partition."""
+        state = self._require_group(group_id)
+        host_pid = state.table.partition_of(user)
+        host_record = state.records[host_pid]
+        state.table.remove(user)
+        other_pids = [pid for pid in state.table.partition_ids
+                      if pid != host_pid]
+
+        if len(state.table) == 0:
+            # Last member left: drop all metadata; no re-key needed since
+            # nobody may read the group any longer.
+            state.epoch += 1
+            self._push_descriptor(state)  # commit point
+            self._delete_partition(state, host_pid)
+            self.metrics.users_removed += 1
+            return
+
+        host_survives = host_pid in state.table.partition_ids
+        if host_survives:
+            host_blob, other_blobs, sealed_gk = self.enclave.call(
+                "remove_user", group_id, user, host_record.ciphertext,
+                [state.records[pid].ciphertext for pid in other_pids],
+            )
+        else:
+            # Hosting partition became empty: drop it and re-key the rest.
+            host_blob = None
+            other_blobs, sealed_gk = self.enclave.call(
+                "rekey_group", group_id,
+                [state.records[pid].ciphertext for pid in other_pids],
+            )
+        state.sealed_group_key = sealed_gk
+        state.epoch += 1
+        self._push_descriptor(state)  # commit point (may raise Conflict)
+        if host_blob is not None:
+            self._install_partition(state, host_pid, host_blob)
+        else:
+            self._delete_partition(state, host_pid)
+        for pid, blob in zip(other_pids, other_blobs):
+            self._install_partition(state, pid, blob)
+        self._push_sealed_gk(state)
+        self.metrics.users_removed += 1
+
+        if self.auto_repartition and state.table.needs_repartition():
+            self.repartition(group_id)
+
+    # -- re-keying and re-partitioning ----------------------------------------------------
+
+    def rekey(self, group_id: str) -> None:
+        """Refresh the group key without membership changes (A-G)."""
+        state = self._require_group(group_id)
+        pids = state.table.partition_ids
+        blobs, sealed_gk = self.enclave.call(
+            "rekey_group", group_id,
+            [state.records[pid].ciphertext for pid in pids],
+        )
+        state.sealed_group_key = sealed_gk
+        state.epoch += 1
+        self._push_descriptor(state)  # commit point (may raise Conflict)
+        for pid, blob in zip(pids, blobs):
+            self._install_partition(state, pid, blob)
+        self._push_sealed_gk(state)
+        self.metrics.rekeys += 1
+
+    def repartition(self, group_id: str,
+                    new_capacity: Optional[int] = None) -> None:
+        """Re-create the group from its current member list (§V-A:
+        "re-partitioning consists in simply re-creating the group").
+
+        ``new_capacity`` switches the group to a different partition size —
+        the hook used by the adaptive-partitioning extension
+        (:mod:`repro.core.adaptive`).  It must not exceed the enclave's
+        system bound ``m`` fixed at setup.
+        """
+        state = self._require_group(group_id)
+        if new_capacity is not None:
+            if new_capacity < 1:
+                raise AccessControlError("partition capacity must be >= 1")
+            bound = self.enclave.call("get_system_bound")
+            if new_capacity > bound:
+                raise AccessControlError(
+                    f"partition capacity {new_capacity} exceeds the "
+                    f"enclave's system bound m={bound} fixed at setup"
+                )
+            self.partition_capacity = new_capacity
+        members = state.table.all_members()
+        old_pids = set(state.table.partition_ids)
+        # _build_group claims the descriptor first (the commit point) and
+        # pushes the new layout; stale partition objects from the old
+        # layout are deleted afterwards.
+        new_state = self._build_group(
+            group_id, members, epoch=state.epoch + 1,
+            descriptor_version=state.descriptor_version,
+        )
+        for pid in old_pids - set(new_state.table.partition_ids):
+            if self.cloud.exists(partition_path(group_id, pid)):
+                self.cloud.delete(partition_path(group_id, pid))
+        self.cache.put(new_state)
+        self.metrics.repartitions += 1
+
+    # -- queries -------------------------------------------------------------------------
+
+    def group_state(self, group_id: str) -> AdminGroupState:
+        return self._require_group(group_id)
+
+    def members(self, group_id: str) -> List[str]:
+        return self._require_group(group_id).table.all_members()
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _install_partition(self, state: AdminGroupState, pid: int,
+                           blob: PartitionBlob) -> None:
+        record = PartitionRecord(
+            group_id=state.group_id,
+            partition_id=pid,
+            members=tuple(state.table.members_of(pid)),
+            ciphertext=blob.ciphertext,
+            envelope=blob.envelope,
+        )
+        state.records[pid] = record
+        data = record.signed(self._signing_key)
+        self.cloud.put(partition_path(state.group_id, pid), data)
+        self.metrics.partitions_written += 1
+        self.metrics.bytes_pushed += len(data)
+
+    def _delete_partition(self, state: AdminGroupState, pid: int) -> None:
+        state.records.pop(pid, None)
+        path = partition_path(state.group_id, pid)
+        if self.cloud.exists(path):
+            self.cloud.delete(path)
+
+    # -- persistence / recovery ------------------------------------------------
+
+    def load_group_from_cloud(self, group_id: str) -> AdminGroupState:
+        """Rebuild a group's administrative state from cloud metadata.
+
+        Allows a (new) administrator process to take over management of an
+        existing group: the descriptor provides the partition map, the
+        partition records the ciphertexts, and the sealed group key is the
+        opaque blob only the enclave can open.  All records are
+        signature-checked against this administrator's verification key.
+        """
+        descriptor_obj = self.cloud.get(descriptor_path(group_id))
+        descriptor = GroupDescriptor.verify_and_decode(
+            descriptor_obj.data, self.verification_key
+        )
+        table = PartitionTable(capacity=descriptor.partition_capacity)
+        by_partition: Dict[int, List[str]] = {}
+        for user, pid in descriptor.user_to_partition.items():
+            by_partition.setdefault(pid, []).append(user)
+        state = AdminGroupState(group_id=group_id, table=table,
+                                epoch=descriptor.epoch,
+                                descriptor_version=descriptor_obj.version)
+        for pid in sorted(by_partition):
+            record_obj = self.cloud.get(partition_path(group_id, pid))
+            record = PartitionRecord.verify_and_decode(
+                record_obj.data, self.verification_key
+            )
+            # Rebuild bookkeeping from the authoritative record order.
+            created = table._create_partition(list(record.members))
+            if created != pid:
+                # Partition ids on the cloud are sparse after deletions;
+                # remap the freshly created id to the stored one.
+                table._partitions[pid] = table._partitions.pop(created)
+                for user in record.members:
+                    table._user_to_partition[user] = pid
+                table._next_id = max(table._next_id, pid + 1)
+            state.records[pid] = record
+        if self.cloud.exists(sealed_key_path(group_id)):
+            state.sealed_group_key = self.cloud.get(
+                sealed_key_path(group_id)
+            ).data
+        self.cache.put(state)
+        return state
+
+    def _create_partition_blob(self, state: AdminGroupState,
+                               members: List[str]) -> PartitionBlob:
+        """Algorithm 2's new-partition path, multi-admin-safe.
+
+        In a multi-administrator deployment the cached sealed group key
+        may have been sealed by *another* admin's enclave (sealed blobs
+        are platform-bound).  On a sealing failure the enclave recovers
+        ``gk`` from a current partition record (it holds the MSK) and
+        re-seals it for itself, after which the operation proceeds.
+        """
+        try:
+            return self.enclave.call(
+                "create_partition", state.group_id, members,
+                state.sealed_group_key,
+            )
+        except SealingError:
+            state.sealed_group_key = self._recover_sealed_gk(state)
+            return self.enclave.call(
+                "create_partition", state.group_id, members,
+                state.sealed_group_key,
+            )
+
+    def _recover_sealed_gk(self, state: AdminGroupState) -> bytes:
+        reference = next(
+            (record for record in state.records.values() if record.members),
+            None,
+        )
+        if reference is None:
+            raise SealingError(
+                "cannot recover the group key: no populated partition "
+                "records are available"
+            )
+        return self.enclave.call(
+            "recover_and_reseal", state.group_id,
+            list(reference.members), reference.ciphertext,
+            reference.envelope,
+        )
+
+    def _push_sealed_gk(self, state: AdminGroupState) -> None:
+        if state.sealed_group_key:
+            self.cloud.put(sealed_key_path(state.group_id),
+                           state.sealed_group_key)
+            self.metrics.bytes_pushed += len(state.sealed_group_key)
+
+    def _push_descriptor(self, state: AdminGroupState) -> None:
+        descriptor = GroupDescriptor(
+            group_id=state.group_id,
+            partition_capacity=state.table.capacity,
+            user_to_partition={
+                user: state.table.partition_of(user)
+                for user in state.table.all_members()
+            },
+            epoch=state.epoch,
+        )
+        data = descriptor.signed(self._signing_key)
+        # Conditional put: the descriptor is the serialization point for
+        # concurrent administrators — a stale local view raises
+        # ConflictError (handled by core.multiadmin's retry loop).
+        state.descriptor_version = self.cloud.put(
+            descriptor_path(state.group_id), data,
+            expected_version=state.descriptor_version,
+        )
+        self.metrics.bytes_pushed += len(data)
+
+    def _require_group(self, group_id: str) -> AdminGroupState:
+        state = self.cache.get(group_id)
+        if state is None:
+            raise AccessControlError(f"unknown group {group_id!r}")
+        return state

@@ -1,0 +1,68 @@
+"""Local in-memory caches (paper §V-A).
+
+Both roles cache metadata to avoid cloud round trips: administrators keep
+the authoritative partition state of every group they manage ("they can
+locally cache it and thus bypass the cost of accessing the cloud",
+§IV-C); clients keep their own partition record and derived group key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.metadata import PartitionRecord
+from repro.core.partitions import PartitionTable
+
+
+@dataclass
+class AdminGroupState:
+    """Administrator-side authoritative state of one group."""
+
+    group_id: str
+    table: PartitionTable
+    records: Dict[int, PartitionRecord] = field(default_factory=dict)
+    sealed_group_key: bytes = b""
+    epoch: int = 0
+    #: Cloud version of the group descriptor — the optimistic-concurrency
+    #: token for multi-administrator deployments (conditional puts).
+    descriptor_version: int = 0
+
+    def crypto_footprint(self) -> int:
+        """Cryptographic metadata bytes across partitions (Fig. 7 metric)."""
+        return sum(r.crypto_bytes() for r in self.records.values())
+
+    def total_footprint(self) -> int:
+        """Full serialized metadata size including member lists."""
+        return sum(len(r.payload()) for r in self.records.values())
+
+
+class AdminCache:
+    """All groups managed by one administrator."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, AdminGroupState] = {}
+
+    def put(self, state: AdminGroupState) -> None:
+        self._groups[state.group_id] = state
+
+    def get(self, group_id: str) -> Optional[AdminGroupState]:
+        return self._groups.get(group_id)
+
+    def drop(self, group_id: str) -> None:
+        self._groups.pop(group_id, None)
+
+    def __contains__(self, group_id: str) -> bool:
+        return group_id in self._groups
+
+
+@dataclass
+class ClientGroupState:
+    """Client-side cached view of the user's own partition."""
+
+    group_id: str
+    partition_id: Optional[int] = None
+    record: Optional[PartitionRecord] = None
+    record_version: int = 0
+    group_key: Optional[bytes] = None
+    poll_cursor: int = 0

@@ -1,0 +1,184 @@
+"""The client (regular user) API (paper §V).
+
+Clients never touch an enclave.  They long-poll the group directory for
+partition updates, authenticate records against the pinned administrator
+key, run the plain IBBE decrypt (quadratic in the partition size — the
+cost Fig. 8b measures) and unwrap the group key envelope.
+
+Two hardening extensions beyond the paper:
+
+* **Decrypt-hint caching** — the quadratic part of IBBE decryption depends
+  only on the partition member set, so it is cached and re-keys cost two
+  pairings instead of an O(|p|²) expansion (quantified by
+  ``bench_ablation_client_cache``).
+* **Freshness tracking** — the client remembers the highest group epoch it
+  has observed (from the signed descriptor); a cloud serving older
+  metadata raises :class:`~repro.errors.StaleMetadataError` instead of
+  silently rolling the client back to a pre-revocation key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro import ibbe
+from repro.cloud.store import CloudStore
+from repro.core.cache import ClientGroupState
+from repro.core.envelope import unwrap_group_key
+from repro.core.metadata import GroupDescriptor, PartitionRecord, group_dir
+from repro.crypto import ecdsa
+from repro.errors import (
+    AccessControlError,
+    NotFoundError,
+    RevokedError,
+    StaleMetadataError,
+)
+from repro.pairing.group import PairingGroup
+
+
+class GroupClient:
+    """One user's view of one group."""
+
+    def __init__(self, group_id: str, identity: str,
+                 user_key: ibbe.IbbeUserKey,
+                 public_key: ibbe.IbbePublicKey,
+                 cloud: CloudStore,
+                 admin_verification_key: ecdsa.EcdsaPublicKey,
+                 enforce_freshness: bool = True) -> None:
+        if user_key.identity != identity:
+            raise AccessControlError("user key does not match the identity")
+        self.group_id = group_id
+        self.identity = identity
+        self.enforce_freshness = enforce_freshness
+        self._user_key = user_key
+        self._pk = public_key
+        self._cloud = cloud
+        self._admin_key = admin_verification_key
+        self.state = ClientGroupState(group_id=group_id)
+        self.decrypt_count = 0
+        #: Expansions actually computed (cache misses) — the hint cache
+        #: keeps this far below :attr:`decrypt_count` under re-key churn.
+        self.expansion_count = 0
+        self._hints: Dict[Tuple[str, ...], ibbe.DecryptionHint] = {}
+        self._highest_epoch = -1
+
+    @property
+    def group(self) -> PairingGroup:
+        return self._pk.group
+
+    # -- synchronisation ---------------------------------------------------------
+
+    def sync(self) -> bool:
+        """One long-poll round: ingest directory events, refresh our
+        partition record.  Returns True when our partition changed."""
+        events, cursor = self._cloud.poll_dir(
+            group_dir(self.group_id), self.state.poll_cursor
+        )
+        self.state.poll_cursor = cursor
+        changed = False
+        for event in events:
+            if event.kind == "delete":
+                if self._is_our_partition_path(event.path):
+                    self.state.record = None
+                    self.state.partition_id = None
+                    self.state.group_key = None
+                    changed = True
+                continue
+            if event.path.endswith("/sealed-gk"):
+                # Opaque to everyone but the enclave.
+                continue
+            try:
+                obj = self._cloud.get(event.path)
+            except NotFoundError:
+                # The object was deleted by a later operation (e.g. a
+                # re-partitioning); its delete event follows in the batch.
+                continue
+            if event.path.endswith("/descriptor"):
+                self._ingest_descriptor(obj.data)
+                continue
+            record = PartitionRecord.verify_and_decode(
+                obj.data, self._admin_key
+            )
+            if self.identity in record.members:
+                self.state.record = record
+                self.state.partition_id = record.partition_id
+                self.state.record_version = obj.version
+                self.state.group_key = None  # force re-derivation
+                changed = True
+            elif (self.state.partition_id == record.partition_id
+                  and self.state.record is not None):
+                # Our old partition no longer lists us: revoked (or moved —
+                # a later event will bring the new partition if moved).
+                self.state.record = None
+                self.state.partition_id = None
+                self.state.group_key = None
+                changed = True
+        return changed
+
+    def _ingest_descriptor(self, data: bytes) -> None:
+        """Track the signed group epoch for rollback detection."""
+        descriptor = GroupDescriptor.verify_and_decode(data, self._admin_key)
+        if descriptor.group_id != self.group_id:
+            raise AccessControlError("descriptor for a different group")
+        if (self.enforce_freshness
+                and descriptor.epoch < self._highest_epoch):
+            raise StaleMetadataError(
+                f"cloud served group epoch {descriptor.epoch} after epoch "
+                f"{self._highest_epoch} was observed — possible rollback"
+            )
+        self._highest_epoch = max(self._highest_epoch, descriptor.epoch)
+
+    # -- key derivation ------------------------------------------------------------
+
+    def current_group_key(self) -> bytes:
+        """Return ``gk``, deriving it from the cached partition record.
+
+        Raises :class:`RevokedError` when the user is in no partition —
+        which is exactly the state after a revocation has propagated.
+        """
+        if self.state.group_key is not None:
+            return self.state.group_key
+        record = self.state.record
+        if record is None:
+            raise RevokedError(
+                f"user {self.identity!r} has no partition in group "
+                f"{self.group_id!r} (revoked or never added)"
+            )
+        self.state.group_key = self.decrypt_partition(record)
+        return self.state.group_key
+
+    def decrypt_partition(self, record: PartitionRecord) -> bytes:
+        """The client-side cryptographic path, benchmarked by Fig. 8b:
+        IBBE decrypt (quadratic in |p|, amortized by the hint cache) then
+        AES envelope unwrap."""
+        ciphertext = ibbe.IbbeCiphertext.decode(self.group, record.ciphertext)
+        hint = self._hint_for(record.members)
+        bk = ibbe.decrypt_with_hint(self._pk, self._user_key, hint,
+                                    ciphertext)
+        self.decrypt_count += 1
+        return unwrap_group_key(
+            bk.digest(), record.envelope, aad=self.group_id.encode("utf-8")
+        )
+
+    def _hint_for(self, members: Tuple[str, ...]) -> ibbe.DecryptionHint:
+        key = tuple(members)
+        hint = self._hints.get(key)
+        if hint is None:
+            hint = ibbe.prepare_decryption(
+                self._pk, self._user_key, list(members)
+            )
+            self.expansion_count += 1
+            # One partition's member set per epoch is live; a tiny window
+            # covers moves between partitions without unbounded growth.
+            if len(self._hints) >= 4:
+                self._hints.pop(next(iter(self._hints)))
+            self._hints[key] = hint
+        return hint
+
+    # -- internals -------------------------------------------------------------------
+
+    def _is_our_partition_path(self, path: str) -> bool:
+        return (
+            self.state.partition_id is not None
+            and path == f"/{self.group_id}/p{self.state.partition_id}"
+        )

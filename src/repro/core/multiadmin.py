@@ -1,0 +1,107 @@
+"""Concurrent administrators (paper §VIII, second future-work avenue).
+
+The paper suggests adapting the construction "to a distributed set of
+administrators that would perform membership changes concurrently on the
+same group or partition, by using lock-free techniques".  This extension
+realizes that with optimistic concurrency control:
+
+* the group *descriptor* object is the serialization point — every
+  administrator pushes it with a conditional PUT carrying the version it
+  last observed;
+* a lost race raises :class:`~repro.errors.ConflictError`, upon which the
+  losing administrator refreshes its state from the cloud
+  (:meth:`GroupAdministrator.load_group_from_cloud`) and re-applies the
+  operation — the classic lock-free retry loop;
+* administrators share the IBBE master secret by *attested migration*
+  between their enclaves (see
+  :meth:`repro.enclave_app.IbbeEnclave.export_master_secret`) and sign
+  metadata with a shared organisational role key so clients keep a single
+  verification anchor.
+
+The retry loop re-validates the operation against the refreshed state, so
+semantically-conflicting operations (e.g. both admins removing the same
+user) surface as :class:`MembershipError` rather than clobbering state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.admin import GroupAdministrator
+from repro.errors import AccessControlError, ConflictError
+
+T = TypeVar("T")
+
+
+class ConcurrentAdministrator:
+    """Retry-on-conflict façade over a :class:`GroupAdministrator`."""
+
+    def __init__(self, admin: GroupAdministrator,
+                 max_retries: int = 8) -> None:
+        if max_retries < 1:
+            raise AccessControlError("max_retries must be >= 1")
+        self.admin = admin
+        self.max_retries = max_retries
+        self.conflicts_resolved = 0
+
+    # -- operations -------------------------------------------------------------
+
+    def create_group(self, group_id: str, members: Sequence[str]) -> None:
+        # Creation races are genuine conflicts (two admins creating the
+        # same group) and are surfaced, not retried.
+        self.admin.create_group(group_id, members)
+
+    def add_user(self, group_id: str, user: str) -> None:
+        self._with_retry(group_id,
+                         lambda: self.admin.add_user(group_id, user))
+
+    def remove_user(self, group_id: str, user: str) -> None:
+        self._with_retry(group_id,
+                         lambda: self.admin.remove_user(group_id, user))
+
+    def rekey(self, group_id: str) -> None:
+        self._with_retry(group_id, lambda: self.admin.rekey(group_id))
+
+    def refresh(self, group_id: str) -> None:
+        """Explicitly resynchronize from the cloud."""
+        self.admin.load_group_from_cloud(group_id)
+
+    # -- the lock-free loop --------------------------------------------------------
+
+    def _with_retry(self, group_id: str, operation: Callable[[], T]) -> T:
+        last_conflict: ConflictError | None = None
+        for _ in range(self.max_retries):
+            try:
+                return operation()
+            except ConflictError as exc:
+                # Lost the race: adopt the winner's state and re-apply.
+                last_conflict = exc
+                self.conflicts_resolved += 1
+                self.admin.load_group_from_cloud(group_id)
+        raise ConflictError(
+            f"operation on {group_id!r} kept conflicting after "
+            f"{self.max_retries} retries"
+        ) from last_conflict
+
+
+def join_administration(source_system, target_enclave) -> None:
+    """Bring a second enclave into the administration set.
+
+    Runs the attested MSK migration: the target is certified by the
+    deployment's Auditor (Fig. 3), the source enclave verifies that
+    certificate against its *pinned* CA key and releases the MSK only to
+    an identically-measured enclave.
+
+    ``source_system`` is a :class:`repro.System`; ``target_enclave`` an
+    :class:`~repro.enclave_app.IbbeEnclave` loaded with the same
+    configuration (including the pinned CA key).
+    """
+    from repro.sgx.attestation import setup_trust
+
+    source_system.auditor.approve_measurement(target_enclave.measurement)
+    target_certificate = setup_trust(target_enclave, source_system.auditor)
+    blob = source_system.enclave.call(
+        "export_master_secret", target_certificate
+    )
+    target_enclave.call("import_master_secret", blob,
+                        source_system.public_key)

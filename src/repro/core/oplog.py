@@ -1,0 +1,254 @@
+"""Hash-chained membership operation log (paper §VIII, third avenue).
+
+The paper suggests certifying blocks of membership-operation logs with
+blockchain-like technologies for multi-administrator setups.  This
+simplified realization provides the auditability core:
+
+* every membership operation appends a signed entry chained by the hash of
+  its predecessor (tamper-evidence);
+* entries carry the acting administrator's identity, so a quorum of admins
+  can audit each other;
+* periodic *checkpoints* sign the chain head, certifying the whole prefix
+  (the "block certification" of the paper's suggestion);
+* :func:`verify_chain` detects any splice, reorder, retro-edit or foreign
+  signature.
+
+The log is public metadata — it reveals operations and identities, which
+the model already concedes to the cloud (§II).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.serialize import Reader, Writer
+from repro.crypto import ecdsa
+from repro.crypto.kdf import sha256
+from repro.errors import AccessControlError, AuthenticationError
+
+GENESIS_HASH = bytes(32)
+
+
+@dataclass(frozen=True)
+class OpLogEntry:
+    index: int
+    prev_hash: bytes
+    group_id: str
+    kind: str          # "create" | "add" | "remove" | "rekey" | "repartition"
+    user: str          # affected user ("" for group-wide operations)
+    admin_id: str
+    timestamp: float
+    signature: bytes   # by the acting admin, over the unsigned payload
+
+    def unsigned_payload(self) -> bytes:
+        writer = Writer()
+        writer.u64(self.index)
+        writer.bytes_field(self.prev_hash)
+        writer.str_field(self.group_id)
+        writer.str_field(self.kind)
+        writer.str_field(self.user)
+        writer.str_field(self.admin_id)
+        writer.u64(round(self.timestamp * 1_000_000))
+        return writer.getvalue()
+
+    def entry_hash(self) -> bytes:
+        return sha256(self.unsigned_payload() + self.signature)
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.bytes_field(self.unsigned_payload())
+        writer.bytes_field(self.signature)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "OpLogEntry":
+        outer = Reader(data)
+        payload = outer.bytes_field()
+        signature = outer.bytes_field()
+        outer.expect_end()
+        reader = Reader(payload)
+        return cls(
+            index=reader.u64(),
+            prev_hash=reader.bytes_field(),
+            group_id=reader.str_field(),
+            kind=reader.str_field(),
+            user=reader.str_field(),
+            admin_id=reader.str_field(),
+            timestamp=reader.u64() / 1_000_000,
+            signature=signature,
+        )
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A certified chain prefix: (up to index, head hash, signer)."""
+
+    up_to_index: int
+    head_hash: bytes
+    admin_id: str
+    signature: bytes
+
+    def unsigned_payload(self) -> bytes:
+        writer = Writer()
+        writer.u64(self.up_to_index)
+        writer.bytes_field(self.head_hash)
+        writer.str_field(self.admin_id)
+        return writer.getvalue()
+
+
+class OperationLog:
+    """Append-only, hash-chained, multi-admin operation log."""
+
+    def __init__(self,
+                 admin_keys: Dict[str, ecdsa.EcdsaPublicKey]) -> None:
+        #: admin_id -> verification key; the membership of this registry is
+        #: the trust anchor (it would be fixed at deployment time).
+        self._admin_keys = dict(admin_keys)
+        self._entries: List[OpLogEntry] = []
+        self._checkpoints: List[Checkpoint] = []
+
+    # -- appending ------------------------------------------------------------------
+
+    def append(self, group_id: str, kind: str, user: str, admin_id: str,
+               signing_key: ecdsa.EcdsaPrivateKey,
+               timestamp: Optional[float] = None) -> OpLogEntry:
+        if admin_id not in self._admin_keys:
+            raise AccessControlError(f"unknown administrator {admin_id!r}")
+        prev_hash = (
+            self._entries[-1].entry_hash() if self._entries else GENESIS_HASH
+        )
+        raw_ts = timestamp if timestamp is not None else time.time()
+        unsigned = OpLogEntry(
+            index=len(self._entries), prev_hash=prev_hash,
+            group_id=group_id, kind=kind, user=user, admin_id=admin_id,
+            # Quantized to microseconds so encode/decode round-trips exactly.
+            timestamp=round(raw_ts * 1_000_000) / 1_000_000,
+            signature=b"",
+        )
+        signature = signing_key.sign(unsigned.unsigned_payload())
+        entry = OpLogEntry(
+            index=unsigned.index, prev_hash=unsigned.prev_hash,
+            group_id=unsigned.group_id, kind=unsigned.kind,
+            user=unsigned.user, admin_id=unsigned.admin_id,
+            timestamp=unsigned.timestamp, signature=signature,
+        )
+        # Verify before accepting — a wrong key must not corrupt the chain.
+        self._verify_entry(entry, prev_hash)
+        self._entries.append(entry)
+        return entry
+
+    def checkpoint(self, admin_id: str,
+                   signing_key: ecdsa.EcdsaPrivateKey) -> Checkpoint:
+        """Certify the current head (the blockchain-block surrogate)."""
+        if admin_id not in self._admin_keys:
+            raise AccessControlError(f"unknown administrator {admin_id!r}")
+        if not self._entries:
+            raise AccessControlError("cannot checkpoint an empty log")
+        head = self._entries[-1]
+        unsigned = Checkpoint(
+            up_to_index=head.index, head_hash=head.entry_hash(),
+            admin_id=admin_id, signature=b"",
+        )
+        checkpoint = Checkpoint(
+            up_to_index=unsigned.up_to_index, head_hash=unsigned.head_hash,
+            admin_id=admin_id,
+            signature=signing_key.sign(unsigned.unsigned_payload()),
+        )
+        self._checkpoints.append(checkpoint)
+        return checkpoint
+
+    # -- verification ------------------------------------------------------------------
+
+    def verify_chain(self, entries: Optional[Sequence[OpLogEntry]] = None,
+                     ) -> None:
+        """Full-chain audit; raises :class:`AuthenticationError` on any
+        break (splice, reorder, retro-edit, unknown admin, bad signature)."""
+        entries = self._entries if entries is None else list(entries)
+        prev_hash = GENESIS_HASH
+        for position, entry in enumerate(entries):
+            if entry.index != position:
+                raise AuthenticationError(
+                    f"log index gap at position {position}"
+                )
+            self._verify_entry(entry, prev_hash)
+            prev_hash = entry.entry_hash()
+
+    def verify_checkpoint(self, checkpoint: Checkpoint) -> None:
+        key = self._admin_keys.get(checkpoint.admin_id)
+        if key is None:
+            raise AuthenticationError(
+                f"checkpoint by unknown admin {checkpoint.admin_id!r}"
+            )
+        unsigned = Checkpoint(
+            up_to_index=checkpoint.up_to_index,
+            head_hash=checkpoint.head_hash,
+            admin_id=checkpoint.admin_id, signature=b"",
+        )
+        key.verify(unsigned.unsigned_payload(), checkpoint.signature)
+        if checkpoint.up_to_index >= len(self._entries):
+            raise AuthenticationError("checkpoint beyond the log head")
+        actual = self._entries[checkpoint.up_to_index].entry_hash()
+        if actual != checkpoint.head_hash:
+            raise AuthenticationError("checkpoint hash does not match log")
+
+    def _verify_entry(self, entry: OpLogEntry, prev_hash: bytes) -> None:
+        if entry.prev_hash != prev_hash:
+            raise AuthenticationError(
+                f"broken hash chain at index {entry.index}"
+            )
+        key = self._admin_keys.get(entry.admin_id)
+        if key is None:
+            raise AuthenticationError(
+                f"entry {entry.index} signed by unknown admin "
+                f"{entry.admin_id!r}"
+            )
+        try:
+            key.verify(entry.unsigned_payload(), entry.signature)
+        except AuthenticationError as exc:
+            raise AuthenticationError(
+                f"entry {entry.index} has an invalid signature"
+            ) from exc
+
+    # -- accessors -----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[OpLogEntry]:
+        return list(self._entries)
+
+    def checkpoints(self) -> List[Checkpoint]:
+        return list(self._checkpoints)
+
+
+class LoggedAdministrator:
+    """A :class:`GroupAdministrator` decorated with op-log appends."""
+
+    def __init__(self, admin, log: OperationLog, admin_id: str,
+                 signing_key: ecdsa.EcdsaPrivateKey) -> None:
+        self.admin = admin
+        self.log = log
+        self.admin_id = admin_id
+        self._signing_key = signing_key
+
+    def create_group(self, group_id: str, members) -> None:
+        self.admin.create_group(group_id, members)
+        self.log.append(group_id, "create", "", self.admin_id,
+                        self._signing_key)
+
+    def add_user(self, group_id: str, user: str) -> None:
+        self.admin.add_user(group_id, user)
+        self.log.append(group_id, "add", user, self.admin_id,
+                        self._signing_key)
+
+    def remove_user(self, group_id: str, user: str) -> None:
+        self.admin.remove_user(group_id, user)
+        self.log.append(group_id, "remove", user, self.admin_id,
+                        self._signing_key)
+
+    def rekey(self, group_id: str) -> None:
+        self.admin.rekey(group_id)
+        self.log.append(group_id, "rekey", "", self.admin_id,
+                        self._signing_key)

@@ -1,0 +1,94 @@
+"""ECDSA over NIST P-256 with deterministic nonces (RFC 6979 style).
+
+Signatures appear throughout the system: administrators authenticate
+membership updates (the paper authenticates admin identities, §II), SGX
+quotes are signed by the simulated quoting infrastructure, IAS reports by
+the simulated attestation service, and the Auditor/CA signs enclave
+certificates (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import hmac_sha256, sha256
+from repro.crypto.rng import Rng
+from repro.ec.curve import Point
+from repro.ec.p256 import P256
+from repro.errors import AuthenticationError, CryptoError
+from repro.mathutils.modular import modinv
+
+_N = P256.order
+
+
+@dataclass(frozen=True)
+class EcdsaPublicKey:
+    point: Point
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Verify; raises :class:`AuthenticationError` on failure."""
+        if len(signature) != 64:
+            raise AuthenticationError("ECDSA signature must be 64 bytes")
+        r = int.from_bytes(signature[:32], "big")
+        s = int.from_bytes(signature[32:], "big")
+        if not (0 < r < _N and 0 < s < _N):
+            raise AuthenticationError("ECDSA signature out of range")
+        z = _hash_to_int(message)
+        w = modinv(s, _N)
+        u1 = (z * w) % _N
+        u2 = (r * w) % _N
+        point = P256.multi_mul([(u1, P256.generator), (u2, self.point)])
+        if point.is_infinity() or point.x % _N != r:
+            raise AuthenticationError("ECDSA signature invalid")
+
+    def is_valid(self, message: bytes, signature: bytes) -> bool:
+        try:
+            self.verify(message, signature)
+            return True
+        except AuthenticationError:
+            return False
+
+    def encode(self) -> bytes:
+        return self.point.encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EcdsaPublicKey":
+        return cls(Point.decode(P256, data))
+
+
+@dataclass(frozen=True)
+class EcdsaPrivateKey:
+    scalar: int
+
+    def public_key(self) -> EcdsaPublicKey:
+        return EcdsaPublicKey(P256.mul_generator(self.scalar))
+
+    def sign(self, message: bytes) -> bytes:
+        """Deterministic ECDSA (RFC 6979-style HMAC nonce derivation)."""
+        z = _hash_to_int(message)
+        k = _deterministic_nonce(self.scalar, message)
+        for attempt in range(64):
+            point = P256.mul_generator(k)
+            r = point.x % _N
+            if r != 0:
+                s = (modinv(k, _N) * (z + r * self.scalar)) % _N
+                if s != 0:
+                    return r.to_bytes(32, "big") + s.to_bytes(32, "big")
+            k = (k * 2 + 1 + attempt) % _N or 1
+        raise CryptoError("failed to produce an ECDSA signature")
+
+
+def generate_keypair(rng: Rng) -> EcdsaPrivateKey:
+    return EcdsaPrivateKey(1 + rng.randint_below(_N - 1))
+
+
+def _hash_to_int(message: bytes) -> int:
+    return int.from_bytes(sha256(message), "big") % _N
+
+
+def _deterministic_nonce(secret: int, message: bytes) -> int:
+    """Simplified RFC 6979: HMAC-derived nonce, unique per (key, message)."""
+    key_bytes = secret.to_bytes(32, "big")
+    v = hmac_sha256(key_bytes, b"nonce:" + sha256(message))
+    k = int.from_bytes(v + hmac_sha256(v, key_bytes), "big") % _N
+    return k or 1

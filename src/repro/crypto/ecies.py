@@ -1,0 +1,81 @@
+"""ECIES over NIST P-256.
+
+The default public-key primitive of the Hybrid Encryption (HE-PKI) baseline:
+ephemeral ECDH → HKDF → AES-256-GCM.  Chosen over RSA as the baseline
+workhorse because EC key generation is cheap enough to provision the very
+large user populations the benchmarks sweep (the paper's HE baseline uses
+"RSA or ECC", §III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import hkdf
+from repro.crypto.modes import gcm_decrypt, gcm_encrypt
+from repro.crypto.rng import Rng
+from repro.ec.curve import Point
+from repro.ec.p256 import P256
+from repro.errors import CryptoError
+
+_POINT_SIZE = 33  # compressed P-256 point
+
+
+@dataclass(frozen=True)
+class EciesPublicKey:
+    point: Point
+
+    def encrypt(self, plaintext: bytes, rng: Rng, aad: bytes = b"") -> bytes:
+        """Returns ``ephemeral_point || nonce || ciphertext || tag``."""
+        eph_scalar = 1 + rng.randint_below(P256.order - 1)
+        eph_point = P256.mul_generator(eph_scalar)
+        shared = self.point * eph_scalar
+        if shared.is_infinity():
+            raise CryptoError("degenerate ECDH result")
+        key = _derive_key(shared, eph_point)
+        nonce = rng.random_bytes(12)
+        return eph_point.encode() + nonce + gcm_encrypt(key, nonce, plaintext, aad)
+
+    def encode(self) -> bytes:
+        return self.point.encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EciesPublicKey":
+        return cls(Point.decode(P256, data))
+
+
+@dataclass(frozen=True)
+class EciesPrivateKey:
+    scalar: int
+
+    def public_key(self) -> EciesPublicKey:
+        return EciesPublicKey(P256.mul_generator(self.scalar))
+
+    def decrypt(self, data: bytes, aad: bytes = b"") -> bytes:
+        if len(data) < _POINT_SIZE + 12 + 16:
+            raise CryptoError("ECIES ciphertext too short")
+        eph_point = Point.decode(P256, data[:_POINT_SIZE])
+        nonce = data[_POINT_SIZE:_POINT_SIZE + 12]
+        body = data[_POINT_SIZE + 12:]
+        shared = eph_point * self.scalar
+        if shared.is_infinity():
+            raise CryptoError("degenerate ECDH result")
+        key = _derive_key(shared, eph_point)
+        return gcm_decrypt(key, nonce, body, aad)
+
+
+def generate_keypair(rng: Rng) -> EciesPrivateKey:
+    return EciesPrivateKey(1 + rng.randint_below(P256.order - 1))
+
+
+def ciphertext_overhead() -> int:
+    """Bytes added per recipient: point + nonce + GCM tag.
+
+    Used by the metadata-footprint benchmarks (Fig. 2b / Fig. 7)."""
+    return _POINT_SIZE + 12 + 16
+
+
+def _derive_key(shared: Point, eph_point: Point) -> bytes:
+    return hkdf(
+        shared.encode(), 32, salt=eph_point.encode(), info=b"repro:ecies:v1"
+    )

@@ -1,0 +1,201 @@
+"""Modes of operation: CTR and GCM (NIST SP 800-38A / 800-38D).
+
+GCM is the authenticated mode used to envelope the group key ``gk`` under
+the hashed partition broadcast key (Algorithms 1-3 in the paper use
+``sgx_aes(sgx_sha(bk), gk)``; authenticated encryption also gives clients a
+cheap integrity check on partition metadata).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.errors import AuthenticationError, CryptoError
+
+
+def ctr_transform(aes: AES, nonce: bytes, data: bytes,
+                  initial_counter: int = 0) -> bytes:
+    """Encrypt/decrypt ``data`` in CTR mode (the operation is an involution).
+
+    The counter block is ``nonce (12 bytes) || counter (4 bytes, big endian)``.
+    """
+    if len(nonce) != 12:
+        raise CryptoError("CTR nonce must be 12 bytes")
+    out = bytearray()
+    counter = initial_counter
+    for offset in range(0, len(data), 16):
+        keystream = aes.encrypt_block(nonce + counter.to_bytes(4, "big"))
+        chunk = data[offset:offset + 16]
+        out.extend(b ^ k for b, k in zip(chunk, keystream))
+        counter += 1
+    return bytes(out)
+
+
+# -- GHASH over GF(2^128) -----------------------------------------------------
+
+_R = 0xE1000000000000000000000000000000
+
+
+def _gf128_mul(x: int, y: int) -> int:
+    """Multiplication in GF(2^128) with the GCM polynomial (bit-reflected).
+
+    Bit-by-bit reference implementation; :class:`Ghash` uses Shoup's
+    4-bit-table method, which the property tests check against this.
+    """
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def _shift1(v: int) -> int:
+    """Multiply by t (one reflected shift with reduction)."""
+    if v & 1:
+        return (v >> 1) ^ _R
+    return v >> 1
+
+
+def _build_reduction_table() -> list:
+    """RED[n] = the reduction residue of shifting a value with low nibble
+    ``n`` right by 4 (key-independent, computed once)."""
+    table = []
+    for n in range(16):
+        v = n
+        for _ in range(4):
+            v = _shift1(v)
+        table.append(v)
+    return table
+
+
+_RED = _build_reduction_table()
+
+
+class Ghash:
+    """Incremental GHASH universal hash (Shoup 4-bit tables).
+
+    Per 16-byte block: 32 table lookups and shifts instead of 128
+    conditional shift-xors — ~4× faster in pure Python, verified
+    bit-identical to :func:`_gf128_mul` by the test suite.
+    """
+
+    def __init__(self, h: bytes) -> None:
+        self._y = 0
+        # P[j] = H·t^j, then T[u] = Σ_{bit b set in u} P[3-b]: the product
+        # of H with the nibble-polynomial of u.
+        h_int = int.from_bytes(h, "big")
+        powers = [h_int]
+        for _ in range(3):
+            powers.append(_shift1(powers[-1]))
+        table = [0] * 16
+        for u in range(1, 16):
+            acc = 0
+            for b in range(4):
+                if (u >> b) & 1:
+                    acc ^= powers[3 - b]
+            table[u] = acc
+        self._table = table
+
+    def _mul_h(self, x: int) -> int:
+        """x·H via nibble Horner: least-significant nibble carries the
+        highest power of t (reflected convention)."""
+        table = self._table
+        z = table[x & 0xF]
+        x >>= 4
+        for _ in range(31):
+            z = (z >> 4) ^ _RED[z & 0xF] ^ table[x & 0xF]
+            x >>= 4
+        return z
+
+    def update(self, data: bytes) -> "Ghash":
+        y = self._y
+        for offset in range(0, len(data), 16):
+            block = data[offset:offset + 16].ljust(16, b"\x00")
+            y = self._mul_h(y ^ int.from_bytes(block, "big"))
+        self._y = y
+        return self
+
+    def digest(self) -> bytes:
+        return self._y.to_bytes(16, "big")
+
+
+def gcm_encrypt(key: bytes, nonce: bytes, plaintext: bytes,
+                aad: bytes = b"", tag_length: int = 16) -> bytes:
+    """AES-GCM encryption.  Returns ``ciphertext || tag``."""
+    aes = AES(key)
+    j0, h = _gcm_setup(aes, nonce)
+    ciphertext = ctr_transform(
+        aes, j0[:12], plaintext, initial_counter=int.from_bytes(j0[12:], "big") + 1
+    ) if len(nonce) == 12 else _gcm_ctr(aes, j0, plaintext)
+    tag = _gcm_tag(aes, h, j0, aad, ciphertext)[:tag_length]
+    return ciphertext + tag
+
+
+def gcm_decrypt(key: bytes, nonce: bytes, data: bytes,
+                aad: bytes = b"", tag_length: int = 16) -> bytes:
+    """AES-GCM decryption; raises AuthenticationError on tag mismatch."""
+    if len(data) < tag_length:
+        raise AuthenticationError("ciphertext shorter than the GCM tag")
+    ciphertext, tag = data[:-tag_length], data[-tag_length:]
+    aes = AES(key)
+    j0, h = _gcm_setup(aes, nonce)
+    expected = _gcm_tag(aes, h, j0, aad, ciphertext)[:tag_length]
+    if not _constant_time_eq(expected, tag):
+        raise AuthenticationError("GCM tag verification failed")
+    if len(nonce) == 12:
+        return ctr_transform(
+            aes, j0[:12], ciphertext,
+            initial_counter=int.from_bytes(j0[12:], "big") + 1,
+        )
+    return _gcm_ctr(aes, j0, ciphertext)
+
+
+def _gcm_setup(aes: AES, nonce: bytes):
+    h = aes.encrypt_block(bytes(16))
+    if len(nonce) == 12:
+        j0 = nonce + b"\x00\x00\x00\x01"
+    else:
+        ghash = Ghash(h).update(nonce)
+        length_block = (8 * len(nonce)).to_bytes(16, "big")
+        ghash.update(length_block)
+        j0 = ghash.digest()
+    return j0, h
+
+
+def _gcm_ctr(aes: AES, j0: bytes, data: bytes) -> bytes:
+    """GCTR starting at inc32(J0) for non-96-bit nonces."""
+    out = bytearray()
+    counter = int.from_bytes(j0, "big")
+    for offset in range(0, len(data), 16):
+        counter_block = (
+            (counter & ~0xFFFFFFFF)
+            | ((counter + 1 + offset // 16) & 0xFFFFFFFF)
+        ).to_bytes(16, "big")
+        keystream = aes.encrypt_block(counter_block)
+        out.extend(b ^ k for b, k in zip(data[offset:offset + 16], keystream))
+    return bytes(out)
+
+
+def _gcm_tag(aes: AES, h: bytes, j0: bytes, aad: bytes,
+             ciphertext: bytes) -> bytes:
+    ghash = Ghash(h)
+    ghash.update(aad)
+    ghash.update(ciphertext)
+    lengths = (8 * len(aad)).to_bytes(8, "big") + (8 * len(ciphertext)).to_bytes(8, "big")
+    ghash.update(lengths)
+    s = ghash.digest()
+    e_j0 = aes.encrypt_block(j0)
+    return bytes(a ^ b for a, b in zip(s, e_j0))
+
+
+def _constant_time_eq(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

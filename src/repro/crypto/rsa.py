@@ -1,0 +1,114 @@
+"""RSA with OAEP padding (PKCS#1 v2.2).
+
+One of the two public-key primitives for the HE-PKI baseline (the other is
+ECIES).  Key generation uses Miller-Rabin primes with a CRT-enabled private
+key for fast decryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import mgf1, sha256
+from repro.crypto.rng import Rng
+from repro.errors import CryptoError
+from repro.mathutils.modular import modinv
+from repro.mathutils.primes import gen_prime
+
+_E = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int = _E
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt(self, plaintext: bytes, rng: Rng, label: bytes = b"") -> bytes:
+        """RSA-OAEP encryption."""
+        k = self.size_bytes
+        h_len = 32
+        if len(plaintext) > k - 2 * h_len - 2:
+            raise CryptoError("message too long for RSA-OAEP")
+        l_hash = sha256(label)
+        padding = b"\x00" * (k - len(plaintext) - 2 * h_len - 2)
+        data_block = l_hash + padding + b"\x01" + plaintext
+        seed = rng.random_bytes(h_len)
+        masked_db = _xor(data_block, mgf1(seed, k - h_len - 1))
+        masked_seed = _xor(seed, mgf1(masked_db, h_len))
+        em = b"\x00" + masked_seed + masked_db
+        m = int.from_bytes(em, "big")
+        return pow(m, self.e, self.n).to_bytes(k, "big")
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    n: int
+    d: int
+    p: int
+    q: int
+    e: int = _E
+
+    def public_key(self) -> RsaPublicKey:
+        return RsaPublicKey(n=self.n, e=self.e)
+
+    def decrypt(self, ciphertext: bytes, label: bytes = b"") -> bytes:
+        """RSA-OAEP decryption (CRT accelerated)."""
+        k = (self.n.bit_length() + 7) // 8
+        h_len = 32
+        if len(ciphertext) != k or k < 2 * h_len + 2:
+            raise CryptoError("malformed RSA ciphertext")
+        c = int.from_bytes(ciphertext, "big")
+        if c >= self.n:
+            raise CryptoError("ciphertext out of range")
+        # CRT: m_p = c^(d mod p-1) mod p, m_q likewise, recombine.
+        d_p = self.d % (self.p - 1)
+        d_q = self.d % (self.q - 1)
+        m_p = pow(c % self.p, d_p, self.p)
+        m_q = pow(c % self.q, d_q, self.q)
+        q_inv = modinv(self.q, self.p)
+        h = (q_inv * (m_p - m_q)) % self.p
+        m = m_q + h * self.q
+        em = m.to_bytes(k, "big")
+        if em[0] != 0:
+            raise CryptoError("OAEP decoding failed")
+        masked_seed, masked_db = em[1:1 + h_len], em[1 + h_len:]
+        seed = _xor(masked_seed, mgf1(masked_db, h_len))
+        data_block = _xor(masked_db, mgf1(seed, k - h_len - 1))
+        l_hash = sha256(label)
+        if data_block[:h_len] != l_hash:
+            raise CryptoError("OAEP label mismatch")
+        try:
+            sep = data_block.index(b"\x01", h_len)
+        except ValueError as exc:
+            raise CryptoError("OAEP separator missing") from exc
+        if any(data_block[h_len:sep]):
+            raise CryptoError("OAEP padding malformed")
+        return data_block[sep + 1:]
+
+
+def generate_keypair(bits: int, rng: Rng) -> RsaPrivateKey:
+    """Generate an RSA keypair with modulus of ``bits`` bits."""
+    if bits < 512:
+        raise CryptoError("refusing RSA modulus below 512 bits")
+    half = bits // 2
+    while True:
+        p = gen_prime(half, rng.randint_below,
+                      condition=lambda c: c % _E != 1)
+        q = gen_prime(bits - half, rng.randint_below,
+                      condition=lambda c: c % _E != 1)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        d = modinv(_E, phi)
+        return RsaPrivateKey(n=n, d=d, p=p, q=q)
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))

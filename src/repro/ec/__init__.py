@@ -1,0 +1,13 @@
+"""Elliptic curves over prime fields.
+
+* :mod:`repro.ec.curve` — generic short-Weierstrass arithmetic
+  (affine API, Jacobian-coordinate internals).
+* :mod:`repro.ec.p256` — the NIST P-256 curve (HE-PKI baseline, signatures).
+* :mod:`repro.ec.hashing` — try-and-increment hash-to-curve.
+"""
+
+from repro.ec.curve import Curve, Point
+from repro.ec.hashing import hash_to_point
+from repro.ec.p256 import P256
+
+__all__ = ["Curve", "Point", "P256", "hash_to_point"]

@@ -1,0 +1,50 @@
+"""Hashing to elliptic-curve points (try-and-increment).
+
+Boneh-Franklin IBE requires a map from arbitrary identity strings to curve
+points.  We use the classic try-and-increment technique: hash the identity
+with a counter to a candidate x-coordinate, lift when the cubic is a square,
+then clear the cofactor so the result lands in the prime-order subgroup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import CurveError
+from repro.ec.curve import Curve, Point
+from repro.mathutils.modular import jacobi_symbol, modsqrt
+
+
+def hash_to_point(curve: Curve, data: bytes, domain: bytes = b"repro:h2p",
+                  max_tries: int = 512) -> Point:
+    """Map ``data`` to a point in the prime-order subgroup of ``curve``.
+
+    Deterministic in ``(curve, data, domain)``.  The expected number of
+    tries is 2; ``max_tries`` bounds pathological inputs.
+    """
+    p = curve.p
+    size = (p.bit_length() + 7) // 8
+    for counter in range(max_tries):
+        digest = b""
+        block = 0
+        while len(digest) < size:
+            digest += hashlib.sha256(
+                domain + counter.to_bytes(4, "big")
+                + block.to_bytes(4, "big") + data
+            ).digest()
+            block += 1
+        x = int.from_bytes(digest[:size], "big") % p
+        rhs = (pow(x, 3, p) + curve.a * x + curve.b) % p
+        if rhs != 0 and jacobi_symbol(rhs, p) != 1:
+            continue
+        y = modsqrt(rhs, p)
+        # Use the hash's parity bit to pick a root deterministically.
+        if digest[-1] & 1:
+            y = (p - y) % p
+        point = Point(curve, x, y)
+        if curve.cofactor != 1:
+            point = point * curve.cofactor
+            if point.is_infinity():
+                continue
+        return point
+    raise CurveError("hash_to_point exhausted its tries")

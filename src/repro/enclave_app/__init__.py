@@ -1,0 +1,5 @@
+"""The enclaved side of IBBE-SGX: the code that runs inside the boundary."""
+
+from repro.enclave_app.ibbe_enclave import IbbeEnclave, PartitionBlob
+
+__all__ = ["IbbeEnclave", "PartitionBlob"]

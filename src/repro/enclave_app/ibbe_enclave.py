@@ -1,0 +1,405 @@
+"""The IBBE-SGX enclave (the shaded regions of Algorithms 1-3).
+
+This enclave owns the IBBE master secret ``MSK = (g, γ)`` and every
+plaintext group key ``gk``.  Untrusted administrator code sees only:
+
+* the system public key (public by definition),
+* partition ciphertexts ``c_p`` (public broadcast metadata),
+* group-key envelopes ``y_p`` (AES-GCM ciphertext),
+* sealed blobs (group keys, master secret) bound to this enclave identity.
+
+The honest-but-curious administrator of the paper's model drives these
+ecalls but gains zero knowledge of ``gk`` — the property the boundary leak
+scanner and the zero-knowledge tests enforce.
+
+Ecall inventory (``enclave.call(name, ...)``):
+
+===========================  ===============================================
+``setup_system(m)``           System setup; returns (public key, sealed MSK).
+``restore_system(...)``       Reload MSK from a sealed blob after a restart.
+``get_public_key``            Identity public key (Fig. 3).
+``get_attestation_quote``     Quote committing to the identity key (Fig. 3).
+``provision_user_key``        Extract a user secret over a secure channel.
+``extract_user_key_raw``      Extract for benchmark use (bootstrap, Fig. 6b).
+``create_group``              Algorithm 1.
+``create_partition``          Algorithm 2, new-partition path (lines 3-7).
+``add_user_to_partition``     Algorithm 2, existing-partition path (line 11).
+``remove_user``               Algorithm 3.
+``rekey_group``               Re-key every partition without a membership
+                              change (A-G; also used by re-partitioning).
+===========================  ===============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import ibbe
+from repro.core.envelope import GROUP_KEY_SIZE, wrap_group_key
+from repro.crypto import ecies
+from repro.crypto.kdf import sha256
+from repro.errors import EnclaveError
+from repro.pairing.group import PairingGroup
+from repro.sgx.attestation import parse_provision_request
+from repro.sgx.counters import MonotonicCounterService
+from repro.sgx.enclave import Enclave, ecall
+from repro.sgx.quote import Quote
+
+
+@dataclass(frozen=True)
+class PartitionBlob:
+    """Untrusted-side view of one partition's cryptographic payload."""
+
+    ciphertext: bytes   # IbbeCiphertext encoding (c1 || c2 || c3)
+    envelope: bytes     # y_p = nonce || GCM(SHA-256(bk_p), gk)
+
+
+class IbbeEnclave(Enclave):
+    """Enclave application holding the IBBE master secret."""
+
+    VERSION = "ibbe-sgx-1.0"
+
+    def __init__(self, device, config=None) -> None:
+        super().__init__(device, config)
+        group = (self.config or {}).get("pairing_group")
+        if not isinstance(group, PairingGroup):
+            raise EnclaveError(
+                "IbbeEnclave requires a 'pairing_group' config entry"
+            )
+        self._group: PairingGroup = group
+        self._msk: Optional[ibbe.IbbeMasterSecret] = None
+        self._pk: Optional[ibbe.IbbePublicKey] = None
+        # The identity key is derived from the platform sealing root and
+        # this enclave's measurement (the moral equivalent of sealing it):
+        # the same enclave build on the same device presents the same
+        # certified identity across restarts, which the persistent CLI
+        # deployment relies on.
+        from repro.crypto.kdf import hkdf
+        from repro.ec.p256 import P256
+        scalar = 1 + int.from_bytes(
+            hkdf(self.device.sealing_root_key(), 48,
+                 salt=self.measurement, info=b"repro:enclave-identity"),
+            "big",
+        ) % (P256.order - 1)
+        self._identity_key = ecies.EciesPrivateKey(scalar)
+        self._counters = MonotonicCounterService()
+        self._seal_counters: Dict[str, int] = {}
+
+    # -- system lifecycle -------------------------------------------------------
+
+    @ecall
+    def setup_system(self, m: int,
+                     precompute: bool = False,
+                     ) -> Tuple[ibbe.IbbePublicKey, bytes]:
+        """IBBE system setup bound to partition capacity ``m`` (Fig. 6a).
+
+        Returns the public key and the MSK sealed for persistence.  The
+        plaintext MSK never crosses the boundary.  ``precompute`` enables
+        fixed-base window tables (see :func:`repro.ibbe.setup`).
+        """
+        if self._msk is not None:
+            raise EnclaveError("system already set up")
+        msk, pk = ibbe.setup(self._group, m, self.rng,
+                             precompute=precompute)
+        self._install_msk(msk, pk)
+        sealed = self.seal_data(self._encode_msk(msk), aad=b"ibbe-msk")
+        return pk, sealed
+
+    @ecall
+    def restore_system(self, sealed_msk: bytes,
+                       pk: ibbe.IbbePublicKey) -> None:
+        """Reload a previously sealed master secret (enclave restart)."""
+        data = self.unseal_data(sealed_msk, aad=b"ibbe-msk")
+        self._install_msk(self._decode_msk(data), pk)
+
+    def _install_msk(self, msk: ibbe.IbbeMasterSecret,
+                     pk: ibbe.IbbePublicKey) -> None:
+        self._msk = msk
+        self._pk = pk
+        self.track_secret(msk.gamma.to_bytes(32, "big"))
+        self.track_secret(msk.g.encode())
+
+    def _encode_msk(self, msk: ibbe.IbbeMasterSecret) -> bytes:
+        return msk.gamma.to_bytes(64, "big") + msk.g.encode()
+
+    def _decode_msk(self, data: bytes) -> ibbe.IbbeMasterSecret:
+        gamma = int.from_bytes(data[:64], "big")
+        from repro.pairing.group import G1Element
+        g = G1Element.decode(self._group, data[64:])
+        return ibbe.IbbeMasterSecret(g=g, gamma=gamma)
+
+    # -- trust establishment (Fig. 3) ---------------------------------------------
+
+    @ecall
+    def get_system_bound(self) -> int:
+        """The maximal broadcast-set (partition) size ``m`` fixed at setup."""
+        return self._require_pk().m
+
+    @ecall
+    def get_public_key(self) -> bytes:
+        return self._identity_key.public_key().encode()
+
+    @ecall
+    def get_attestation_quote(self) -> Quote:
+        commitment = sha256(self._identity_key.public_key().encode())
+        return self.get_quote(commitment)
+
+    @ecall
+    def provision_user_key(self, sealed_request: bytes) -> bytes:
+        """Extract a user's IBBE secret key, returned over the channel the
+        user established (their response key travelled inside the request,
+        which only this enclave could decrypt)."""
+        request = self._identity_key.decrypt(sealed_request, aad=b"usk-request")
+        identity, response_key = parse_provision_request(request)
+        usk = ibbe.extract(self._require_msk(), self._require_pk(), identity)
+        return response_key.encrypt(usk.encode(), self.rng, aad=b"usk-response")
+
+    @ecall
+    def extract_user_key_raw(self, identity: str) -> bytes:
+        """Bootstrap-phase extraction without channel wrapping.
+
+        Used by the Fig. 6b throughput benchmark; in deployment the wrapped
+        :meth:`provision_user_key` path is used instead.
+        """
+        usk = ibbe.extract(self._require_msk(), self._require_pk(), identity)
+        return usk.encode()
+
+    # -- master-secret migration (multi-admin, paper §VIII avenue 2) -------------
+
+    @ecall
+    def export_master_secret(self, target_certificate) -> bytes:
+        """Encrypt the MSK to another *attested* admin enclave.
+
+        Preconditions enforced inside the boundary:
+
+        * this enclave's configuration pins the Auditor CA key
+          (``ca_public_key`` config entry, hex) — the pin is part of the
+          measurement, so it cannot be swapped without changing the
+          audited identity;
+        * the presented certificate verifies under that CA;
+        * the certificate's measurement equals OUR measurement (same
+          audited build — the MSK never migrates to different code).
+
+        Returns an ECIES blob only the certified enclave can open.
+        """
+        from repro.sgx.auditor import EnclaveCertificate
+
+        pinned_hex = self.config.get("ca_public_key")
+        if not pinned_hex:
+            raise EnclaveError(
+                "MSK export requires a pinned 'ca_public_key' in the "
+                "enclave configuration"
+            )
+        from repro.crypto import ecdsa
+        ca_key = ecdsa.EcdsaPublicKey.decode(bytes.fromhex(str(pinned_hex)))
+        if not isinstance(target_certificate, EnclaveCertificate):
+            raise EnclaveError("malformed enclave certificate")
+        target_certificate.verify(ca_key)
+        if target_certificate.measurement != self.measurement:
+            raise EnclaveError(
+                "refusing MSK export: target enclave runs different code"
+            )
+        msk = self._require_msk()
+        target_key = ecies.EciesPublicKey.decode(
+            target_certificate.enclave_public_key
+        )
+        return target_key.encrypt(self._encode_msk(msk), self.rng,
+                                  aad=b"msk-migration")
+
+    @ecall
+    def import_master_secret(self, blob: bytes,
+                             pk: ibbe.IbbePublicKey) -> None:
+        """Counterpart of :meth:`export_master_secret` on the target."""
+        if self._msk is not None:
+            raise EnclaveError("enclave already holds a master secret")
+        data = self._identity_key.decrypt(blob, aad=b"msk-migration")
+        self._install_msk(self._decode_msk(data), pk)
+
+    # -- Algorithm 1: create group -------------------------------------------------
+
+    @ecall
+    def create_group(self, group_id: str,
+                     partitions: Sequence[Sequence[str]],
+                     ) -> Tuple[List[PartitionBlob], bytes]:
+        """Lines 2-6 of Algorithm 1 (the enclaved region).
+
+        Generates ``gk``, then per partition: an IBBE-SGX broadcast key and
+        ciphertext via the O(|p|) MSK path, and the envelope ``y_p``.
+        Returns the per-partition blobs and the sealed group key.
+        """
+        msk, pk = self._require_msk(), self._require_pk()
+        gk = self.track_secret(self.rng.random_bytes(GROUP_KEY_SIZE))
+        blobs = [
+            self._build_partition(msk, pk, members, gk, group_id)
+            for members in partitions
+        ]
+        sealed_gk = self._seal_group_key(group_id, gk)
+        return blobs, sealed_gk
+
+    # -- Algorithm 2: add user -------------------------------------------------------
+
+    @ecall
+    def create_partition(self, group_id: str, members: Sequence[str],
+                         sealed_gk: bytes) -> PartitionBlob:
+        """Algorithm 2 lines 4-6: new partition enveloping the current gk."""
+        msk, pk = self._require_msk(), self._require_pk()
+        gk = self.track_secret(self._unseal_group_key(group_id, sealed_gk))
+        return self._build_partition(msk, pk, members, gk, group_id)
+
+    @ecall
+    def add_user_to_partition(self, partition_ciphertext: bytes,
+                              identity: str) -> bytes:
+        """Algorithm 2 line 11: O(1) ciphertext extension, bk unchanged."""
+        msk, pk = self._require_msk(), self._require_pk()
+        ct = ibbe.IbbeCiphertext.decode(self._group, partition_ciphertext)
+        return ibbe.add_user_msk(msk, pk, ct, identity).encode()
+
+    # -- Algorithm 3: remove user -------------------------------------------------------
+
+    @ecall
+    def remove_user(self, group_id: str, identity: str,
+                    hosting_ciphertext: bytes,
+                    other_ciphertexts: Sequence[bytes],
+                    ) -> Tuple[PartitionBlob, List[PartitionBlob], bytes]:
+        """Lines 3-9 of Algorithm 3 (the enclaved region).
+
+        A fresh ``gk`` is generated; the hosting partition's ciphertext
+        drops the revoked user in O(1); every other partition is re-keyed
+        in O(1); each partition envelopes the new ``gk``.
+        """
+        msk, pk = self._require_msk(), self._require_pk()
+        gk = self.track_secret(self.rng.random_bytes(GROUP_KEY_SIZE))
+        host_c3 = ibbe.IbbeCiphertext.decode_c3(self._group,
+                                                hosting_ciphertext)
+        bk_rem, ct_rem = ibbe.remove_user_from_c3(msk, pk, host_c3,
+                                                  identity, self.rng)
+        host_blob = PartitionBlob(
+            ciphertext=ct_rem.encode(),
+            envelope=wrap_group_key(bk_rem.digest(), gk, self.rng,
+                                    aad=group_id.encode("utf-8")),
+        )
+        other_blobs = []
+        for encoded in other_ciphertexts:
+            self._account_epc(len(encoded))
+            c3 = ibbe.IbbeCiphertext.decode_c3(self._group, encoded)
+            bk_p, ct_p = ibbe.rekey_from_c3(pk, c3, self.rng)
+            other_blobs.append(PartitionBlob(
+                ciphertext=ct_p.encode(),
+                envelope=wrap_group_key(bk_p.digest(), gk, self.rng,
+                                        aad=group_id.encode("utf-8")),
+            ))
+        sealed_gk = self._seal_group_key(group_id, gk)
+        return host_blob, other_blobs, sealed_gk
+
+    @ecall
+    def recover_and_reseal(self, group_id: str, members: Sequence[str],
+                           ciphertext: bytes, envelope: bytes) -> bytes:
+        """Recover ``gk`` from current partition metadata and seal it for
+        *this* enclave.
+
+        Sealed blobs are bound to the sealing platform, so in a
+        multi-administrator deployment a sealed ``gk`` produced by one
+        admin's enclave is opaque to another's.  No secret needs to travel
+        though: holding the MSK, this enclave can extract any listed
+        member's key, run the ordinary IBBE decryption and unwrap the
+        envelope — exactly what that member could do — then re-seal.
+
+        The caller must supply a *current* (admin-signed) partition
+        record; replaying an outdated record would merely revive an old
+        ``gk``, which the client-side epoch freshness tracking already
+        guards against.
+        """
+        msk, pk = self._require_msk(), self._require_pk()
+        if not members:
+            raise EnclaveError("cannot recover from an empty partition")
+        usk = ibbe.extract(msk, pk, members[0])
+        ct = ibbe.IbbeCiphertext.decode(self._group, ciphertext)
+        bk = ibbe.decrypt(pk, usk, list(members), ct)
+        from repro.core.envelope import unwrap_group_key
+        gk = self.track_secret(unwrap_group_key(
+            bk.digest(), envelope, aad=group_id.encode("utf-8")
+        ))
+        return self._seal_group_key(group_id, gk)
+
+    @ecall
+    def rekey_group(self, group_id: str, ciphertexts: Sequence[bytes],
+                    ) -> Tuple[List[PartitionBlob], bytes]:
+        """Refresh ``gk`` for all partitions without membership changes."""
+        pk = self._require_pk()
+        gk = self.track_secret(self.rng.random_bytes(GROUP_KEY_SIZE))
+        blobs = []
+        for encoded in ciphertexts:
+            c3 = ibbe.IbbeCiphertext.decode_c3(self._group, encoded)
+            bk_p, ct_p = ibbe.rekey_from_c3(pk, c3, self.rng)
+            blobs.append(PartitionBlob(
+                ciphertext=ct_p.encode(),
+                envelope=wrap_group_key(bk_p.digest(), gk, self.rng,
+                                        aad=group_id.encode("utf-8")),
+            ))
+        sealed_gk = self._seal_group_key(group_id, gk)
+        return blobs, sealed_gk
+
+    # -- internals -----------------------------------------------------------------
+
+    def _account_epc(self, nbytes: int, write: bool = False) -> None:
+        """Charge the EPC model for a transient working set.
+
+        Ciphertexts and member lists crossing the boundary are staged in
+        enclave memory; accounting them keeps the §III-B comparison (tiny
+        IBBE metadata vs EPC-thrashing HE metadata) measurable at the
+        system level (``device.epc.stats``).
+        """
+        if nbytes <= 0:
+            return
+        handle = self.epc_allocate(nbytes)
+        try:
+            self.epc_touch(handle, nbytes, write=write)
+        finally:
+            self.device.epc.free(handle)
+            self._epc_regions.remove(handle)
+
+    def _build_partition(self, msk, pk, members: Sequence[str], gk: bytes,
+                         group_id: str) -> PartitionBlob:
+        self._account_epc(
+            sum(len(m.encode("utf-8")) for m in members) + 256, write=True
+        )
+        bk, ct = ibbe.encrypt_msk(msk, pk, list(members), self.rng)
+        return PartitionBlob(
+            ciphertext=ct.encode(),
+            envelope=wrap_group_key(bk.digest(), gk, self.rng,
+                                    aad=group_id.encode("utf-8")),
+        )
+
+    def _seal_group_key(self, group_id: str, gk: bytes) -> bytes:
+        """Seal gk with a monotonic version for rollback protection."""
+        counter_id = f"gk:{group_id}"
+        if group_id not in self._seal_counters:
+            self._counters.create(counter_id)
+            self._seal_counters[group_id] = 0
+        version = self._counters.increment(counter_id)
+        self._seal_counters[group_id] = version
+        payload = version.to_bytes(8, "big") + gk
+        return self.seal_data(payload, aad=b"gk:" + group_id.encode("utf-8"))
+
+    def _unseal_group_key(self, group_id: str, sealed: bytes) -> bytes:
+        payload = self.unseal_data(sealed,
+                                   aad=b"gk:" + group_id.encode("utf-8"))
+        version = int.from_bytes(payload[:8], "big")
+        current = self._seal_counters.get(group_id)
+        if current is not None and version < current:
+            raise EnclaveError(
+                f"rollback detected: sealed group key version {version} is "
+                f"older than the counter {current}"
+            )
+        return payload[8:]
+
+    def _require_msk(self) -> ibbe.IbbeMasterSecret:
+        if self._msk is None:
+            raise EnclaveError("system not set up: call setup_system first")
+        return self._msk
+
+    def _require_pk(self) -> ibbe.IbbePublicKey:
+        if self._pk is None:
+            raise EnclaveError("system not set up: call setup_system first")
+        return self._pk

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the IBBE-SGX reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParameterError(ReproError):
+    """Invalid or inconsistent cryptographic parameters."""
+
+
+class MathError(ReproError):
+    """Number-theoretic operation failed (e.g. non-invertible element)."""
+
+
+class CurveError(ReproError):
+    """A point is not on the expected curve or group operation failed."""
+
+
+class PairingError(ReproError):
+    """Pairing computation received degenerate or mismatched inputs."""
+
+
+class CryptoError(ReproError):
+    """Symmetric or public-key primitive failure."""
+
+
+class AuthenticationError(CryptoError):
+    """An authenticated decryption or signature verification failed."""
+
+
+class SchemeError(ReproError):
+    """IBE/IBBE scheme misuse (wrong key, user not in broadcast set, ...)."""
+
+
+class EnclaveError(ReproError):
+    """SGX substrate failure (sealing, measurement, boundary violation)."""
+
+
+class AttestationError(EnclaveError):
+    """Attestation or provisioning protocol failure."""
+
+
+class SealingError(EnclaveError):
+    """Sealed blob cannot be unsealed (wrong enclave, tampering, ...)."""
+
+
+class EPCError(EnclaveError):
+    """Enclave Page Cache exhaustion or invalid page operation."""
+
+
+class StorageError(ReproError):
+    """Cloud storage substrate failure."""
+
+
+class NotFoundError(StorageError):
+    """Requested object or directory does not exist."""
+
+
+class ConflictError(StorageError):
+    """Optimistic-concurrency version conflict on a storage object."""
+
+
+class AccessControlError(ReproError):
+    """Group access control system misuse (duplicate member, unknown group)."""
+
+
+class MembershipError(AccessControlError):
+    """A membership operation references a user in an invalid state."""
+
+
+class RevokedError(AccessControlError):
+    """A revoked principal attempted an operation requiring membership."""
+
+
+class StaleMetadataError(AccessControlError):
+    """The cloud served metadata older than previously observed — a
+    rollback/freshness violation by the storage provider."""

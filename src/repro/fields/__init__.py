@@ -1,0 +1,6 @@
+"""Finite fields used by the elliptic-curve and pairing substrates."""
+
+from repro.fields.fp import Fp, FpElement
+from repro.fields.fp2 import Fp2, Fp2Element
+
+__all__ = ["Fp", "FpElement", "Fp2", "Fp2Element"]

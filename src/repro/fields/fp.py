@@ -1,0 +1,154 @@
+"""Prime field F_p.
+
+A lightweight object wrapper over Python integers.  Hot loops in the pairing
+code work on raw integers for speed; this wrapper provides the readable,
+operator-overloaded interface used by scheme-level code and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import MathError, ParameterError
+from repro.mathutils.modular import jacobi_symbol, modinv, modsqrt
+
+IntoFp = Union["FpElement", int]
+
+
+class Fp:
+    """The prime field of order ``p``."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int) -> None:
+        if p < 2:
+            raise ParameterError(f"field order must be >= 2, got {p}")
+        self.p = p
+
+    def __call__(self, value: IntoFp) -> "FpElement":
+        if isinstance(value, FpElement):
+            if value.field.p != self.p:
+                raise MathError("element belongs to a different field")
+            return value
+        return FpElement(self, value % self.p)
+
+    def zero(self) -> "FpElement":
+        return FpElement(self, 0)
+
+    def one(self) -> "FpElement":
+        return FpElement(self, 1)
+
+    def random(self, rng) -> "FpElement":
+        return FpElement(self, rng.randint_below(self.p))
+
+    def random_nonzero(self, rng) -> "FpElement":
+        return FpElement(self, 1 + rng.randint_below(self.p - 1))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Fp) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("Fp", self.p))
+
+    def __repr__(self) -> str:
+        return f"Fp({self.p})"
+
+
+class FpElement:
+    """An element of F_p supporting full field arithmetic."""
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: Fp, value: int) -> None:
+        self.field = field
+        self.value = value % field.p
+
+    def _coerce(self, other: IntoFp) -> "FpElement":
+        if isinstance(other, FpElement):
+            if other.field.p != self.field.p:
+                raise MathError("mixed-field arithmetic")
+            return other
+        if isinstance(other, int):
+            return FpElement(self.field, other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: IntoFp) -> "FpElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.value + o.value)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntoFp) -> "FpElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.value - o.value)
+
+    def __rsub__(self, other: IntoFp) -> "FpElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, o.value - self.value)
+
+    def __mul__(self, other: IntoFp) -> "FpElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.value * o.value)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: IntoFp) -> "FpElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return self * o.inverse()
+
+    def __rtruediv__(self, other: IntoFp) -> "FpElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return o * self.inverse()
+
+    def __neg__(self) -> "FpElement":
+        return FpElement(self.field, -self.value)
+
+    def __pow__(self, exponent: int) -> "FpElement":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FpElement(self.field, pow(self.value, exponent, self.field.p))
+
+    def inverse(self) -> "FpElement":
+        return FpElement(self.field, modinv(self.value, self.field.p))
+
+    def sqrt(self) -> "FpElement":
+        """A square root (raises MathError for non-residues)."""
+        return FpElement(self.field, modsqrt(self.value, self.field.p))
+
+    def is_square(self) -> bool:
+        if self.value == 0:
+            return True
+        return jacobi_symbol(self.value, self.field.p) == 1
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return self.value == other % self.field.p
+        return (
+            isinstance(other, FpElement)
+            and other.field.p == self.field.p
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.value))
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FpElement({self.value} mod {self.field.p})"

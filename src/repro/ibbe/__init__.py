@@ -1,0 +1,44 @@
+"""Identity-Based Broadcast Encryption (Delerablée, ASIACRYPT'07) and the
+IBBE-SGX fast paths of the paper's Appendix A."""
+
+from repro.ibbe.scheme import (
+    DecryptionHint,
+    IbbeCiphertext,
+    IbbeMasterSecret,
+    IbbePublicKey,
+    IbbeUserKey,
+    add_user_msk,
+    decrypt,
+    decrypt_with_hint,
+    encrypt_msk,
+    encrypt_pk,
+    extract,
+    prepare_decryption,
+    reencrypt_pk,
+    rekey,
+    rekey_from_c3,
+    remove_user_from_c3,
+    remove_user_msk,
+    setup,
+)
+
+__all__ = [
+    "IbbePublicKey",
+    "IbbeMasterSecret",
+    "IbbeUserKey",
+    "IbbeCiphertext",
+    "setup",
+    "extract",
+    "encrypt_pk",
+    "encrypt_msk",
+    "reencrypt_pk",
+    "decrypt",
+    "prepare_decryption",
+    "decrypt_with_hint",
+    "DecryptionHint",
+    "add_user_msk",
+    "remove_user_msk",
+    "rekey",
+    "rekey_from_c3",
+    "remove_user_from_c3",
+]

@@ -1,0 +1,464 @@
+"""The Delerablée IBBE scheme and its IBBE-SGX accelerations.
+
+Notation follows the paper's Appendix A (all group operations are written
+multiplicatively; in the symmetric type-A setting, ``g`` and ``h`` live in
+the same group G1):
+
+* **System setup** (A-A): ``MSK = (g, γ)``;
+  ``PK = (w = g^γ, v = e(g, h), h, h^γ, …, h^(γ^m))``.
+* **Extract** (A-B): ``USK_u = g^(1/(γ + H(u)))``.
+* **Encrypt** (A-C): ``bk = v^k``, ``C1 = w^(-k)``,
+  ``C2 = h^(k·∏_{u∈S}(γ + H(u)))``, plus the auxiliary
+  ``C3 = h^(∏_{u∈S}(γ + H(u)))`` enabling O(1) membership updates.
+  - :func:`encrypt_pk` computes C2/C3 from the public key by polynomial
+    expansion — **O(|S|²)** (classic IBBE, eq. 4).
+  - :func:`encrypt_msk` computes the exponent directly with γ — **O(|S|)**
+    (IBBE-SGX, eq. 3; only callable with the master secret, i.e. inside the
+    enclave).
+* **Decrypt** (A-D): quadratic polynomial expansion + multi-exponentiation,
+  identical under both usage models.
+* **Add / Remove / Re-key** (A-E/F/G): O(1) ciphertext updates using γ
+  (add, remove) or C3 alone (re-key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.crypto.rng import Rng
+from repro.errors import ParameterError, SchemeError
+from repro.mathutils.modular import modinv
+from repro.mathutils.poly import monic_linear_product
+from repro.pairing.group import G1Element, GTElement, PairingGroup
+
+
+@dataclass(frozen=True)
+class IbbePublicKey:
+    """System-wide IBBE public key.
+
+    ``h_powers[t]`` is ``h^(γ^t)``; the list has ``m + 1`` entries so that
+    broadcast sets of up to ``m`` identities can be encrypted without the
+    master secret and decrypted by any member.
+    """
+
+    group: PairingGroup
+    m: int
+    w: G1Element                 # g^γ
+    v: GTElement                 # e(g, h)
+    h_powers: Tuple[G1Element, ...]
+
+    @property
+    def h(self) -> G1Element:
+        return self.h_powers[0]
+
+    def hash_identity(self, identity: str) -> int:
+        """H: identity string → Z_q* (paper's H(u))."""
+        return self.group.hash_to_scalar(identity, domain=b"repro:ibbe-h")
+
+    def size_bytes(self) -> int:
+        """Wire size of the public key — linear in m (paper §IV-C)."""
+        return len(self.encode())
+
+    def encode(self) -> bytes:
+        """Self-contained wire encoding (pairing preset + key material).
+
+        Used to persist the system public key so administrators and
+        clients can be started from state directories (see
+        :mod:`repro.cli`).
+        """
+        from repro.core.serialize import Writer
+
+        writer = Writer()
+        writer.bytes_field(b"IBBEPK1")
+        writer.str_field(self.group.params.name)
+        writer.u32(self.m)
+        writer.bytes_field(self.w.encode())
+        writer.bytes_field(self.v.encode())
+        writer.u32(len(self.h_powers))
+        for element in self.h_powers:
+            writer.bytes_field(element.encode())
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes,
+               group: "PairingGroup | None" = None) -> "IbbePublicKey":
+        """Decode a public key; the pairing group is reconstructed from the
+        named preset unless supplied."""
+        from repro.core.serialize import Reader
+        from repro.pairing.group import GTElement
+        from repro.pairing.params import preset
+
+        reader = Reader(data)
+        if reader.bytes_field() != b"IBBEPK1":
+            raise SchemeError("not an IBBE public key encoding")
+        preset_name = reader.str_field()
+        if group is None:
+            from repro.pairing.group import PairingGroup
+            group = PairingGroup(preset(preset_name))
+        elif group.params.name != preset_name:
+            raise SchemeError(
+                f"public key was generated for preset {preset_name!r}, "
+                f"got group {group.params.name!r}"
+            )
+        m = reader.u32()
+        w = G1Element.decode(group, reader.bytes_field())
+        v = GTElement.decode(group, reader.bytes_field())
+        count = reader.u32()
+        h_powers = tuple(
+            G1Element.decode(group, reader.bytes_field())
+            for _ in range(count)
+        )
+        reader.expect_end()
+        if count != m + 1:
+            raise SchemeError("inconsistent public key (h-power count)")
+        return cls(group=group, m=m, w=w, v=v, h_powers=h_powers)
+
+
+@dataclass(frozen=True)
+class IbbeMasterSecret:
+    """``MSK = (g, γ)`` — confined to the enclave in IBBE-SGX."""
+
+    g: G1Element
+    gamma: int
+
+
+@dataclass(frozen=True)
+class IbbeUserKey:
+    identity: str
+    element: G1Element  # g^(1/(γ + H(u)))
+
+    def encode(self) -> bytes:
+        return self.element.encode()
+
+
+@dataclass(frozen=True)
+class IbbeCiphertext:
+    """Broadcast ciphertext ``(C1, C2)`` plus the auxiliary ``C3``.
+
+    ``C3`` carries no secret (it is computable from PK alone, paper eq. 5)
+    and enables the constant-time membership updates of A-E/F/G.
+    """
+
+    c1: G1Element  # w^(-k)
+    c2: G1Element  # h^(k·∏(γ+H(u)))
+    c3: G1Element  # h^(∏(γ+H(u)))
+
+    def encode(self) -> bytes:
+        return self.c1.encode() + self.c2.encode() + self.c3.encode()
+
+    def size_bytes(self) -> int:
+        return len(self.encode())
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes) -> "IbbeCiphertext":
+        point_size = 1 + (group.p.bit_length() + 7) // 8
+        if len(data) != 3 * point_size:
+            raise SchemeError("malformed IBBE ciphertext encoding")
+        return cls(
+            G1Element.decode(group, data[:point_size]),
+            G1Element.decode(group, data[point_size:2 * point_size]),
+            G1Element.decode(group, data[2 * point_size:]),
+        )
+
+    @classmethod
+    def decode_c3(cls, group: PairingGroup, data: bytes) -> G1Element:
+        """Decode only the aggregate C3 component.
+
+        The O(1) re-key and remove operations rebuild C1/C2 from scratch,
+        so decompressing them (a modular square root each) is wasted work
+        on the paper's hottest path — the per-partition re-key loop of
+        Algorithm 3.
+        """
+        point_size = 1 + (group.p.bit_length() + 7) // 8
+        if len(data) != 3 * point_size:
+            raise SchemeError("malformed IBBE ciphertext encoding")
+        return G1Element.decode(group, data[2 * point_size:])
+
+
+# ---------------------------------------------------------------------------
+# Setup and key extraction (identical for IBBE and IBBE-SGX)
+# ---------------------------------------------------------------------------
+
+def setup(group: PairingGroup, m: int, rng: Rng,
+          precompute: bool = False) -> Tuple[IbbeMasterSecret, IbbePublicKey]:
+    """System setup for maximal broadcast-set size ``m`` — O(m).
+
+    Under IBBE-SGX the bound applies per *partition*, which is why the
+    partitioning mechanism shrinks both this setup cost and the public key
+    size (paper §IV-C).
+
+    ``precompute=True`` builds fixed-base window tables for the long-lived
+    elements ``w``, ``v`` and ``h`` that every membership operation
+    exponentiates, speeding those operations by 2-3×.  Off by default to
+    keep the cost profile faithful to the paper's PBC implementation
+    (which exponentiates without precomputation); the ablation benchmark
+    quantifies the difference.
+    """
+    if m < 1:
+        raise ParameterError("maximal broadcast size m must be >= 1")
+    g = group.g1 ** group.random_scalar(rng)
+    gamma = group.random_scalar(rng)
+    h = group.g1 ** group.random_scalar(rng)
+    w = g ** gamma
+    v = group.pair(g, h)
+    if precompute:
+        h.enable_precomputation()
+        w.enable_precomputation()
+        v.enable_precomputation()
+    h_powers: List[G1Element] = [h]
+    acc = 1
+    for _ in range(m):
+        acc = (acc * gamma) % group.q
+        h_powers.append(h ** acc)
+    return (
+        IbbeMasterSecret(g=g, gamma=gamma),
+        IbbePublicKey(group=group, m=m, w=w, v=v, h_powers=tuple(h_powers)),
+    )
+
+
+def extract(msk: IbbeMasterSecret, pk: IbbePublicKey,
+            identity: str) -> IbbeUserKey:
+    """Extract ``USK_u = g^(1/(γ+H(u)))`` — O(1)."""
+    h_u = pk.hash_identity(identity)
+    exponent = modinv((msk.gamma + h_u) % pk.group.q, pk.group.q)
+    return IbbeUserKey(identity=identity, element=msk.g ** exponent)
+
+
+# ---------------------------------------------------------------------------
+# Encryption — the two usage models
+# ---------------------------------------------------------------------------
+
+def encrypt_pk(pk: IbbePublicKey, identities: Sequence[str],
+               rng: Rng,
+               use_multi_exp: bool = False) -> Tuple[GTElement, IbbeCiphertext]:
+    """Classic IBBE encryption using only the public key — **O(|S|²)**.
+
+    Expands ``∏(γ + H(u))`` into coefficients of γ (the E_i of eq. 4) and
+    assembles C2/C3 from the published ``h^(γ^t)``.
+
+    With ``use_multi_exp=False`` (default) the assembly performs one
+    sequential exponentiation per coefficient, matching the cost profile of
+    PBC-based implementations like the paper's (PBC has no general
+    multi-exponentiation).  ``use_multi_exp=True`` enables an interleaved
+    multi-exponentiation that shares doublings across terms — an
+    optimization the ablation benchmark quantifies.
+    """
+    _check_set(pk, identities)
+    q = pk.group.q
+    k = pk.group.random_scalar(rng)
+    coeffs = _expansion_coefficients(pk, identities)   # O(n²)
+    if use_multi_exp:
+        c2 = pk.group.multi_mul_g1(
+            ((k * coeff) % q, pk.h_powers[t])
+            for t, coeff in enumerate(coeffs)
+        )
+        c3 = pk.group.multi_mul_g1(
+            (coeff, pk.h_powers[t]) for t, coeff in enumerate(coeffs)
+        )
+    else:
+        c2 = pk.group.g1_identity()
+        c3 = pk.group.g1_identity()
+        for t, coeff in enumerate(coeffs):
+            if coeff == 0:
+                continue
+            c2 = c2 * (pk.h_powers[t] ** ((k * coeff) % q))
+            c3 = c3 * (pk.h_powers[t] ** coeff)
+    bk = pk.v ** k
+    c1 = pk.w ** (q - k)   # w^(-k)
+    return bk, IbbeCiphertext(c1=c1, c2=c2, c3=c3)
+
+
+def encrypt_msk(msk: IbbeMasterSecret, pk: IbbePublicKey,
+                identities: Sequence[str],
+                rng: Rng) -> Tuple[GTElement, IbbeCiphertext]:
+    """IBBE-SGX encryption using the master secret — **O(|S|)** (eq. 3).
+
+    Having γ collapses the polynomial expansion into a single product in
+    Z_q, the complexity cut that makes the scheme practical (paper §IV-B).
+    """
+    _check_set(pk, identities)
+    q = pk.group.q
+    k = pk.group.random_scalar(rng)
+    product = 1
+    for identity in identities:
+        product = (product * ((msk.gamma + pk.hash_identity(identity)) % q)) % q
+    c3 = pk.h ** product
+    c2 = c3 ** k
+    c1 = pk.w ** (q - k)
+    bk = pk.v ** k
+    return bk, IbbeCiphertext(c1=c1, c2=c2, c3=c3)
+
+
+def reencrypt_pk(pk: IbbePublicKey, identities: Sequence[str],
+                 rng: Rng) -> Tuple[GTElement, IbbeCiphertext]:
+    """Raw-IBBE membership change: no γ, no stored k — full re-encryption.
+
+    This is what the classic scheme must do on add/remove and is the
+    baseline cost the paper's Fig. 2 measures; alias kept separate from
+    :func:`encrypt_pk` so call sites document intent.
+    """
+    return encrypt_pk(pk, identities, rng)
+
+
+# ---------------------------------------------------------------------------
+# Decryption (identical for IBBE and IBBE-SGX) — O(|S|²)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DecryptionHint:
+    """The member-set-dependent precomputation of A-D decryption.
+
+    ``h^{p_i(γ)}`` and ``Δ⁻¹`` depend only on (user, broadcast set) — not
+    on the ciphertext.  Since re-keying (Algorithm 3 runs one per partition
+    per revocation) changes the ciphertext but *not* the set, a client that
+    caches this hint pays the quadratic expansion once per membership
+    change and only two pairings per re-key — an optimization on top of
+    the paper quantified by the ablation benchmarks.
+    """
+
+    identity: str
+    member_fingerprint: Tuple[str, ...]
+    h_pi: G1Element
+    delta_inverse: int
+
+
+def prepare_decryption(pk: IbbePublicKey, user_key: IbbeUserKey,
+                       identities: Sequence[str]) -> DecryptionHint:
+    """The O(|S|²) part of decryption, reusable across re-keys."""
+    if user_key.identity not in identities:
+        raise SchemeError(
+            f"user {user_key.identity!r} is not in the broadcast set"
+        )
+    q = pk.group.q
+    others = [u for u in identities if u != user_key.identity]
+    if len(others) > pk.m:
+        raise ParameterError("broadcast set exceeds the system bound m")
+    hashes = [pk.hash_identity(u) for u in others]
+    coeffs = monic_linear_product(hashes, q)  # O(n²); [Δ, a1, ..., 1]
+    delta = coeffs[0]
+    # h^{p_i(γ)} = ∏_{t>=1} (h^{γ^(t-1)})^{a_t}
+    h_pi = pk.group.multi_mul_g1(
+        (coeffs[t], pk.h_powers[t - 1]) for t in range(1, len(coeffs))
+    )
+    return DecryptionHint(
+        identity=user_key.identity,
+        member_fingerprint=tuple(identities),
+        h_pi=h_pi,
+        delta_inverse=modinv(delta, q),
+    )
+
+
+def decrypt_with_hint(pk: IbbePublicKey, user_key: IbbeUserKey,
+                      hint: DecryptionHint,
+                      ciphertext: IbbeCiphertext) -> GTElement:
+    """The O(1) part of decryption: two pairings and one GT exponent."""
+    if hint.identity != user_key.identity:
+        raise SchemeError("decryption hint belongs to a different user")
+    paired = pk.group.pair(ciphertext.c1, hint.h_pi) * pk.group.pair(
+        user_key.element, ciphertext.c2
+    )
+    return paired ** hint.delta_inverse
+
+
+def decrypt(pk: IbbePublicKey, user_key: IbbeUserKey,
+            identities: Sequence[str],
+            ciphertext: IbbeCiphertext) -> GTElement:
+    """Recover ``bk`` as a member of the broadcast set (paper A-D).
+
+    Computes ``bk = (e(C1, h^{p_i(γ)}) · e(USK_i, C2))^{1/Δ}`` where
+    ``p_i(γ) = (∏_{j≠i}(γ+H_j) − Δ)/γ`` and ``Δ = ∏_{j≠i} H_j``.  The
+    polynomial expansion is quadratic in ``|S|`` — the cost the paper's
+    partitioning mechanism bounds by the partition size.  (Callers that
+    decrypt the same set repeatedly should use :func:`prepare_decryption`
+    + :func:`decrypt_with_hint`.)
+    """
+    hint = prepare_decryption(pk, user_key, identities)
+    return decrypt_with_hint(pk, user_key, hint, ciphertext)
+
+
+# ---------------------------------------------------------------------------
+# O(1) membership updates (require γ — enclave only) and re-keying
+# ---------------------------------------------------------------------------
+
+def add_user_msk(msk: IbbeMasterSecret, pk: IbbePublicKey,
+                 ciphertext: IbbeCiphertext,
+                 identity: str) -> IbbeCiphertext:
+    """Add ``identity`` to the broadcast set — **O(1)** (paper A-E).
+
+    The broadcast key is unchanged (joining users may read prior secrets by
+    design); only C2 and C3 absorb the new factor ``γ + H(u)``.
+    """
+    factor = (msk.gamma + pk.hash_identity(identity)) % pk.group.q
+    return IbbeCiphertext(
+        c1=ciphertext.c1,
+        c2=ciphertext.c2 ** factor,
+        c3=ciphertext.c3 ** factor,
+    )
+
+
+def remove_user_msk(msk: IbbeMasterSecret, pk: IbbePublicKey,
+                    ciphertext: IbbeCiphertext, identity: str,
+                    rng: Rng) -> Tuple[GTElement, IbbeCiphertext]:
+    """Remove ``identity`` and re-key — **O(1)** (paper A-F, eqs. 6-7).
+
+    ``C3 ← C3^(1/(γ+H(u)))`` divides the removed user out of the aggregate,
+    then a fresh ``k`` rebuilds ``(bk, C1, C2)``.
+    """
+    return remove_user_from_c3(msk, pk, ciphertext.c3, identity, rng)
+
+
+def remove_user_from_c3(msk: IbbeMasterSecret, pk: IbbePublicKey,
+                        c3: G1Element, identity: str,
+                        rng: Rng) -> Tuple[GTElement, IbbeCiphertext]:
+    """C3-only variant of :func:`remove_user_msk` (C1/C2 are rebuilt, so
+    callers holding encoded ciphertexts need not decompress them)."""
+    q = pk.group.q
+    factor_inv = modinv((msk.gamma + pk.hash_identity(identity)) % q, q)
+    new_c3 = c3 ** factor_inv
+    k = pk.group.random_scalar(rng)
+    return pk.v ** k, IbbeCiphertext(
+        c1=pk.w ** (q - k), c2=new_c3 ** k, c3=new_c3
+    )
+
+
+def rekey(pk: IbbePublicKey, ciphertext: IbbeCiphertext,
+          rng: Rng) -> Tuple[GTElement, IbbeCiphertext]:
+    """Refresh ``bk`` without membership change — **O(1)** (paper A-G).
+
+    Needs only C3 and the public key, so it is valid under both usage
+    models; IBBE-SGX uses it to re-key every untouched partition after a
+    revocation (Algorithm 3, lines 6-8).
+    """
+    return rekey_from_c3(pk, ciphertext.c3, rng)
+
+
+def rekey_from_c3(pk: IbbePublicKey, c3: G1Element,
+                  rng: Rng) -> Tuple[GTElement, IbbeCiphertext]:
+    """C3-only variant of :func:`rekey`."""
+    q = pk.group.q
+    k = pk.group.random_scalar(rng)
+    return pk.v ** k, IbbeCiphertext(
+        c1=pk.w ** (q - k), c2=c3 ** k, c3=c3
+    )
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+def _check_set(pk: IbbePublicKey, identities: Sequence[str]) -> None:
+    if not identities:
+        raise SchemeError("broadcast set must not be empty")
+    if len(identities) > pk.m:
+        raise ParameterError(
+            f"broadcast set of {len(identities)} exceeds system bound m={pk.m}"
+        )
+    if len(set(identities)) != len(identities):
+        raise SchemeError("broadcast set contains duplicate identities")
+
+
+def _expansion_coefficients(pk: IbbePublicKey,
+                            identities: Sequence[str]) -> List[int]:
+    hashes = [pk.hash_identity(u) for u in identities]
+    return monic_linear_product(hashes, pk.group.q)

@@ -1,0 +1,23 @@
+"""Identity-Based Encryption (Boneh-Franklin) — HE-IBE baseline primitive."""
+
+from repro.ibe.boneh_franklin import (
+    IbeCiphertext,
+    IbeMasterSecret,
+    IbePublicParams,
+    IbeUserKey,
+    decrypt,
+    encrypt,
+    extract,
+    setup,
+)
+
+__all__ = [
+    "IbePublicParams",
+    "IbeMasterSecret",
+    "IbeUserKey",
+    "IbeCiphertext",
+    "setup",
+    "extract",
+    "encrypt",
+    "decrypt",
+]

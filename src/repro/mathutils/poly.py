@@ -1,0 +1,81 @@
+"""Polynomial arithmetic over Z_q.
+
+These routines are the computational kernel of the Delerablée IBBE scheme:
+
+* IBBE *encryption under the public key* expands ``∏ (γ + H(u))`` into
+  coefficients of γ (the ``E_i`` values of eq. 4 in the paper) — quadratic in
+  the number of members.
+* IBBE *decryption* expands the same product excluding the decryptor, then
+  divides out the constant term (the polynomial ``p_i(γ)``).
+
+Polynomials are represented as lists of coefficients, lowest degree first:
+``[a0, a1, a2]`` is ``a0 + a1·x + a2·x²``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import MathError
+
+
+def poly_mul(a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+    """Product of two polynomials with coefficients reduced modulo ``q``."""
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            out[i + j] = (out[i + j] + ai * bj) % q
+    return out
+
+
+def monic_linear_product(roots: Sequence[int], q: int) -> List[int]:
+    """Expand ``∏_r (x + r)`` over Z_q, lowest-degree coefficient first.
+
+    This is the O(n²) polynomial expansion at the heart of IBBE encryption
+    and decryption (paper Appendix A-C/A-D).  The returned list has length
+    ``len(roots) + 1`` and its last coefficient is 1.
+    """
+    coeffs = [1]
+    for r in roots:
+        r %= q
+        nxt = [0] * (len(coeffs) + 1)
+        for i, c in enumerate(coeffs):
+            nxt[i] = (nxt[i] + c * r) % q
+            nxt[i + 1] = (nxt[i + 1] + c) % q
+        coeffs = nxt
+    return coeffs
+
+
+def poly_eval(coeffs: Sequence[int], x: int, q: int) -> int:
+    """Evaluate a polynomial at ``x`` modulo ``q`` (Horner's rule)."""
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % q
+    return acc
+
+
+def poly_div_linear(coeffs: Sequence[int], r: int, q: int) -> List[int]:
+    """Divide a polynomial by ``(x + r)`` over Z_q, requiring exactness.
+
+    Used by the O(1)-remove bookkeeping tests: removing a user ``u`` from the
+    aggregate exponent divides the product polynomial by ``(x + H(u))``.
+    Raises :class:`~repro.errors.MathError` when the division has a remainder.
+    """
+    if not coeffs:
+        return []
+    # Synthetic division by (x - root) with root = -r.
+    root = (-r) % q
+    quotient_high_first = []
+    acc = 0
+    for c in reversed(list(coeffs)):
+        acc = (c + acc * root) % q
+        quotient_high_first.append(acc)
+    remainder = quotient_high_first.pop()  # final accumulator is p(root)
+    if remainder != 0:
+        raise MathError("polynomial is not divisible by the given linear factor")
+    quotient_high_first.reverse()
+    return quotient_high_first

@@ -1,0 +1,29 @@
+"""Symmetric (type-A) bilinear pairing substrate.
+
+This package replaces the PBC library used by the paper.  It implements the
+same construction PBC's type-A parameters provide: the supersingular curve
+``y² = x³ + x`` over ``F_p`` with ``p ≡ 3 (mod 4)``, embedding degree 2, the
+distortion map ``(x, y) → (-x, i·y)`` into ``E(F_p²)``, and the reduced Tate
+pairing ``e: G1 × G1 → GT ⊆ F_p²`` computed with Miller's algorithm (BKLS
+denominator elimination).
+"""
+
+from repro.pairing.params import (
+    PairingParams,
+    generate_params,
+    preset,
+    std160,
+    toy64,
+)
+from repro.pairing.group import G1Element, GTElement, PairingGroup
+
+__all__ = [
+    "PairingParams",
+    "generate_params",
+    "preset",
+    "toy64",
+    "std160",
+    "PairingGroup",
+    "G1Element",
+    "GTElement",
+]

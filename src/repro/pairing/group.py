@@ -1,0 +1,287 @@
+"""High-level bilinear group interface: G1, GT and the pairing map.
+
+The type-A pairing is symmetric: both pairing arguments live in the same
+order-``q`` subgroup G1 of ``E(F_p)``; the target group GT is the order-``q``
+subgroup of ``F_p²*``.  Scheme code (IBE, IBBE) is written against this
+interface, matching the paper's use of PBC.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Tuple
+
+from repro.ec.curve import Curve, Point
+from repro.errors import PairingError
+from repro.fields.fp2 import (
+    RawFp2,
+    fp2_conj,
+    fp2_inv,
+    fp2_mul,
+    fp2_pow,
+)
+from repro.pairing.miller import tate_pairing
+from repro.pairing.params import PairingParams
+
+
+class PairingGroup:
+    """A configured bilinear group ``e: G1 × G1 → GT``."""
+
+    def __init__(self, params: PairingParams) -> None:
+        self.params = params
+        self.q = params.q
+        self.p = params.p
+        self.curve = Curve(
+            p=params.p, a=1, b=0, order=params.q,
+            generator=params.generator, cofactor=params.cofactor,
+            name=f"type-a/{params.name}",
+        )
+        self._g = G1Element(self, self.curve.generator)
+        self._gt_gen: GTElement | None = None
+
+    # -- group elements -----------------------------------------------------
+
+    @property
+    def g1(self) -> "G1Element":
+        """The configured generator of G1."""
+        return self._g
+
+    def g1_identity(self) -> "G1Element":
+        return G1Element(self, self.curve.infinity())
+
+    def gt_identity(self) -> "GTElement":
+        return GTElement(self, (1, 0))
+
+    def gt_generator(self) -> "GTElement":
+        """``e(g, g)`` (cached)."""
+        if self._gt_gen is None:
+            self._gt_gen = self.pair(self._g, self._g)
+        return self._gt_gen
+
+    def random_scalar(self, rng) -> int:
+        """Uniform non-zero exponent in Z_q*."""
+        return 1 + rng.randint_below(self.q - 1)
+
+    def hash_to_scalar(self, data: bytes | str,
+                       domain: bytes = b"repro:h2s") -> int:
+        """Hash arbitrary data (e.g. a user identity) into Z_q*.
+
+        This is the hash ``H`` of the paper's Appendix A mapping identity
+        strings to values in Z_p* (our notation: Z_q*).
+        """
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        counter = 0
+        while True:
+            digest = hashlib.sha256(
+                domain + counter.to_bytes(4, "big") + data
+            ).digest()
+            # Widen past q's size to make the modular bias negligible.
+            extra = hashlib.sha256(b"w" + digest).digest()
+            value = int.from_bytes(digest + extra, "big") % self.q
+            if value != 0:
+                return value
+            counter += 1
+
+    # -- pairing -------------------------------------------------------------
+
+    def pair(self, a: "G1Element", b: "G1Element") -> "GTElement":
+        """The symmetric pairing ``ê(a, b) = e(a, φ(b))``."""
+        if a.group is not self and a.group.params != self.params:
+            raise PairingError("first argument from a different group")
+        if b.group is not self and b.group.params != self.params:
+            raise PairingError("second argument from a different group")
+        pa, pb = a.point, b.point
+        if pa.is_infinity() or pb.is_infinity():
+            return self.gt_identity()
+        raw = tate_pairing(pa.x, pa.y, pb.x, pb.y, self.p, self.q)  # type: ignore[arg-type]
+        return GTElement(self, raw)
+
+    def multi_mul_g1(self, pairs: Iterable[Tuple[int, "G1Element"]]) -> "G1Element":
+        """``Σ k_i·P_i`` in G1 — the IBBE decrypt multi-exponentiation."""
+        point = self.curve.multi_mul(
+            (k % self.q, el.point) for k, el in pairs
+        )
+        return G1Element(self, point)
+
+    def __repr__(self) -> str:
+        return f"PairingGroup({self.params.describe()})"
+
+
+class G1Element:
+    """Element of G1 (written multiplicatively to match the paper)."""
+
+    __slots__ = ("group", "point", "_window_table")
+
+    #: 4-bit fixed-base windows: table[j][d] = base^(d · 16^j).
+    WINDOW_BITS = 4
+
+    def __init__(self, group: PairingGroup, point: Point) -> None:
+        self.group = group
+        self.point = point
+        self._window_table = None
+
+    def __mul__(self, other: "G1Element") -> "G1Element":
+        if not isinstance(other, G1Element):
+            return NotImplemented
+        return G1Element(self.group, self.point + other.point)
+
+    def __truediv__(self, other: "G1Element") -> "G1Element":
+        if not isinstance(other, G1Element):
+            return NotImplemented
+        return G1Element(self.group, self.point - other.point)
+
+    def enable_precomputation(self) -> "G1Element":
+        """Build fixed-base window tables so subsequent exponentiations of
+        THIS element cost ~q_bits/4 additions instead of a full ladder.
+
+        Used for the long-lived public-key elements (w, v, h) that every
+        membership operation exponentiates (paper Algorithms 1-3)."""
+        if self._window_table is None and not self.point.is_infinity():
+            radix = 1 << self.WINDOW_BITS
+            windows = []
+            base = self.point
+            digits = (self.group.q.bit_length() + self.WINDOW_BITS) // self.WINDOW_BITS
+            for _ in range(digits + 1):
+                row = [self.group.curve.infinity()]
+                for _ in range(radix - 1):
+                    row.append(row[-1] + base)
+                windows.append(row)
+                base = row[-1] + base  # base^(16^(j+1))
+            self._window_table = windows
+        return self
+
+    def __pow__(self, exponent: int) -> "G1Element":
+        exponent %= self.group.q
+        if self._window_table is not None:
+            curve = self.group.curve
+            acc = (1, 1, 0)  # Jacobian infinity; one inversion at the end
+            j = 0
+            while exponent:
+                digit = exponent & ((1 << self.WINDOW_BITS) - 1)
+                if digit:
+                    acc = curve._jac_add(
+                        acc, self._window_table[j][digit]._jac()
+                    )
+                exponent >>= self.WINDOW_BITS
+                j += 1
+            return G1Element(self.group, curve._to_affine(acc))
+        return G1Element(self.group, self.point * exponent)
+
+    def inverse(self) -> "G1Element":
+        return G1Element(self.group, -self.point)
+
+    def is_identity(self) -> bool:
+        return self.point.is_infinity()
+
+    def encode(self) -> bytes:
+        """Compressed encoding used for wire format and footprint metrics."""
+        return self.point.encode()
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes) -> "G1Element":
+        return cls(group, Point.decode(group.curve, data))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, G1Element) and other.point == self.point
+
+    def __hash__(self) -> int:
+        return hash(("G1", self.point))
+
+    def __repr__(self) -> str:
+        return f"G1Element({self.point!r})"
+
+
+class GTElement:
+    """Element of GT, the order-q subgroup of F_p²*."""
+
+    __slots__ = ("group", "raw", "_window_table")
+
+    WINDOW_BITS = 4
+
+    def __init__(self, group: PairingGroup, raw: RawFp2) -> None:
+        self.group = group
+        self.raw = raw
+        self._window_table = None
+
+    def enable_precomputation(self) -> "GTElement":
+        """Fixed-base windows for a long-lived GT base (see G1Element)."""
+        if self._window_table is None and self.raw != (1, 0):
+            p = self.group.p
+            radix = 1 << self.WINDOW_BITS
+            windows = []
+            base = self.raw
+            digits = (self.group.q.bit_length() + self.WINDOW_BITS) // self.WINDOW_BITS
+            for _ in range(digits + 1):
+                row = [(1, 0)]
+                for _ in range(radix - 1):
+                    row.append(fp2_mul(row[-1], base, p))
+                windows.append(row)
+                base = fp2_mul(row[-1], base, p)
+            self._window_table = windows
+        return self
+
+    def __mul__(self, other: "GTElement") -> "GTElement":
+        if not isinstance(other, GTElement):
+            return NotImplemented
+        return GTElement(self.group, fp2_mul(self.raw, other.raw, self.group.p))
+
+    def __truediv__(self, other: "GTElement") -> "GTElement":
+        if not isinstance(other, GTElement):
+            return NotImplemented
+        return self * other.inverse()
+
+    def __pow__(self, exponent: int) -> "GTElement":
+        exponent %= self.group.q
+        if self._window_table is not None:
+            p = self.group.p
+            acc: RawFp2 = (1, 0)
+            j = 0
+            while exponent:
+                digit = exponent & ((1 << self.WINDOW_BITS) - 1)
+                if digit:
+                    acc = fp2_mul(acc, self._window_table[j][digit], p)
+                exponent >>= self.WINDOW_BITS
+                j += 1
+            return GTElement(self.group, acc)
+        return GTElement(
+            self.group, fp2_pow(self.raw, exponent, self.group.p)
+        )
+
+    def inverse(self) -> "GTElement":
+        # Elements of GT have order dividing q | p+1, hence z^p = z^{-1}:
+        # inversion is conjugation (cheap).  Fall back to true inversion for
+        # raw values outside the subgroup (defensive).
+        conj = fp2_conj(self.raw, self.group.p)
+        if fp2_mul(conj, self.raw, self.group.p) == (1, 0):
+            return GTElement(self.group, conj)
+        return GTElement(self.group, fp2_inv(self.raw, self.group.p))
+
+    def is_identity(self) -> bool:
+        return self.raw == (1, 0)
+
+    def encode(self) -> bytes:
+        size = (self.group.p.bit_length() + 7) // 8
+        return self.raw[0].to_bytes(size, "big") + self.raw[1].to_bytes(size, "big")
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes) -> "GTElement":
+        size = (group.p.bit_length() + 7) // 8
+        if len(data) != 2 * size:
+            raise PairingError("malformed GT encoding")
+        return cls(group, (int.from_bytes(data[:size], "big"),
+                           int.from_bytes(data[size:], "big")))
+
+    def digest(self) -> bytes:
+        """SHA-256 of the canonical encoding — the ``sgx_sha(bk)`` of
+        Algorithms 1-3, used to key AES when enveloping the group key."""
+        return hashlib.sha256(b"repro:gt" + self.encode()).digest()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GTElement) and other.raw == self.raw
+
+    def __hash__(self) -> int:
+        return hash(("GT", self.raw))
+
+    def __repr__(self) -> str:
+        return f"GTElement({self.raw[0]:#x}, {self.raw[1]:#x})"

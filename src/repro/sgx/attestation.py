@@ -1,0 +1,85 @@
+"""End-to-end trust establishment and key provisioning (paper Fig. 3).
+
+Protocol driver functions tying together the enclave, the Auditor/CA, the
+IAS and the user:
+
+1. The enclave generates an identity keypair inside the boundary and emits
+   its public key plus a quote whose report data commits to that key.
+2. The Auditor checks the quote with IAS and the measurement against the
+   audited build, then issues an :class:`EnclaveCertificate`.
+3. Users verify the certificate against the pinned CA key.
+4. Users request their IBBE secret key over an encrypted channel bound to
+   the certified enclave key (ECIES in lieu of TLS), so only the attested
+   enclave can read the request and only the requesting user can read the
+   response.
+
+The enclave side of steps 1 and 4 is part of the enclave application's
+ecall contract (see :mod:`repro.enclave_app.ibbe_enclave`):
+
+* ``get_public_key() -> bytes``
+* ``get_attestation_quote() -> Quote``
+* ``provision_user_key(request: bytes) -> bytes`` — ECIES envelope in,
+  ECIES envelope out.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Tuple
+
+from repro.crypto import ecdsa, ecies
+from repro.crypto.rng import Rng
+from repro.errors import AttestationError
+from repro.sgx.auditor import Auditor, EnclaveCertificate
+from repro.sgx.enclave import Enclave
+
+
+def setup_trust(enclave: Enclave, auditor: Auditor) -> EnclaveCertificate:
+    """Fig. 3 steps 1-3: attest ``enclave`` and obtain its certificate."""
+    public_key = enclave.call("get_public_key")
+    quote = enclave.call("get_attestation_quote")
+    return auditor.attest_and_certify(quote, public_key)
+
+
+def provision_user_key(
+    enclave: Enclave,
+    certificate: EnclaveCertificate,
+    ca_public_key: ecdsa.EcdsaPublicKey,
+    identity: str,
+    rng: Rng,
+) -> bytes:
+    """Fig. 3 step 4, run from the user's perspective.
+
+    Verifies the enclave certificate, sends an encrypted key request, and
+    returns the decrypted IBBE user secret key bytes.  Raises
+    :class:`AttestationError` if any link of the trust chain fails.
+    """
+    certificate.verify(ca_public_key)
+    if certificate.enclave_public_key != enclave.call("get_public_key"):
+        raise AttestationError(
+            "enclave presented a key different from its certificate"
+        )
+    enclave_key = ecies.EciesPublicKey.decode(certificate.enclave_public_key)
+    response_key = ecies.generate_keypair(rng)
+    request = json.dumps({
+        "identity": identity,
+        "response_key": response_key.public_key().encode().hex(),
+    }).encode("utf-8")
+    sealed_request = enclave_key.encrypt(request, rng, aad=b"usk-request")
+    sealed_response = enclave.call("provision_user_key", sealed_request)
+    return response_key.decrypt(sealed_response, aad=b"usk-response")
+
+
+def parse_provision_request(request: bytes) -> Tuple[str, ecies.EciesPublicKey]:
+    """Enclave-side helper: decode a provisioning request body."""
+    try:
+        body = json.loads(request.decode("utf-8"))
+        identity = body["identity"]
+        response_key = ecies.EciesPublicKey.decode(
+            bytes.fromhex(body["response_key"])
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise AttestationError("malformed provisioning request") from exc
+    if not isinstance(identity, str) or not identity:
+        raise AttestationError("provisioning request lacks an identity")
+    return identity, response_key

@@ -1,0 +1,36 @@
+"""Monotonic counters (SGX platform service equivalent).
+
+Enclaves use monotonic counters for rollback protection of sealed state:
+the IBBE-SGX enclave stamps each sealed group key with a counter value so a
+malicious host cannot replay an old sealed blob after a revocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import EnclaveError
+
+
+class MonotonicCounterService:
+    """Per-device counter registry; values only move forward."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def create(self, counter_id: str) -> int:
+        if counter_id in self._counters:
+            raise EnclaveError(f"counter {counter_id!r} already exists")
+        self._counters[counter_id] = 0
+        return 0
+
+    def increment(self, counter_id: str) -> int:
+        if counter_id not in self._counters:
+            raise EnclaveError(f"unknown counter {counter_id!r}")
+        self._counters[counter_id] += 1
+        return self._counters[counter_id]
+
+    def read(self, counter_id: str) -> int:
+        if counter_id not in self._counters:
+            raise EnclaveError(f"unknown counter {counter_id!r}")
+        return self._counters[counter_id]

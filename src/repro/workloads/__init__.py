@@ -1,0 +1,25 @@
+"""Workload generation and replay for the macrobenchmarks (paper §VI-B)."""
+
+from repro.workloads.kernel_trace import KernelTraceConfig, synthesize_kernel_trace
+from repro.workloads.replay import (
+    HybridReplayAdapter,
+    IbbeSgxReplayAdapter,
+    ReplayEngine,
+    ReplayReport,
+)
+from repro.workloads.synthetic import Operation, TraceStats, generate_trace
+from repro.workloads.tracefile import load_trace, save_trace
+
+__all__ = [
+    "Operation",
+    "TraceStats",
+    "generate_trace",
+    "KernelTraceConfig",
+    "synthesize_kernel_trace",
+    "ReplayEngine",
+    "ReplayReport",
+    "IbbeSgxReplayAdapter",
+    "HybridReplayAdapter",
+    "save_trace",
+    "load_trace",
+]

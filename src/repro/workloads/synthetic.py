@@ -1,0 +1,112 @@
+"""Synthetic membership traces (paper §VI-B2, Fig. 10).
+
+The paper generates 11 traces of 10,000 membership operations with
+revocation ratios 0 %, 10 %, …, 100 % and replays them against IBBE-SGX
+with several partition sizes.  :func:`generate_trace` reproduces that
+construction: each operation is a revocation of a random current member
+with probability ``revocation_rate``, otherwise an addition of a fresh
+user; when no member is available to revoke, an addition is emitted
+instead (and vice versa at rate 1.0 once the group drains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ParameterError
+
+OP_ADD = "add"
+OP_REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class Operation:
+    kind: str        # OP_ADD | OP_REMOVE
+    user: str
+    timestamp: float = 0.0   # virtual time, seconds since trace start
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    operations: int
+    adds: int
+    removes: int
+    peak_group_size: int
+    final_group_size: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.operations} ops ({self.adds} add / {self.removes} rm), "
+            f"peak group {self.peak_group_size}, final {self.final_group_size}"
+        )
+
+
+def trace_stats(operations: Sequence[Operation],
+                initial_members: Sequence[str] = ()) -> TraceStats:
+    current = set(initial_members)
+    peak = len(current)
+    adds = removes = 0
+    for op in operations:
+        if op.kind == OP_ADD:
+            current.add(op.user)
+            adds += 1
+        else:
+            current.discard(op.user)
+            removes += 1
+        peak = max(peak, len(current))
+    return TraceStats(
+        operations=len(operations), adds=adds, removes=removes,
+        peak_group_size=peak, final_group_size=len(current),
+    )
+
+
+def generate_trace(n_ops: int, revocation_rate: float,
+                   initial_members: Sequence[str] = (),
+                   seed: str = "synthetic",
+                   user_prefix: str = "u") -> List[Operation]:
+    """Random membership trace with a target revocation ratio.
+
+    Deterministic in ``(n_ops, revocation_rate, initial_members, seed)``.
+    """
+    if n_ops < 0:
+        raise ParameterError("n_ops must be non-negative")
+    if not 0.0 <= revocation_rate <= 1.0:
+        raise ParameterError("revocation_rate must be in [0, 1]")
+    rng = DeterministicRng(
+        f"trace:{seed}:{n_ops}:{revocation_rate}:{len(initial_members)}"
+    )
+    current: List[str] = list(initial_members)
+    next_user = 0
+    ops: List[Operation] = []
+    threshold = int(revocation_rate * 1_000_000)
+    for index in range(n_ops):
+        want_remove = rng.randint_below(1_000_000) < threshold
+        if want_remove and current:
+            victim = current.pop(rng.randint_below(len(current)))
+            ops.append(Operation(OP_REMOVE, victim, float(index)))
+        else:
+            user = f"{user_prefix}{next_user}"
+            next_user += 1
+            current.append(user)
+            ops.append(Operation(OP_ADD, user, float(index)))
+    return ops
+
+
+def revocation_rate_sweep(n_ops: int, steps: int = 11,
+                          initial_members: Sequence[str] = (),
+                          seed: str = "synthetic",
+                          ) -> List[tuple]:
+    """The Fig. 10 trace family: (rate, operations) pairs."""
+    if steps < 2:
+        raise ParameterError("sweep needs at least 2 steps")
+    sweep = []
+    for i in range(steps):
+        rate = i / (steps - 1)
+        sweep.append((
+            rate,
+            generate_trace(n_ops, rate, initial_members,
+                           seed=f"{seed}:{i}"),
+        ))
+    return sweep

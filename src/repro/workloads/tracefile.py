@@ -1,0 +1,63 @@
+"""Trace (de)serialization — JSONL, one membership operation per line.
+
+Lets experiments pin exact workloads to files: generated traces can be
+shared between runs, machines and the CLI's ``replay`` command, keeping
+comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.errors import StorageError
+from repro.workloads.synthetic import OP_ADD, OP_REMOVE, Operation
+
+_HEADER = {"format": "repro-trace", "version": 1}
+
+
+def save_trace(path: str | Path, operations: Sequence[Operation]) -> None:
+    """Write a trace as JSONL (header line + one line per operation)."""
+    lines = [json.dumps(_HEADER)]
+    for op in operations:
+        lines.append(json.dumps({
+            "kind": op.kind, "user": op.user, "t": op.timestamp,
+        }))
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_trace(path: str | Path) -> List[Operation]:
+    """Read a trace written by :func:`save_trace`; validates structure."""
+    text = Path(path).read_text("utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise StorageError(f"empty trace file {path}")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise StorageError(f"malformed trace header in {path}") from exc
+    if header.get("format") != "repro-trace":
+        raise StorageError(f"{path} is not a repro trace file")
+    if header.get("version") != 1:
+        raise StorageError(f"unsupported trace version {header.get('version')}")
+    operations = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+            kind = record["kind"]
+            user = record["user"]
+            timestamp = float(record.get("t", 0.0))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise StorageError(
+                f"malformed trace record at {path}:{number}"
+            ) from exc
+        if kind not in (OP_ADD, OP_REMOVE):
+            raise StorageError(
+                f"unknown operation kind {kind!r} at {path}:{number}"
+            )
+        if not isinstance(user, str) or not user:
+            raise StorageError(f"invalid user at {path}:{number}")
+        operations.append(Operation(kind=kind, user=user,
+                                    timestamp=timestamp))
+    return operations

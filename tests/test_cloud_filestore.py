@@ -1,0 +1,113 @@
+"""File-backed cloud store tests (mirrors test_cloud_store semantics)."""
+
+import pytest
+
+from repro.cloud import FileCloudStore
+from repro.errors import ConflictError, NotFoundError, StorageError
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return FileCloudStore(tmp_path / "cloud")
+
+
+class TestObjects:
+    def test_put_get_roundtrip(self, store):
+        assert store.put("/g/p0", b"data") == 1
+        obj = store.get("/g/p0")
+        assert obj.data == b"data"
+        assert obj.version == 1
+
+    def test_versions_persist(self, store, tmp_path):
+        store.put("/g/p0", b"v1")
+        store.put("/g/p0", b"v2")
+        # A second handle over the same directory sees the same state.
+        other = FileCloudStore(tmp_path / "cloud")
+        assert other.get("/g/p0").version == 2
+        assert other.get("/g/p0").data == b"v2"
+
+    def test_missing_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store.get("/none")
+
+    def test_delete(self, store):
+        store.put("/g/p0", b"x")
+        store.delete("/g/p0")
+        assert not store.exists("/g/p0")
+        with pytest.raises(NotFoundError):
+            store.delete("/g/p0")
+
+    def test_conditional_put(self, store):
+        store.put("/g/p0", b"v1")
+        store.put("/g/p0", b"v2", expected_version=1)
+        with pytest.raises(ConflictError):
+            store.put("/g/p0", b"v3", expected_version=1)
+
+    def test_unicode_and_slashes_in_paths(self, store):
+        store.put("/gr/sub/ü", b"x")
+        assert store.get("/gr/sub/ü").data == b"x"
+
+    def test_bad_path(self, store):
+        with pytest.raises(StorageError):
+            store.put("/a/../b", b"x")
+
+
+class TestDirectoriesAndPolling:
+    def test_list_dir(self, store):
+        store.put("/g/p0", b"a")
+        store.put("/g/p1", b"b")
+        store.put("/h/p0", b"c")
+        assert store.list_dir("/g") == ["/g/p0", "/g/p1"]
+
+    def test_poll_across_instances(self, store, tmp_path):
+        store.put("/g/p0", b"a")
+        events, cursor = store.poll_dir("/g")
+        assert len(events) == 1
+        other = FileCloudStore(tmp_path / "cloud")
+        other.put("/g/p1", b"b")
+        events, _ = store.poll_dir("/g", cursor)
+        assert [e.path for e in events] == ["/g/p1"]
+
+    def test_delete_event(self, store):
+        store.put("/g/p0", b"a")
+        store.delete("/g/p0")
+        events, _ = store.poll_dir("/g")
+        assert [e.kind for e in events] == ["put", "delete"]
+
+
+class TestAdversaryView:
+    def test_iterates_objects(self, store):
+        store.put("/g/p0", b"x")
+        store.put("/g/p1", b"y")
+        view = {obj.path: obj.data for obj in store.adversary_view()}
+        assert view == {"/g/p0": b"x", "/g/p1": b"y"}
+
+    def test_total_bytes(self, store):
+        store.put("/g/p0", bytes(10))
+        store.put("/h/p0", bytes(30))
+        assert store.total_stored_bytes("/g") == 10
+        assert store.total_stored_bytes() == 40
+
+
+class TestSystemOnFileStore:
+    def test_full_flow_on_disk(self, tmp_path):
+        """The complete admin/client flow with disk-backed storage."""
+        from repro import quickstart_system
+        from repro.crypto.rng import DeterministicRng
+
+        system = quickstart_system(
+            partition_capacity=3, params="toy64",
+            rng=DeterministicRng("filestore-e2e"),
+        )
+        # Swap the in-memory store for the file-backed one.
+        store = FileCloudStore(tmp_path / "cloud")
+        system.cloud = store
+        system.admin.cloud = store
+
+        system.admin.create_group("g", ["a", "b", "c", "d"])
+        client = system.make_client("g", "a")
+        client.sync()
+        gk = client.current_group_key()
+        system.admin.remove_user("g", "b")
+        client.sync()
+        assert client.current_group_key() != gk

@@ -1,0 +1,101 @@
+"""Adaptive partition sizing tests (future-work extension)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveAdministrator, AdaptivePolicy
+from repro.errors import ParameterError
+from tests.conftest import make_system
+
+
+class TestPolicyMath:
+    def test_more_revocations_grow_partitions(self):
+        policy = AdaptivePolicy(min_capacity=1, max_capacity=10**6)
+        low = policy.optimal_capacity(10_000, revocation_rate=0.01,
+                                      decrypt_rate=1.0)
+        high = policy.optimal_capacity(10_000, revocation_rate=1.0,
+                                       decrypt_rate=1.0)
+        assert high > low
+
+    def test_more_decrypts_shrink_partitions(self):
+        policy = AdaptivePolicy(min_capacity=1, max_capacity=10**6)
+        few = policy.optimal_capacity(10_000, 1.0, decrypt_rate=0.1)
+        many = policy.optimal_capacity(10_000, 1.0, decrypt_rate=100.0)
+        assert many < few
+
+    def test_cube_root_closed_form(self):
+        policy = AdaptivePolicy(c_rekey=1.0, c_decrypt=1.0,
+                                min_capacity=1, max_capacity=10**9)
+        # m* = cbrt(r·n/(2·d)) with unit coefficients.
+        m = policy.optimal_capacity(2_000, 1.0, 1.0)
+        assert m == round((2_000 / 2) ** (1 / 3))
+
+    def test_clamping(self):
+        policy = AdaptivePolicy(min_capacity=10, max_capacity=100)
+        assert policy.optimal_capacity(10, 0.001, 1000.0) == 10
+        assert policy.optimal_capacity(10**6, 1000.0, 0.001) == 100
+
+    def test_degenerate_rates(self):
+        policy = AdaptivePolicy(min_capacity=4, max_capacity=100)
+        assert policy.optimal_capacity(50, 0.0, 1.0) == 4
+        assert policy.optimal_capacity(50, 1.0, 0.0) == 50
+
+    def test_invalid_inputs(self):
+        policy = AdaptivePolicy()
+        with pytest.raises(ParameterError):
+            policy.optimal_capacity(0, 1.0, 1.0)
+        with pytest.raises(ParameterError):
+            policy.optimal_capacity(10, -1.0, 1.0)
+
+    def test_hysteresis(self):
+        policy = AdaptivePolicy(hysteresis=2.0)
+        assert not policy.should_repartition(100, 150)
+        assert policy.should_repartition(100, 300)
+        assert policy.should_repartition(100, 40)
+
+
+class TestAdaptiveAdministrator:
+    def test_resize_triggered_by_decrypt_heavy_workload(self):
+        system = make_system("adaptive", capacity=8, system_bound=16,
+                             auto_repartition=False)
+        policy = AdaptivePolicy(min_capacity=2, max_capacity=16,
+                                hysteresis=1.2)
+        adaptive = AdaptiveAdministrator(system.admin, policy,
+                                         review_every=4)
+        adaptive.create_group("g", [f"u{i}" for i in range(8)])
+        # Decrypt-heavy workload: the optimum collapses to min capacity.
+        adaptive.record_decrypt("g", count=400)
+        for i in range(4):
+            adaptive.add_user("g", f"extra{i}")
+        assert adaptive.resizes >= 1
+        state = system.admin.group_state("g")
+        assert state.table.capacity < 8
+        # Group still functional after the resize.
+        client = system.make_client("g", "u0")
+        client.sync()
+        client.current_group_key()
+
+    def test_no_resize_without_signal(self):
+        system = make_system("adaptive2", capacity=4, system_bound=16,
+                             auto_repartition=False)
+        policy = AdaptivePolicy(min_capacity=2, max_capacity=16,
+                                hysteresis=100.0)  # effectively frozen
+        adaptive = AdaptiveAdministrator(system.admin, policy,
+                                         review_every=2)
+        adaptive.create_group("g", ["a", "b", "c"])
+        adaptive.add_user("g", "d")
+        adaptive.add_user("g", "e")
+        assert adaptive.resizes == 0
+
+    def test_review_interval_respected(self):
+        system = make_system("adaptive3", capacity=4, system_bound=16,
+                             auto_repartition=False)
+        adaptive = AdaptiveAdministrator(system.admin, review_every=1000)
+        adaptive.create_group("g", ["a", "b"])
+        adaptive.record_decrypt("g", count=10)
+        adaptive.add_user("g", "c")
+        assert adaptive.resizes == 0
+
+    def test_invalid_review_interval(self):
+        system = make_system("adaptive4")
+        with pytest.raises(ParameterError):
+            AdaptiveAdministrator(system.admin, review_every=0)

@@ -1,0 +1,130 @@
+"""Hash-chained operation log tests (future-work extension)."""
+
+import pytest
+
+from repro.core.oplog import (
+    GENESIS_HASH,
+    LoggedAdministrator,
+    OperationLog,
+    OpLogEntry,
+)
+from repro.crypto import ecdsa
+from repro.crypto.rng import DeterministicRng
+from repro.errors import AccessControlError, AuthenticationError
+from tests.conftest import make_system
+
+
+@pytest.fixture()
+def admins():
+    rng = DeterministicRng("oplog")
+    keys = {
+        "admin1": ecdsa.generate_keypair(rng),
+        "admin2": ecdsa.generate_keypair(rng),
+    }
+    log = OperationLog({name: key.public_key() for name, key in keys.items()})
+    return log, keys
+
+
+class TestChain:
+    def test_append_and_verify(self, admins):
+        log, keys = admins
+        log.append("g", "create", "", "admin1", keys["admin1"])
+        log.append("g", "add", "alice", "admin2", keys["admin2"])
+        log.append("g", "remove", "alice", "admin1", keys["admin1"])
+        log.verify_chain()
+        assert len(log) == 3
+
+    def test_genesis_linkage(self, admins):
+        log, keys = admins
+        entry = log.append("g", "create", "", "admin1", keys["admin1"])
+        assert entry.prev_hash == GENESIS_HASH
+
+    def test_unknown_admin_rejected(self, admins):
+        log, keys = admins
+        rogue = ecdsa.generate_keypair(DeterministicRng("rogue"))
+        with pytest.raises(AccessControlError):
+            log.append("g", "create", "", "rogue", rogue)
+
+    def test_wrong_key_rejected(self, admins):
+        log, keys = admins
+        with pytest.raises(AuthenticationError):
+            log.append("g", "create", "", "admin1", keys["admin2"])
+
+    def test_retro_edit_detected(self, admins):
+        log, keys = admins
+        for user in ["a", "b", "c"]:
+            log.append("g", "add", user, "admin1", keys["admin1"])
+        entries = log.entries()
+        forged = OpLogEntry(
+            index=1, prev_hash=entries[1].prev_hash, group_id="g",
+            kind="add", user="EVIL", admin_id="admin1",
+            timestamp=entries[1].timestamp,
+            signature=keys["admin1"].sign(b"junk"),
+        )
+        tampered = [entries[0], forged, entries[2]]
+        with pytest.raises(AuthenticationError):
+            log.verify_chain(tampered)
+
+    def test_reorder_detected(self, admins):
+        log, keys = admins
+        for user in ["a", "b"]:
+            log.append("g", "add", user, "admin1", keys["admin1"])
+        entries = log.entries()
+        with pytest.raises(AuthenticationError):
+            log.verify_chain([entries[1], entries[0]])
+
+    def test_splice_detected(self, admins):
+        log, keys = admins
+        for user in ["a", "b", "c"]:
+            log.append("g", "add", user, "admin1", keys["admin1"])
+        entries = log.entries()
+        with pytest.raises(AuthenticationError):
+            log.verify_chain([entries[0], entries[2]])
+
+    def test_entry_codec_roundtrip(self, admins):
+        log, keys = admins
+        entry = log.append("g", "add", "alice", "admin1", keys["admin1"])
+        decoded = OpLogEntry.decode(entry.encode())
+        assert decoded == entry
+
+
+class TestCheckpoints:
+    def test_checkpoint_and_verify(self, admins):
+        log, keys = admins
+        log.append("g", "create", "", "admin1", keys["admin1"])
+        log.append("g", "add", "alice", "admin1", keys["admin1"])
+        checkpoint = log.checkpoint("admin2", keys["admin2"])
+        log.verify_checkpoint(checkpoint)
+        assert checkpoint.up_to_index == 1
+
+    def test_empty_log_cannot_checkpoint(self, admins):
+        log, keys = admins
+        with pytest.raises(AccessControlError):
+            log.checkpoint("admin1", keys["admin1"])
+
+    def test_forged_checkpoint_detected(self, admins):
+        log, keys = admins
+        log.append("g", "create", "", "admin1", keys["admin1"])
+        checkpoint = log.checkpoint("admin1", keys["admin1"])
+        from dataclasses import replace
+        forged = replace(checkpoint, head_hash=bytes(32))
+        with pytest.raises(AuthenticationError):
+            log.verify_checkpoint(forged)
+
+
+class TestLoggedAdministrator:
+    def test_operations_logged(self, admins):
+        log, keys = admins
+        system = make_system("oplog-sys", capacity=4)
+        logged = LoggedAdministrator(system.admin, log, "admin1",
+                                     keys["admin1"])
+        logged.create_group("g", ["a", "b", "c"])
+        logged.add_user("g", "d")
+        logged.remove_user("g", "b")
+        logged.rekey("g")
+        log.verify_chain()
+        kinds = [e.kind for e in log.entries()]
+        assert kinds == ["create", "add", "remove", "rekey"]
+        # Operations really happened.
+        assert "d" in system.admin.group_state("g").table
+        assert "b" not in system.admin.group_state("g").table

@@ -1,0 +1,153 @@
+"""CTR and GCM mode tests against NIST SP 800-38D vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import Ghash, ctr_transform, gcm_decrypt, gcm_encrypt
+from repro.errors import AuthenticationError, CryptoError
+
+# GCM test case 3/4 (AES-128) from the GCM spec test vectors.
+_KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+_IV = bytes.fromhex("cafebabefacedbaddecaf888")
+_PT_FULL = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255"
+)
+_AAD = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+class TestGcmVectors:
+    def test_case_1_empty(self):
+        # Key of zeros, empty plaintext: tag only.
+        out = gcm_encrypt(bytes(16), bytes(12), b"")
+        assert out.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_case_2_single_block(self):
+        out = gcm_encrypt(bytes(16), bytes(12), bytes(16))
+        assert out[:16].hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert out[16:].hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_case_3_no_aad(self):
+        out = gcm_encrypt(_KEY, _IV, _PT_FULL)
+        assert out[:-16].hex() == (
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+        )
+        assert out[-16:].hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+    def test_case_4_with_aad(self):
+        out = gcm_encrypt(_KEY, _IV, _PT_FULL[:60], _AAD)
+        assert out[-16:].hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+    def test_case_5_short_iv(self):
+        # 8-byte IV exercises the GHASH-based J0 derivation.
+        out = gcm_encrypt(_KEY, bytes.fromhex("cafebabefacedbad"),
+                          _PT_FULL[:60], _AAD)
+        assert out[-16:].hex() == "3612d2e79e3b0785561be14aaca2fccb"
+
+    def test_aes256_case_14(self):
+        out = gcm_encrypt(bytes(32), bytes(12), b"")
+        assert out.hex() == "530f8afbc74536b9a963b4f1c4cb738b"
+
+
+class TestGcmSemantics:
+    @given(st.binary(max_size=200), st.binary(max_size=40))
+    @settings(max_examples=25)
+    def test_roundtrip(self, plaintext, aad):
+        key = bytes(range(32))
+        nonce = bytes(12)
+        out = gcm_encrypt(key, nonce, plaintext, aad)
+        assert gcm_decrypt(key, nonce, out, aad) == plaintext
+
+    def test_tamper_ciphertext_detected(self):
+        key, nonce = bytes(32), bytes(12)
+        out = bytearray(gcm_encrypt(key, nonce, b"secret message"))
+        out[0] ^= 1
+        with pytest.raises(AuthenticationError):
+            gcm_decrypt(key, nonce, bytes(out))
+
+    def test_tamper_tag_detected(self):
+        key, nonce = bytes(32), bytes(12)
+        out = bytearray(gcm_encrypt(key, nonce, b"secret message"))
+        out[-1] ^= 1
+        with pytest.raises(AuthenticationError):
+            gcm_decrypt(key, nonce, bytes(out))
+
+    def test_wrong_aad_detected(self):
+        key, nonce = bytes(32), bytes(12)
+        out = gcm_encrypt(key, nonce, b"data", aad=b"right")
+        with pytest.raises(AuthenticationError):
+            gcm_decrypt(key, nonce, out, aad=b"wrong")
+
+    def test_wrong_key_detected(self):
+        nonce = bytes(12)
+        out = gcm_encrypt(bytes(32), nonce, b"data")
+        with pytest.raises(AuthenticationError):
+            gcm_decrypt(bytes(31) + b"\x01", nonce, out)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(AuthenticationError):
+            gcm_decrypt(bytes(32), bytes(12), b"short")
+
+
+class TestCtr:
+    def test_involution(self):
+        aes = AES(bytes(32))
+        data = b"counter mode data of odd length!!"
+        once = ctr_transform(aes, bytes(12), data)
+        assert ctr_transform(aes, bytes(12), once) == data
+
+    def test_nonce_length_enforced(self):
+        with pytest.raises(CryptoError):
+            ctr_transform(AES(bytes(16)), bytes(11), b"x")
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=20)
+    def test_length_preserved(self, data):
+        aes = AES(bytes(16))
+        assert len(ctr_transform(aes, bytes(12), data)) == len(data)
+
+    def test_distinct_counters_distinct_keystream(self):
+        aes = AES(bytes(16))
+        a = ctr_transform(aes, bytes(12), bytes(16), initial_counter=0)
+        b = ctr_transform(aes, bytes(12), bytes(16), initial_counter=1)
+        assert a != b
+
+
+class TestGhash:
+    def test_zero_key_annihilates(self):
+        assert Ghash(bytes(16)).update(b"anything here").digest() == bytes(16)
+
+    def test_incremental_blocks(self):
+        h = bytes(range(16))
+        one = Ghash(h).update(bytes(32)).digest()
+        two = Ghash(h).update(bytes(16)).update(bytes(16)).digest()
+        assert one == two
+
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    @settings(max_examples=50)
+    def test_table_method_matches_reference(self, h, x):
+        """Shoup's 4-bit tables must be bit-identical to the bit-by-bit
+        reference multiplication."""
+        from repro.crypto.modes import _gf128_mul
+        ghash = Ghash(h)
+        x_int = int.from_bytes(x, "big")
+        h_int = int.from_bytes(h, "big")
+        assert ghash._mul_h(x_int) == _gf128_mul(x_int, h_int)
+
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(max_size=100))
+    @settings(max_examples=25)
+    def test_update_matches_reference_chain(self, h, data):
+        from repro.crypto.modes import _gf128_mul
+        h_int = int.from_bytes(h, "big")
+        expected = 0
+        for offset in range(0, len(data), 16):
+            block = data[offset:offset + 16].ljust(16, b"\x00")
+            expected = _gf128_mul(
+                expected ^ int.from_bytes(block, "big"), h_int
+            )
+        assert Ghash(h).update(data).digest() == expected.to_bytes(16, "big")

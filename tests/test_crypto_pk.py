@@ -1,0 +1,147 @@
+"""RSA-OAEP, ECDSA and ECIES tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ecdsa, ecies, rsa
+from repro.crypto.rng import DeterministicRng
+from repro.errors import AuthenticationError, CryptoError
+
+
+@pytest.fixture(scope="module")
+def rsa_key():
+    return rsa.generate_keypair(1024, DeterministicRng("rsa-fixture"))
+
+
+@pytest.fixture(scope="module")
+def ecdsa_key():
+    return ecdsa.generate_keypair(DeterministicRng("ecdsa-fixture"))
+
+
+@pytest.fixture(scope="module")
+def ecies_key():
+    return ecies.generate_keypair(DeterministicRng("ecies-fixture"))
+
+
+class TestRsa:
+    def test_roundtrip(self, rsa_key, rng):
+        message = b"the 32-byte group key material!!"
+        ct = rsa_key.public_key().encrypt(message, rng)
+        assert rsa_key.decrypt(ct) == message
+
+    def test_ciphertext_size_matches_modulus(self, rsa_key, rng):
+        ct = rsa_key.public_key().encrypt(b"x", rng)
+        assert len(ct) == rsa_key.public_key().size_bytes == 128
+
+    def test_label_binding(self, rsa_key, rng):
+        ct = rsa_key.public_key().encrypt(b"m", rng, label=b"ctx1")
+        assert rsa_key.decrypt(ct, label=b"ctx1") == b"m"
+        with pytest.raises(CryptoError):
+            rsa_key.decrypt(ct, label=b"ctx2")
+
+    def test_tamper_detected(self, rsa_key, rng):
+        ct = bytearray(rsa_key.public_key().encrypt(b"m", rng))
+        ct[64] ^= 0xFF
+        with pytest.raises(CryptoError):
+            rsa_key.decrypt(bytes(ct))
+
+    def test_message_too_long(self, rsa_key, rng):
+        with pytest.raises(CryptoError):
+            rsa_key.public_key().encrypt(bytes(128 - 2 * 32 - 1), rng)
+
+    def test_wrong_key_fails(self, rsa_key, rng):
+        other = rsa.generate_keypair(1024, DeterministicRng("other"))
+        ct = rsa_key.public_key().encrypt(b"m", rng)
+        with pytest.raises(CryptoError):
+            other.decrypt(ct)
+
+    def test_small_modulus_refused(self, rng):
+        with pytest.raises(CryptoError):
+            rsa.generate_keypair(256, rng)
+
+    def test_randomized_encryption(self, rsa_key, rng):
+        a = rsa_key.public_key().encrypt(b"m", rng)
+        b = rsa_key.public_key().encrypt(b"m", rng)
+        assert a != b
+
+
+class TestEcdsa:
+    def test_sign_verify(self, ecdsa_key):
+        sig = ecdsa_key.sign(b"membership op")
+        ecdsa_key.public_key().verify(b"membership op", sig)
+
+    def test_deterministic_signatures(self, ecdsa_key):
+        assert ecdsa_key.sign(b"m") == ecdsa_key.sign(b"m")
+
+    def test_message_tamper(self, ecdsa_key):
+        sig = ecdsa_key.sign(b"m")
+        with pytest.raises(AuthenticationError):
+            ecdsa_key.public_key().verify(b"m2", sig)
+
+    def test_signature_tamper(self, ecdsa_key):
+        sig = bytearray(ecdsa_key.sign(b"m"))
+        sig[10] ^= 1
+        assert not ecdsa_key.public_key().is_valid(b"m", bytes(sig))
+
+    def test_cross_key_rejected(self, ecdsa_key):
+        other = ecdsa.generate_keypair(DeterministicRng("other-ecdsa"))
+        sig = ecdsa_key.sign(b"m")
+        assert not other.public_key().is_valid(b"m", sig)
+
+    def test_malformed_signature(self, ecdsa_key):
+        with pytest.raises(AuthenticationError):
+            ecdsa_key.public_key().verify(b"m", b"short")
+        with pytest.raises(AuthenticationError):
+            ecdsa_key.public_key().verify(b"m", bytes(64))
+
+    def test_public_key_roundtrip(self, ecdsa_key):
+        encoded = ecdsa_key.public_key().encode()
+        decoded = ecdsa.EcdsaPublicKey.decode(encoded)
+        decoded.verify(b"m", ecdsa_key.sign(b"m"))
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=10, deadline=None)
+    def test_arbitrary_messages(self, message):
+        key = ecdsa.generate_keypair(DeterministicRng("hyp"))
+        key.public_key().verify(message, key.sign(message))
+
+
+class TestEcies:
+    def test_roundtrip(self, ecies_key, rng):
+        ct = ecies_key.public_key().encrypt(b"group key bytes", rng)
+        assert ecies_key.decrypt(ct) == b"group key bytes"
+
+    def test_aad_binding(self, ecies_key, rng):
+        ct = ecies_key.public_key().encrypt(b"m", rng, aad=b"ctx")
+        assert ecies_key.decrypt(ct, aad=b"ctx") == b"m"
+        with pytest.raises(AuthenticationError):
+            ecies_key.decrypt(ct, aad=b"other")
+
+    def test_wrong_key(self, ecies_key, rng):
+        other = ecies.generate_keypair(DeterministicRng("other-ecies"))
+        ct = ecies_key.public_key().encrypt(b"m", rng)
+        with pytest.raises(AuthenticationError):
+            other.decrypt(ct)
+
+    def test_tamper(self, ecies_key, rng):
+        ct = bytearray(ecies_key.public_key().encrypt(b"m", rng))
+        ct[-1] ^= 1
+        with pytest.raises(AuthenticationError):
+            ecies_key.decrypt(bytes(ct))
+
+    def test_too_short(self, ecies_key):
+        with pytest.raises(CryptoError):
+            ecies_key.decrypt(bytes(10))
+
+    def test_overhead_constant(self, ecies_key, rng):
+        overhead = ecies.ciphertext_overhead()
+        for size in (0, 1, 33, 100):
+            ct = ecies_key.public_key().encrypt(bytes(size), rng)
+            assert len(ct) == size + overhead
+
+    def test_public_key_roundtrip(self, ecies_key, rng):
+        decoded = ecies.EciesPublicKey.decode(
+            ecies_key.public_key().encode()
+        )
+        assert ecies_key.decrypt(decoded.encrypt(b"m", rng)) == b"m"

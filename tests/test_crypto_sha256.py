@@ -1,0 +1,65 @@
+"""Pure-Python SHA-256 against FIPS 180-4 vectors and hashlib."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha256 import Sha256, self_check, sha256_pure
+
+# FIPS 180-4 / NIST example vectors.
+VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc",
+     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"),
+    (b"a" * 1_000_000,
+     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+]
+
+
+class TestVectors:
+    @pytest.mark.parametrize("message,expected", VECTORS[:3])
+    def test_short_vectors(self, message, expected):
+        assert sha256_pure(message).hex() == expected
+
+    def test_million_a(self):
+        message, expected = VECTORS[3]
+        assert sha256_pure(message).hex() == expected
+
+
+class TestIncremental:
+    def test_split_updates_equal_one_shot(self):
+        message = bytes(range(200)) * 3
+        hasher = Sha256()
+        hasher.update(message[:7]).update(message[7:100]).update(message[100:])
+        assert hasher.digest() == sha256_pure(message)
+
+    def test_digest_does_not_finalize(self):
+        hasher = Sha256(b"partial")
+        first = hasher.digest()
+        assert hasher.digest() == first
+        hasher.update(b" more")
+        assert hasher.digest() == sha256_pure(b"partial more")
+
+    def test_hexdigest(self):
+        assert Sha256(b"abc").hexdigest() == VECTORS[1][1]
+
+    @pytest.mark.parametrize("size", [55, 56, 57, 63, 64, 65, 119, 128])
+    def test_padding_boundaries(self, size):
+        """Lengths around the block/padding boundaries are the classic
+        implementation traps."""
+        message = bytes(size)
+        assert sha256_pure(message) == hashlib.sha256(message).digest()
+
+
+class TestAgainstHashlib:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=50)
+    def test_matches_hashlib(self, data):
+        assert sha256_pure(data) == hashlib.sha256(data).digest()
+
+    def test_self_check_passes(self):
+        self_check()

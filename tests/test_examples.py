@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are a deliverable; this keeps them from silently rotting as the
+library evolves.  Each is executed in-process (import + main()) with its
+module namespace isolated.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    # trace_replay accepts an optional scale argument; pin a tiny one so
+    # the suite stays fast.
+    argv = [str(EXAMPLES_DIR / script)]
+    if script == "trace_replay.py":
+        argv.append("0.002")
+    monkeypatch.setattr(sys, "argv", argv)
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+    assert "BUG" not in out
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5

@@ -1,0 +1,178 @@
+"""Unit tests for the Delerablée IBBE scheme and the IBBE-SGX fast paths."""
+
+import pytest
+
+from repro import ibbe
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ParameterError, SchemeError
+
+USERS = [f"user{i}" for i in range(8)]
+
+
+class TestSetupAndExtract:
+    def test_public_key_size_linear_in_m(self, group, rng):
+        _, pk4 = ibbe.setup(group, 4, rng)
+        _, pk8 = ibbe.setup(group, 8, rng)
+        assert len(pk8.h_powers) == 9
+        assert pk8.size_bytes() > pk4.size_bytes()
+
+    def test_invalid_m(self, group, rng):
+        with pytest.raises(ParameterError):
+            ibbe.setup(group, 0, rng)
+
+    def test_extract_deterministic(self, ibbe_system):
+        msk, pk = ibbe_system
+        a = ibbe.extract(msk, pk, "alice")
+        b = ibbe.extract(msk, pk, "alice")
+        assert a.element == b.element
+
+    def test_extract_verifies_against_pairing(self, ibbe_system, group):
+        """e(USK_u, h^γ · h^H(u)) == e(g, h) — the defining equation."""
+        msk, pk = ibbe_system
+        usk = ibbe.extract(msk, pk, "alice")
+        h_u = pk.hash_identity("alice")
+        rhs = pk.h_powers[1] * (pk.h_powers[0] ** h_u)
+        assert group.pair(usk.element, rhs) == pk.v
+
+
+class TestEncryptionPaths:
+    def test_pk_and_msk_paths_agree_on_c3(self, ibbe_system, rng):
+        msk, pk = ibbe_system
+        _, ct_pk = ibbe.encrypt_pk(pk, USERS, rng)
+        _, ct_msk = ibbe.encrypt_msk(msk, pk, USERS, rng)
+        assert ct_pk.c3 == ct_msk.c3
+
+    def test_all_members_decrypt_pk_path(self, ibbe_system, user_keys, rng):
+        msk, pk = ibbe_system
+        bk, ct = ibbe.encrypt_pk(pk, USERS, rng)
+        for user in USERS:
+            assert ibbe.decrypt(pk, user_keys[user], USERS, ct) == bk
+
+    def test_all_members_decrypt_msk_path(self, ibbe_system, user_keys, rng):
+        msk, pk = ibbe_system
+        bk, ct = ibbe.encrypt_msk(msk, pk, USERS, rng)
+        for user in USERS:
+            assert ibbe.decrypt(pk, user_keys[user], USERS, ct) == bk
+
+    def test_singleton_set(self, ibbe_system, user_keys, rng):
+        msk, pk = ibbe_system
+        bk, ct = ibbe.encrypt_msk(msk, pk, ["user0"], rng)
+        assert ibbe.decrypt(pk, user_keys["user0"], ["user0"], ct) == bk
+
+    def test_nonmember_rejected(self, ibbe_system, user_keys, rng):
+        msk, pk = ibbe_system
+        bk, ct = ibbe.encrypt_msk(msk, pk, USERS[:4], rng)
+        with pytest.raises(SchemeError):
+            ibbe.decrypt(pk, user_keys["mallory"], USERS[:4], ct)
+
+    def test_nonmember_with_padded_set_gets_wrong_key(self, ibbe_system,
+                                                      user_keys, rng):
+        """Mallory lying about the broadcast set cannot recover bk."""
+        msk, pk = ibbe_system
+        bk, ct = ibbe.encrypt_msk(msk, pk, USERS[:4], rng)
+        forged_set = USERS[:4] + ["mallory"]
+        derived = ibbe.decrypt(pk, user_keys["mallory"], forged_set, ct)
+        assert derived != bk
+
+    def test_empty_set_rejected(self, ibbe_system, rng):
+        msk, pk = ibbe_system
+        with pytest.raises(SchemeError):
+            ibbe.encrypt_msk(msk, pk, [], rng)
+        with pytest.raises(SchemeError):
+            ibbe.encrypt_pk(pk, [], rng)
+
+    def test_oversized_set_rejected(self, ibbe_system, rng):
+        msk, pk = ibbe_system
+        too_many = [f"x{i}" for i in range(pk.m + 1)]
+        with pytest.raises(ParameterError):
+            ibbe.encrypt_pk(pk, too_many, rng)
+        with pytest.raises(ParameterError):
+            ibbe.encrypt_msk(msk, pk, too_many, rng)
+
+    def test_duplicate_identities_rejected(self, ibbe_system, rng):
+        msk, pk = ibbe_system
+        with pytest.raises(SchemeError):
+            ibbe.encrypt_msk(msk, pk, ["a", "a"], rng)
+
+    def test_broadcast_keys_are_fresh(self, ibbe_system, rng):
+        msk, pk = ibbe_system
+        bk1, _ = ibbe.encrypt_msk(msk, pk, USERS, rng)
+        bk2, _ = ibbe.encrypt_msk(msk, pk, USERS, rng)
+        assert bk1 != bk2
+
+
+class TestMembershipUpdates:
+    def test_add_keeps_bk(self, ibbe_system, user_keys, rng):
+        msk, pk = ibbe_system
+        bk, ct = ibbe.encrypt_msk(msk, pk, USERS[:4], rng)
+        ct2 = ibbe.add_user_msk(msk, pk, ct, "newcomer")
+        members = USERS[:4] + ["newcomer"]
+        assert ibbe.decrypt(pk, user_keys["newcomer"], members, ct2) == bk
+        assert ibbe.decrypt(pk, user_keys["user0"], members, ct2) == bk
+
+    def test_add_matches_fresh_encrypt_structure(self, ibbe_system, rng):
+        """C3 after add equals C3 of a fresh encryption of the new set."""
+        msk, pk = ibbe_system
+        _, ct = ibbe.encrypt_msk(msk, pk, USERS[:4], rng)
+        ct2 = ibbe.add_user_msk(msk, pk, ct, "newcomer")
+        _, fresh = ibbe.encrypt_msk(msk, pk, USERS[:4] + ["newcomer"], rng)
+        assert ct2.c3 == fresh.c3
+
+    def test_remove_changes_bk_and_excludes(self, ibbe_system, user_keys, rng):
+        msk, pk = ibbe_system
+        bk, ct = ibbe.encrypt_msk(msk, pk, USERS[:5], rng)
+        bk2, ct2 = ibbe.remove_user_msk(msk, pk, ct, "user2", rng)
+        remaining = [u for u in USERS[:5] if u != "user2"]
+        assert bk2 != bk
+        assert ibbe.decrypt(pk, user_keys["user0"], remaining, ct2) == bk2
+        # The revoked user, lying about the set, still fails.
+        derived = ibbe.decrypt(pk, user_keys["user2"],
+                               remaining + ["user2"], ct2)
+        assert derived != bk2
+
+    def test_remove_matches_fresh_c3(self, ibbe_system, rng):
+        msk, pk = ibbe_system
+        _, ct = ibbe.encrypt_msk(msk, pk, USERS[:5], rng)
+        _, ct2 = ibbe.remove_user_msk(msk, pk, ct, "user2", rng)
+        _, fresh = ibbe.encrypt_msk(
+            msk, pk, [u for u in USERS[:5] if u != "user2"], rng
+        )
+        assert ct2.c3 == fresh.c3
+
+    def test_rekey_preserves_membership(self, ibbe_system, user_keys, rng):
+        msk, pk = ibbe_system
+        bk, ct = ibbe.encrypt_msk(msk, pk, USERS[:4], rng)
+        bk2, ct2 = ibbe.rekey(pk, ct, rng)
+        assert bk2 != bk
+        assert ct2.c3 == ct.c3
+        for user in USERS[:4]:
+            assert ibbe.decrypt(pk, user_keys[user], USERS[:4], ct2) == bk2
+
+    def test_old_ciphertext_invalid_after_remove(self, ibbe_system,
+                                                 user_keys, rng):
+        """Forward secrecy of the broadcast key: the old ct still decrypts
+        to the OLD bk only — the new bk is unreachable from it."""
+        msk, pk = ibbe_system
+        bk, ct = ibbe.encrypt_msk(msk, pk, USERS[:4], rng)
+        bk2, _ = ibbe.remove_user_msk(msk, pk, ct, "user1", rng)
+        old = ibbe.decrypt(pk, user_keys["user1"], USERS[:4], ct)
+        assert old == bk and old != bk2
+
+
+class TestCiphertextSerialization:
+    def test_roundtrip(self, ibbe_system, rng, group):
+        msk, pk = ibbe_system
+        _, ct = ibbe.encrypt_msk(msk, pk, USERS, rng)
+        decoded = ibbe.IbbeCiphertext.decode(group, ct.encode())
+        assert decoded == ct
+
+    def test_constant_size(self, ibbe_system, rng):
+        """The paper's headline metadata property (Fig. 2b)."""
+        msk, pk = ibbe_system
+        _, small = ibbe.encrypt_msk(msk, pk, USERS[:1], rng)
+        _, large = ibbe.encrypt_msk(msk, pk, USERS, rng)
+        assert small.size_bytes() == large.size_bytes()
+
+    def test_malformed_rejected(self, group):
+        with pytest.raises(SchemeError):
+            ibbe.IbbeCiphertext.decode(group, b"nonsense")

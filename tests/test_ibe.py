@@ -1,0 +1,79 @@
+"""Boneh-Franklin IBE tests (the HE-IBE primitive)."""
+
+import pytest
+
+from repro import ibe
+from repro.crypto.rng import DeterministicRng
+from repro.errors import AuthenticationError, SchemeError
+
+
+@pytest.fixture(scope="module")
+def ibe_setup(group):
+    rng = DeterministicRng("ibe-fixture")
+    msk, params = ibe.setup(group, rng)
+    return msk, params, rng
+
+
+class TestIbe:
+    def test_roundtrip(self, ibe_setup):
+        msk, params, rng = ibe_setup
+        key = ibe.extract(msk, params, "alice@example.com")
+        ct = ibe.encrypt(params, "alice@example.com", b"the group key", rng)
+        assert ibe.decrypt(params, key, ct) == b"the group key"
+
+    def test_identity_is_the_public_key(self, ibe_setup):
+        """Encryption requires no per-user registration."""
+        msk, params, rng = ibe_setup
+        ct = ibe.encrypt(params, "never-seen-before", b"m", rng)
+        key = ibe.extract(msk, params, "never-seen-before")
+        assert ibe.decrypt(params, key, ct) == b"m"
+
+    def test_wrong_identity_cannot_decrypt(self, ibe_setup):
+        msk, params, rng = ibe_setup
+        ct = ibe.encrypt(params, "alice", b"m", rng)
+        eve = ibe.extract(msk, params, "eve")
+        with pytest.raises(AuthenticationError):
+            ibe.decrypt(params, eve, ct)
+
+    def test_wrong_authority_cannot_decrypt(self, ibe_setup, group):
+        msk, params, rng = ibe_setup
+        other_msk, other_params = ibe.setup(group, DeterministicRng("other"))
+        ct = ibe.encrypt(params, "alice", b"m", rng)
+        foreign = ibe.extract(other_msk, other_params, "alice")
+        with pytest.raises(AuthenticationError):
+            ibe.decrypt(params, foreign, ct)
+
+    def test_randomized_ciphertexts(self, ibe_setup):
+        _, params, rng = ibe_setup
+        a = ibe.encrypt(params, "alice", b"m", rng)
+        b = ibe.encrypt(params, "alice", b"m", rng)
+        assert a.encode() != b.encode()
+
+    def test_ciphertext_size_linear_in_message(self, ibe_setup):
+        _, params, rng = ibe_setup
+        base = ibe.encrypt(params, "alice", b"", rng).size_bytes()
+        bigger = ibe.encrypt(params, "alice", bytes(100), rng).size_bytes()
+        assert bigger == base + 100
+
+    def test_empty_body_rejected(self, ibe_setup):
+        msk, params, rng = ibe_setup
+        key = ibe.extract(msk, params, "alice")
+        bad = ibe.IbeCiphertext(u=params.p_pub, body=b"short")
+        with pytest.raises(SchemeError):
+            ibe.decrypt(params, key, bad)
+
+    def test_tampered_body_rejected(self, ibe_setup):
+        msk, params, rng = ibe_setup
+        key = ibe.extract(msk, params, "alice")
+        ct = ibe.encrypt(params, "alice", b"m", rng)
+        tampered = ibe.IbeCiphertext(
+            u=ct.u, body=ct.body[:-1] + bytes([ct.body[-1] ^ 1])
+        )
+        with pytest.raises(AuthenticationError):
+            ibe.decrypt(params, key, tampered)
+
+    def test_hash_identity_in_subgroup(self, ibe_setup, group):
+        _, params, _ = ibe_setup
+        q_id = params.hash_identity("anyone")
+        assert (q_id ** group.q).is_identity()
+        assert not q_id.is_identity()

@@ -1,0 +1,109 @@
+"""Unit and property tests for modular arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MathError
+from repro.mathutils.modular import crt_pair, jacobi_symbol, modinv, modsqrt
+
+PRIMES = [3, 5, 7, 11, 101, 65537, (1 << 127) - 1]
+
+
+class TestModinv:
+    def test_basic(self):
+        assert modinv(3, 7) == 5
+        assert (3 * modinv(3, 7)) % 7 == 1
+
+    def test_identity(self):
+        assert modinv(1, 97) == 1
+
+    def test_negative_input_normalized(self):
+        assert (modinv(-3, 7) * (-3)) % 7 == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(MathError):
+            modinv(6, 9)
+
+    def test_zero_raises(self):
+        with pytest.raises(MathError):
+            modinv(0, 13)
+
+    def test_bad_modulus_raises(self):
+        with pytest.raises(MathError):
+            modinv(1, 0)
+
+    @given(st.integers(min_value=1, max_value=10**9),
+           st.sampled_from(PRIMES))
+    @settings(max_examples=50)
+    def test_inverse_property(self, a, p):
+        if a % p == 0:
+            return
+        assert (a * modinv(a, p)) % p == 1
+
+
+class TestCrt:
+    def test_basic(self):
+        x = crt_pair(2, 3, 3, 5)
+        assert x % 3 == 2 and x % 5 == 3
+
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.sampled_from([(7, 11), (13, 17), (101, 103)]))
+    @settings(max_examples=30)
+    def test_roundtrip(self, x, moduli):
+        m1, m2 = moduli
+        x %= m1 * m2
+        assert crt_pair(x % m1, m1, x % m2, m2) == x
+
+    def test_non_coprime_raises(self):
+        with pytest.raises(MathError):
+            crt_pair(1, 6, 2, 9)
+
+
+class TestJacobi:
+    def test_known_values(self):
+        # (2/7) = 1, (3/7) = -1, (0/7) handled as 0
+        assert jacobi_symbol(2, 7) == 1
+        assert jacobi_symbol(3, 7) == -1
+        assert jacobi_symbol(0, 7) == 0
+
+    def test_even_modulus_raises(self):
+        with pytest.raises(MathError):
+            jacobi_symbol(3, 8)
+
+    @given(st.integers(min_value=1, max_value=10**6),
+           st.sampled_from(PRIMES))
+    @settings(max_examples=50)
+    def test_matches_euler_criterion(self, a, p):
+        if a % p == 0:
+            return
+        euler = pow(a, (p - 1) // 2, p)
+        expected = 1 if euler == 1 else -1
+        assert jacobi_symbol(a, p) == expected
+
+
+class TestModsqrt:
+    @given(st.integers(min_value=1, max_value=10**9),
+           st.sampled_from(PRIMES))
+    @settings(max_examples=50)
+    def test_square_roundtrip(self, x, p):
+        square = (x * x) % p
+        root = modsqrt(square, p)
+        assert (root * root) % p == square
+
+    def test_zero(self):
+        assert modsqrt(0, 7) == 0
+
+    def test_non_residue_raises(self):
+        with pytest.raises(MathError):
+            modsqrt(3, 7)
+
+    def test_p_equal_1_mod_4(self):
+        # 13 ≡ 1 (mod 4) exercises the full Tonelli-Shanks path.
+        root = modsqrt(10, 13)
+        assert (root * root) % 13 == 10
+
+    def test_large_prime_3_mod_4(self):
+        p = (1 << 127) - 1  # Mersenne, ≡ 3 mod 4
+        root = modsqrt(4, p)
+        assert (root * root) % p == 4

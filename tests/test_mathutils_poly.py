@@ -1,0 +1,92 @@
+"""Tests for polynomial expansion over Z_q — the IBBE quadratic kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MathError
+from repro.mathutils.poly import (
+    monic_linear_product,
+    poly_div_linear,
+    poly_eval,
+    poly_mul,
+)
+
+Q = 2_147_483_647  # prime
+
+
+class TestPolyMul:
+    def test_basic(self):
+        # (1 + x)(1 + x) = 1 + 2x + x²
+        assert poly_mul([1, 1], [1, 1], Q) == [1, 2, 1]
+
+    def test_empty(self):
+        assert poly_mul([], [1, 2], Q) == []
+
+    def test_degree(self):
+        out = poly_mul([1, 2, 3], [4, 5], Q)
+        assert len(out) == 4
+
+    @given(st.lists(st.integers(0, Q - 1), min_size=1, max_size=6),
+           st.lists(st.integers(0, Q - 1), min_size=1, max_size=6),
+           st.integers(0, Q - 1))
+    @settings(max_examples=40)
+    def test_evaluation_homomorphism(self, a, b, x):
+        product = poly_mul(a, b, Q)
+        assert poly_eval(product, x, Q) == (
+            poly_eval(a, x, Q) * poly_eval(b, x, Q)
+        ) % Q
+
+
+class TestMonicLinearProduct:
+    def test_single_root(self):
+        # (x + 5)
+        assert monic_linear_product([5], Q) == [5, 1]
+
+    def test_two_roots(self):
+        # (x + 2)(x + 3) = 6 + 5x + x²
+        assert monic_linear_product([2, 3], Q) == [6, 5, 1]
+
+    def test_empty_is_one(self):
+        assert monic_linear_product([], Q) == [1]
+
+    def test_constant_term_is_product(self):
+        roots = [7, 11, 13, 17]
+        coeffs = monic_linear_product(roots, Q)
+        product = 1
+        for r in roots:
+            product = product * r % Q
+        assert coeffs[0] == product
+        assert coeffs[-1] == 1
+
+    @given(st.lists(st.integers(1, Q - 1), min_size=0, max_size=8),
+           st.integers(0, Q - 1))
+    @settings(max_examples=40)
+    def test_matches_direct_evaluation(self, roots, x):
+        coeffs = monic_linear_product(roots, Q)
+        direct = 1
+        for r in roots:
+            direct = direct * (x + r) % Q
+        assert poly_eval(coeffs, x, Q) == direct
+
+
+class TestPolyDivLinear:
+    def test_exact_division(self):
+        coeffs = monic_linear_product([2, 3, 4], Q)
+        quotient = poly_div_linear(coeffs, 3, Q)
+        assert quotient == monic_linear_product([2, 4], Q)
+
+    def test_inexact_raises(self):
+        coeffs = monic_linear_product([2, 3], Q)
+        with pytest.raises(MathError):
+            poly_div_linear(coeffs, 9, Q)
+
+    def test_empty(self):
+        assert poly_div_linear([], 5, Q) == []
+
+    @given(st.lists(st.integers(1, Q - 1), min_size=1, max_size=8))
+    @settings(max_examples=40)
+    def test_roundtrip(self, roots):
+        coeffs = monic_linear_product(roots, Q)
+        reduced = poly_div_linear(coeffs, roots[0], Q)
+        assert reduced == monic_linear_product(roots[1:], Q)

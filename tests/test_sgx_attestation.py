@@ -1,0 +1,179 @@
+"""Attestation chain tests: quotes, IAS, auditor/CA, provisioning (Fig. 3)."""
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.crypto.rng import DeterministicRng
+from repro.errors import AttestationError, EnclaveError
+from repro.pairing import PairingGroup
+from repro.sgx.auditor import Auditor
+from repro.sgx.counters import MonotonicCounterService
+from repro.sgx.device import SgxDevice
+from repro.sgx.ias import IntelAttestationService
+from repro.enclave_app import IbbeEnclave
+from repro.sgx.attestation import provision_user_key, setup_trust
+
+
+@pytest.fixture()
+def world(group):
+    """A fresh device + IAS + auditor + loaded IBBE enclave."""
+    rng = DeterministicRng("attest-world")
+    device = SgxDevice(rng=rng)
+    ias = IntelAttestationService(rng=rng)
+    ias.register_device(device.device_id, device.attestation_public_key)
+    enclave = IbbeEnclave.load(device, {"pairing_group": group})
+    auditor = Auditor(ias, rng=rng)
+    return device, ias, enclave, auditor, rng
+
+
+class TestQuotes:
+    def test_quote_verifies(self, world):
+        device, ias, enclave, auditor, rng = world
+        quote = enclave.call("get_attestation_quote")
+        report = ias.verify_quote(quote)
+        assert report.is_ok
+        IntelAttestationService.verify_report(report, ias.report_public_key)
+
+    def test_unknown_device_rejected(self, world, group):
+        _, ias, _, _, rng = world
+        rogue_device = SgxDevice(rng=rng)  # never registered
+        rogue = IbbeEnclave.load(rogue_device, {"pairing_group": group})
+        report = ias.verify_quote(rogue.call("get_attestation_quote"))
+        assert report.quote_status == "UNKNOWN_DEVICE"
+
+    def test_revoked_device_rejected(self, world):
+        device, ias, enclave, _, _ = world
+        ias.revoke_device(device.device_id)
+        report = ias.verify_quote(enclave.call("get_attestation_quote"))
+        assert report.quote_status == "DEVICE_REVOKED"
+
+    def test_forged_signature_rejected(self, world):
+        device, ias, enclave, _, _ = world
+        quote = enclave.call("get_attestation_quote")
+        from repro.sgx.quote import Quote
+        forged = Quote(
+            measurement=quote.measurement,
+            report_data=quote.report_data,
+            device_id=quote.device_id,
+            signature=bytes(64),
+        )
+        assert ias.verify_quote(forged).quote_status == "SIGNATURE_INVALID"
+
+    def test_report_signature_checked(self, world):
+        device, ias, enclave, _, rng = world
+        report = ias.verify_quote(enclave.call("get_attestation_quote"))
+        wrong_key = ecdsa.generate_keypair(rng).public_key()
+        with pytest.raises(AttestationError):
+            IntelAttestationService.verify_report(report, wrong_key)
+
+    def test_double_registration_rejected(self, world):
+        device, ias, _, _, _ = world
+        with pytest.raises(AttestationError):
+            ias.register_device(device.device_id,
+                                device.attestation_public_key)
+
+
+class TestAuditor:
+    def test_certify_happy_path(self, world):
+        _, _, enclave, auditor, _ = world
+        auditor.approve_measurement(enclave.measurement)
+        cert = setup_trust(enclave, auditor)
+        cert.verify(auditor.ca_public_key)
+        assert cert.measurement == enclave.measurement
+
+    def test_unapproved_measurement_rejected(self, world):
+        _, _, enclave, auditor, _ = world
+        with pytest.raises(AttestationError, match="measurement"):
+            setup_trust(enclave, auditor)
+
+    def test_report_data_must_commit_to_key(self, world):
+        _, _, enclave, auditor, _ = world
+        auditor.approve_measurement(enclave.measurement)
+        quote = enclave.call("get_attestation_quote")
+        with pytest.raises(AttestationError, match="commit"):
+            auditor.attest_and_certify(quote, b"some other key")
+
+    def test_cert_tamper_detected(self, world):
+        _, _, enclave, auditor, _ = world
+        auditor.approve_measurement(enclave.measurement)
+        cert = setup_trust(enclave, auditor)
+        from dataclasses import replace
+        forged = replace(cert, device_id="evil-device")
+        with pytest.raises(AttestationError):
+            forged.verify(auditor.ca_public_key)
+
+    def test_wrong_ca_key_detected(self, world, rng):
+        _, _, enclave, auditor, _ = world
+        auditor.approve_measurement(enclave.measurement)
+        cert = setup_trust(enclave, auditor)
+        with pytest.raises(AttestationError):
+            cert.verify(ecdsa.generate_keypair(rng).public_key())
+
+
+class TestProvisioning:
+    def test_user_receives_key(self, world, group):
+        _, _, enclave, auditor, rng = world
+        auditor.approve_measurement(enclave.measurement)
+        cert = setup_trust(enclave, auditor)
+        enclave.call("setup_system", 8)
+        raw = provision_user_key(enclave, cert, auditor.ca_public_key,
+                                 "alice", rng)
+        from repro import ibbe
+        from repro.pairing.group import G1Element
+        usk = ibbe.IbbeUserKey("alice", G1Element.decode(group, raw))
+        # The key actually works.
+        msk_raw = enclave.call("extract_user_key_raw", "alice")
+        assert msk_raw == raw
+
+    def test_mismatched_certificate_rejected(self, world, group):
+        device, ias, enclave, auditor, rng = world
+        auditor.approve_measurement(enclave.measurement)
+        cert = setup_trust(enclave, auditor)
+        # The same enclave build on a different platform derives a
+        # different identity key, so the certificate does not transfer.
+        other_device = SgxDevice(rng=DeterministicRng("imposter-device"))
+        other = IbbeEnclave.load(other_device, {"pairing_group": group})
+        other.call("setup_system", 8)
+        with pytest.raises(AttestationError, match="different"):
+            provision_user_key(other, cert, auditor.ca_public_key,
+                               "alice", rng)
+
+    def test_identity_stable_across_restart(self, world, group):
+        """Same build + same platform ⇒ same certified identity (the
+        property the persistent CLI deployment relies on)."""
+        device, _, enclave, _, _ = world
+        twin = IbbeEnclave.load(device, {"pairing_group": group})
+        assert twin.call("get_public_key") == enclave.call("get_public_key")
+
+    def test_malformed_request_rejected(self, world):
+        _, _, enclave, _, rng = world
+        enclave.call("setup_system", 8)
+        from repro.crypto import ecies
+        enclave_key = ecies.EciesPublicKey.decode(
+            enclave.call("get_public_key")
+        )
+        garbage = enclave_key.encrypt(b"{not json", rng, aad=b"usk-request")
+        with pytest.raises(AttestationError):
+            enclave.call("provision_user_key", garbage)
+
+
+class TestCounters:
+    def test_monotonic(self):
+        svc = MonotonicCounterService()
+        svc.create("c")
+        assert svc.increment("c") == 1
+        assert svc.increment("c") == 2
+        assert svc.read("c") == 2
+
+    def test_duplicate_create(self):
+        svc = MonotonicCounterService()
+        svc.create("c")
+        with pytest.raises(EnclaveError):
+            svc.create("c")
+
+    def test_unknown_counter(self):
+        svc = MonotonicCounterService()
+        with pytest.raises(EnclaveError):
+            svc.increment("missing")
+        with pytest.raises(EnclaveError):
+            svc.read("missing")

@@ -1,0 +1,152 @@
+"""Enclave boundary tests: ecall dispatch, leak scanning, lifecycle."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import EnclaveError
+from repro.sgx.device import SgxDevice
+from repro.sgx.enclave import Enclave, ecall
+
+
+class ToyEnclave(Enclave):
+    VERSION = "toy-1"
+
+    def on_load(self):
+        self.secret = self.track_secret(b"SUPER-SECRET-VALUE-0123456789ab")
+
+    @ecall
+    def add(self, a, b):
+        return a + b
+
+    @ecall
+    def leaky(self):
+        return {"oops": [b"prefix" + self.secret]}
+
+    @ecall
+    def sealed_secret(self):
+        return self.seal_data(self.secret)
+
+    @ecall
+    def uses_ocall(self):
+        return self.ocall("persist", b"payload")
+
+    def hidden(self):
+        return self.secret
+
+
+@pytest.fixture()
+def device():
+    return SgxDevice(rng=DeterministicRng("enclave-tests"))
+
+
+@pytest.fixture()
+def enclave(device):
+    return ToyEnclave.load(device)
+
+
+class TestBoundary:
+    def test_ecall_dispatch(self, enclave):
+        assert enclave.call("add", 2, 3) == 5
+        assert enclave.ecall_count == 1
+
+    def test_non_ecall_rejected(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.call("hidden")
+
+    def test_unknown_ecall_rejected(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.call("nope")
+
+    def test_internal_helpers_not_callable(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.call("seal_data", b"x")
+
+    def test_leak_scanner_blocks_secret(self, enclave):
+        with pytest.raises(EnclaveError, match="leak"):
+            enclave.call("leaky")
+
+    def test_sealed_output_allowed(self, enclave):
+        blob = enclave.call("sealed_secret")
+        assert enclave.secret not in blob
+        assert enclave.unseal_data(blob) == enclave.secret
+
+    def test_destroyed_enclave_rejects_calls(self, enclave):
+        enclave.destroy()
+        with pytest.raises(EnclaveError):
+            enclave.call("add", 1, 2)
+
+
+class TestMeasurement:
+    def test_stable_for_same_class(self, device):
+        a = ToyEnclave.load(device)
+        b = ToyEnclave.load(device)
+        assert a.measurement == b.measurement
+
+    def test_differs_per_class(self, device):
+        class OtherEnclave(ToyEnclave):
+            VERSION = "toy-1"
+
+        assert (ToyEnclave.load(device).measurement
+                != OtherEnclave.load(device).measurement)
+
+    def test_differs_per_version(self, device):
+        class V2(ToyEnclave):
+            VERSION = "toy-2"
+
+        assert ToyEnclave.load(device).measurement != V2.load(device).measurement
+
+    def test_differs_per_config(self, device):
+        a = ToyEnclave.load(device, {"x": 1})
+        b = ToyEnclave.load(device, {"x": 2})
+        assert a.measurement != b.measurement
+
+
+class TestOcalls:
+    def test_registered_handler_invoked(self, enclave):
+        calls = []
+        enclave.register_ocall("persist", lambda data: calls.append(data) or "ok")
+        assert enclave.call("uses_ocall") == "ok"
+        assert calls == [b"payload"]
+        assert enclave.ocall_count == 1
+
+    def test_missing_handler_raises(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.call("uses_ocall")
+
+
+class TestSealingIntegration:
+    def test_cross_enclave_sealing_isolated(self, device):
+        class OtherSealEnclave(ToyEnclave):
+            VERSION = "other"
+
+        a = ToyEnclave.load(device)
+        b = OtherSealEnclave.load(device)
+        blob = a.seal_data(b"private")
+        from repro.errors import SealingError
+        with pytest.raises(SealingError):
+            b.unseal_data(blob)
+
+    def test_cross_device_sealing_isolated(self):
+        d1 = SgxDevice(rng=DeterministicRng("d1"))
+        d2 = SgxDevice(rng=DeterministicRng("d2"))
+        a = ToyEnclave.load(d1)
+        b = ToyEnclave.load(d2)
+        assert a.measurement == b.measurement  # same code
+        blob = a.seal_data(b"private")
+        from repro.errors import SealingError
+        with pytest.raises(SealingError):
+            b.unseal_data(blob)
+
+
+class TestEpcIntegration:
+    def test_enclave_allocations_tracked_and_freed(self, device, enclave):
+        handle = enclave.epc_allocate(10_000)
+        enclave.epc_touch(handle, 5_000)
+        assert device.epc.stats.allocated_bytes >= 10_000
+        enclave.destroy()
+        assert device.epc.stats.allocated_bytes == 0
+
+    def test_secret_window_capped(self, enclave):
+        for i in range(100):
+            enclave.track_secret(f"secret-{i}".encode() * 4)
+        assert len(enclave._secret_values) <= Enclave.MAX_TRACKED_SECRETS

@@ -1,0 +1,70 @@
+"""Sealing tests: identity binding, tamper detection, policies."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import SealingError
+from repro.sgx.sealing import (
+    POLICY_MRENCLAVE,
+    POLICY_MRSIGNER,
+    derive_seal_key,
+    seal,
+    unseal,
+)
+
+DEVICE = b"d" * 32
+IDENTITY = b"m" * 32
+
+
+@pytest.fixture()
+def blob(rng):
+    return seal(DEVICE, IDENTITY, b"master secret", rng)
+
+
+class TestSealing:
+    def test_roundtrip(self, blob):
+        assert unseal(DEVICE, IDENTITY, blob) == b"master secret"
+
+    def test_wrong_identity_fails(self, blob):
+        with pytest.raises(SealingError):
+            unseal(DEVICE, b"x" * 32, blob)
+
+    def test_wrong_device_fails(self, blob):
+        with pytest.raises(SealingError):
+            unseal(b"e" * 32, IDENTITY, blob)
+
+    def test_tamper_fails(self, blob):
+        tampered = blob[:-1] + bytes([blob[-1] ^ 1])
+        with pytest.raises(SealingError):
+            unseal(DEVICE, IDENTITY, tampered)
+
+    def test_not_a_blob(self):
+        with pytest.raises(SealingError):
+            unseal(DEVICE, IDENTITY, b"junk")
+
+    def test_aad_binding(self, rng):
+        blob = seal(DEVICE, IDENTITY, b"s", rng, aad=b"gk:group1")
+        assert unseal(DEVICE, IDENTITY, blob, aad=b"gk:group1") == b"s"
+        with pytest.raises(SealingError):
+            unseal(DEVICE, IDENTITY, blob, aad=b"gk:group2")
+
+    def test_randomized_blobs(self, rng):
+        a = seal(DEVICE, IDENTITY, b"s", rng)
+        b = seal(DEVICE, IDENTITY, b"s", rng)
+        assert a != b
+        assert unseal(DEVICE, IDENTITY, a) == unseal(DEVICE, IDENTITY, b)
+
+
+class TestPolicies:
+    def test_policy_keys_differ(self):
+        a = derive_seal_key(DEVICE, IDENTITY, POLICY_MRENCLAVE)
+        b = derive_seal_key(DEVICE, IDENTITY, POLICY_MRSIGNER)
+        assert a != b
+
+    def test_unknown_policy(self):
+        with pytest.raises(SealingError):
+            derive_seal_key(DEVICE, IDENTITY, "WHATEVER")
+
+    def test_mrsigner_roundtrip(self, rng):
+        blob = seal(DEVICE, b"vendor", b"s", rng, policy=POLICY_MRSIGNER)
+        assert unseal(DEVICE, b"vendor", blob) == b"s"

@@ -1,0 +1,91 @@
+"""Trace file round-trip and validation tests, plus the CLI trace flow."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import StorageError
+from repro.workloads import (
+    generate_trace,
+    load_trace,
+    save_trace,
+    synthesize_kernel_trace,
+)
+from repro.workloads.kernel_trace import KernelTraceConfig
+
+
+class TestRoundtrip:
+    def test_synthetic(self, tmp_path):
+        trace = generate_trace(100, 0.4, seed="tf")
+        path = tmp_path / "t.jsonl"
+        save_trace(path, trace)
+        assert load_trace(path) == trace
+
+    def test_kernel(self, tmp_path):
+        trace = synthesize_kernel_trace(KernelTraceConfig(scale=0.001))
+        path = tmp_path / "k.jsonl"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert loaded == trace
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        save_trace(path, [])
+        assert load_trace(path) == []
+
+
+class TestValidation:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "add", "user": "x"}\n')
+        with pytest.raises(StorageError):
+            load_trace(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "other"}\n')
+        with pytest.raises(StorageError):
+            load_trace(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "repro-trace", "version": 99}\n')
+        with pytest.raises(StorageError):
+            load_trace(path)
+
+    def test_bad_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro-trace", "version": 1}\n'
+            '{"kind": "explode", "user": "x"}\n'
+        )
+        with pytest.raises(StorageError):
+            load_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(StorageError):
+            load_trace(path)
+
+
+class TestCliTraceFlow:
+    def test_gen_and_replay(self, tmp_path, capsys):
+        state, cloud = str(tmp_path / "st"), str(tmp_path / "cl")
+        assert main(["init", "--state", state, "--cloud", cloud,
+                     "--params", "toy64", "--capacity", "4",
+                     "--bound", "8"]) == 0
+        trace_path = str(tmp_path / "trace.jsonl")
+        assert main(["gen-trace", "--ops", "20", "--rate", "0.2",
+                     "--out", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["replay", "--state", state, "--cloud", cloud,
+                     "--trace", trace_path, "--sample-every", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 20 operations" in out
+        assert "mean client decrypt" in out
+
+    def test_gen_kernel_trace(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "k.jsonl")
+        assert main(["gen-trace", "--kind", "kernel", "--scale", "0.001",
+                     "--out", trace_path]) == 0
+        assert load_trace(trace_path)

@@ -1,0 +1,164 @@
+"""Workload generation and replay tests."""
+
+import pytest
+
+from repro.baselines import HePkiScheme, HybridGroupManager
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ParameterError
+from repro.workloads import (
+    HybridReplayAdapter,
+    IbbeSgxReplayAdapter,
+    KernelTraceConfig,
+    ReplayEngine,
+    generate_trace,
+    synthesize_kernel_trace,
+)
+from repro.workloads.kernel_trace import PAPER_PEAK_GROUP, PAPER_TOTAL_OPS
+from repro.workloads.synthetic import (
+    OP_ADD,
+    OP_REMOVE,
+    revocation_rate_sweep,
+    trace_stats,
+)
+from tests.conftest import make_system
+
+
+class TestSyntheticTraces:
+    def test_deterministic(self):
+        a = generate_trace(200, 0.3, seed="s")
+        b = generate_trace(200, 0.3, seed="s")
+        assert a == b
+
+    def test_seed_variation(self):
+        assert generate_trace(200, 0.3, seed="a") != generate_trace(
+            200, 0.3, seed="b"
+        )
+
+    def test_rate_zero_all_adds(self):
+        trace = generate_trace(100, 0.0)
+        assert all(op.kind == OP_ADD for op in trace)
+
+    def test_rate_respected_approximately(self):
+        trace = generate_trace(4000, 0.3, seed="rate")
+        stats = trace_stats(trace)
+        assert 0.25 <= stats.removes / stats.operations <= 0.35
+
+    def test_rate_one_drains(self):
+        # Rate 1.0 with initial members removes until empty, then must add.
+        trace = generate_trace(10, 1.0, initial_members=["a", "b"])
+        stats = trace_stats(trace, initial_members=["a", "b"])
+        assert stats.removes >= 2
+
+    def test_semantic_validity(self):
+        """No removal of an absent user; no duplicate addition."""
+        trace = generate_trace(2000, 0.5, seed="valid")
+        present = set()
+        for op in trace:
+            if op.kind == OP_ADD:
+                assert op.user not in present
+                present.add(op.user)
+            else:
+                assert op.user in present
+                present.discard(op.user)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            generate_trace(-1, 0.5)
+        with pytest.raises(ParameterError):
+            generate_trace(10, 1.5)
+
+    def test_sweep_shape(self):
+        sweep = revocation_rate_sweep(50, steps=11)
+        assert len(sweep) == 11
+        assert sweep[0][0] == 0.0
+        assert sweep[-1][0] == 1.0
+
+
+class TestKernelTrace:
+    def test_scaled_statistics(self):
+        config = KernelTraceConfig(scale=0.01)
+        trace = synthesize_kernel_trace(config)
+        stats = trace_stats(trace)
+        assert stats.operations == config.scaled_ops()
+        # Peak concurrency within 25 % of the calibration target.
+        target = config.scaled_peak()
+        assert abs(stats.peak_group_size - target) <= max(2, target * 0.25)
+
+    def test_full_scale_parameters(self):
+        config = KernelTraceConfig()
+        assert config.scaled_ops() == PAPER_TOTAL_OPS
+        assert config.scaled_peak() == PAPER_PEAK_GROUP
+
+    def test_deterministic(self):
+        a = synthesize_kernel_trace(KernelTraceConfig(scale=0.005))
+        b = synthesize_kernel_trace(KernelTraceConfig(scale=0.005))
+        assert a == b
+
+    def test_chronological_and_consistent(self):
+        trace = synthesize_kernel_trace(KernelTraceConfig(scale=0.005))
+        assert all(
+            trace[i].timestamp <= trace[i + 1].timestamp
+            for i in range(len(trace) - 1)
+        )
+        present = set()
+        for op in trace:
+            if op.kind == OP_ADD:
+                assert op.user not in present
+                present.add(op.user)
+            else:
+                assert op.user in present
+                present.discard(op.user)
+        assert not present  # everyone eventually departs
+
+    def test_every_dev_has_add_and_remove(self):
+        trace = synthesize_kernel_trace(KernelTraceConfig(scale=0.005))
+        adds = {op.user for op in trace if op.kind == OP_ADD}
+        removes = {op.user for op in trace if op.kind == OP_REMOVE}
+        assert adds == removes
+
+
+class TestReplayEngine:
+    def test_ibbe_and_hybrid_agree_on_membership(self):
+        trace = generate_trace(40, 0.3, seed="agree")
+        system = make_system("replay-sys", capacity=4)
+        ibbe_report = ReplayEngine(
+            IbbeSgxReplayAdapter(system), group_id="g"
+        ).run(trace)
+
+        manager = HybridGroupManager(
+            HePkiScheme(rng=DeterministicRng("rk")),
+            rng=DeterministicRng("rm"),
+        )
+        hybrid_report = ReplayEngine(
+            HybridReplayAdapter(manager), group_id="g"
+        ).run(trace)
+
+        assert ibbe_report.adds == hybrid_report.adds
+        assert ibbe_report.removes == hybrid_report.removes
+        assert set(system.admin.members("g")) == set(manager.members("g"))
+
+    def test_decrypt_sampling(self):
+        trace = generate_trace(20, 0.0, seed="probe")
+        system = make_system("probe-sys", capacity=4)
+        engine = ReplayEngine(IbbeSgxReplayAdapter(system), group_id="g",
+                              decrypt_sample_every=5)
+        report = engine.run(trace)
+        assert len(report.decrypt_samples) == 4
+        assert report.mean_decrypt_seconds > 0
+
+    def test_initial_members(self):
+        system = make_system("init-sys", capacity=4)
+        engine = ReplayEngine(IbbeSgxReplayAdapter(system), group_id="g")
+        report = engine.run([], initial_members=["a", "b"])
+        assert report.operations_applied == 0
+        assert set(system.admin.members("g")) == {"a", "b"}
+
+    def test_latency_capture(self):
+        trace = generate_trace(10, 0.2, seed="lat")
+        system = make_system("lat-sys", capacity=4)
+        report = ReplayEngine(IbbeSgxReplayAdapter(system),
+                              group_id="g").run(trace)
+        assert len(report.op_latencies) == report.operations_applied
+        assert report.admin_seconds == pytest.approx(
+            sum(report.op_latencies)
+        )
