@@ -26,11 +26,21 @@ from repro.bench import (
 )
 from repro.crypto.rng import DeterministicRng
 
-from conftest import make_bench_system, scaled
+from conftest import (
+    footprint_counters,
+    footprint_delta,
+    make_bench_system,
+    scaled,
+)
 
 GROUP_SIZES = [32, 64, 128, 256]
 PARTITION_SIZE = 32
 PAPER_AXIS = [1_000, 10_000, 100_000, 1_000_000]
+
+# Fixed scale for the operation-pipeline report (not subject to
+# REPRO_BENCH_SCALE): a whole-group operation spanning many partitions.
+PIPELINE_MEMBERS = 256
+PIPELINE_PARTITIONS = 16
 
 
 def _ibbe_sgx_run(n: int, capacity: int):
@@ -155,5 +165,53 @@ def test_fig7b_partition_size_effect(sink, benchmark):
     footprints = [f for _, _, _, f in measured]
     assert footprints[0] > footprints[-1]
     assert footprints[0] / footprints[-1] < 16
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig7c_rekey_boundary_footprint(sink, benchmark):
+    """Operation-pipeline report: a whole-group rekey spanning every
+    partition costs one enclave crossing and one cloud commit in the
+    pipelined administrator, versus one cloud request per object in the
+    sequential mode it replaced (descriptor + N records + sealed key)."""
+    members = [f"u{i}" for i in range(PIPELINE_MEMBERS)]
+    capacity = PIPELINE_MEMBERS // PIPELINE_PARTITIONS
+    rows = []
+    deltas = {}
+    for label, pipeline in (("sequential (before)", False),
+                            ("pipelined (after)", True)):
+        system = make_bench_system(f"fig7c-{int(pipeline)}", capacity,
+                                   auto_repartition=False,
+                                   pipeline=pipeline)
+        system.admin.create_group("g", members)
+        assert (system.admin.group_state("g").table.partition_count
+                == PIPELINE_PARTITIONS)
+        counters = footprint_counters(system)
+        _, elapsed = time_call(system.admin.rekey, "g")
+        delta = footprint_delta(counters, footprint_counters(system))
+        deltas[pipeline] = delta
+        rows.append([label, delta["crossings"], delta["ecalls"],
+                     delta["requests"], delta["batch_commits"],
+                     format_bytes(delta["bytes_in"]),
+                     format_seconds(elapsed)])
+    sink.table(
+        f"Fig 7c: rekey boundary footprint ({PIPELINE_MEMBERS} members, "
+        f"{PIPELINE_PARTITIONS} partitions)",
+        ["mode", "crossings", "ecalls", "cloud reqs", "commits",
+         "uploaded", "latency"],
+        rows,
+    )
+
+    after = deltas[True]
+    before = deltas[False]
+    assert after["crossings"] == 1, "pipelined rekey is one crossing"
+    assert after["requests"] == 1, "pipelined rekey is one cloud request"
+    assert after["batch_commits"] == 1
+    # Sequential mode pays per object: descriptor + records + sealed key.
+    assert before["requests"] >= PIPELINE_PARTITIONS + 2
+    assert before["batch_commits"] == 0
+    # Both modes upload the same bytes — the pipeline batches, it does
+    # not change the metadata.
+    assert after["bytes_in"] == before["bytes_in"]
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -20,10 +20,20 @@ from repro.baselines import HePkiScheme, HybridGroupManager
 from repro.bench import cdf_points, fit_power_law, format_seconds, time_call
 from repro.crypto.rng import DeterministicRng
 
-from conftest import make_bench_system, scaled
+from conftest import (
+    footprint_counters,
+    footprint_delta,
+    make_bench_system,
+    scaled,
+)
 
 ADD_COUNT = 60
 DECRYPT_SIZES = [32, 64, 128, 256]
+
+# Fixed scale for the operation-pipeline report (not subject to
+# REPRO_BENCH_SCALE): a bulk enrollment spanning many partitions.
+PIPELINE_JOINERS = 255
+PIPELINE_CAPACITY = 16
 
 
 def test_fig8a_add_user_cdf(sink, benchmark):
@@ -162,3 +172,51 @@ def test_fig8b_decrypt_latency(std_group, sink, benchmark):
     usk = ibbe.extract(msk, pk, members[0])
     benchmark.pedantic(lambda: ibbe.decrypt(pk, usk, members, ct),
                        rounds=1, iterations=1)
+
+
+def test_fig8c_batch_add_boundary_footprint(sink, benchmark):
+    """Operation-pipeline report: enrolling a whole roster via
+    ``add_users`` costs one enclave crossing and one cloud commit in the
+    pipelined administrator, versus one crossing per touched partition
+    and one cloud request per object in the sequential mode."""
+    joiners = [f"new{i}" for i in range(PIPELINE_JOINERS)]
+    min_partitions = (1 + PIPELINE_JOINERS) // PIPELINE_CAPACITY
+    rows = []
+    deltas = {}
+    for label, pipeline in (("sequential (before)", False),
+                            ("pipelined (after)", True)):
+        system = make_bench_system(f"fig8c-{int(pipeline)}",
+                                   PIPELINE_CAPACITY,
+                                   auto_repartition=False,
+                                   pipeline=pipeline)
+        system.admin.create_group("g", ["seed0"])
+        counters = footprint_counters(system)
+        _, elapsed = time_call(system.admin.add_users, "g", joiners)
+        delta = footprint_delta(counters, footprint_counters(system))
+        deltas[pipeline] = delta
+        rows.append([label, delta["crossings"], delta["ecalls"],
+                     delta["requests"], delta["batch_commits"],
+                     format_seconds(elapsed)])
+        state = system.admin.group_state("g")
+        assert state.table.partition_count >= min_partitions
+    sink.table(
+        f"Fig 8c: batch add_users boundary footprint "
+        f"({PIPELINE_JOINERS} joiners, capacity {PIPELINE_CAPACITY})",
+        ["mode", "crossings", "ecalls", "cloud reqs", "commits",
+         "latency"],
+        rows,
+    )
+
+    after = deltas[True]
+    before = deltas[False]
+    assert after["crossings"] == 1, "batch enrollment is one crossing"
+    assert after["requests"] == 1, "batch enrollment is one cloud commit"
+    assert after["batch_commits"] == 1
+    # Sequential mode crosses the boundary once per ecall and pays one
+    # cloud request per written object (descriptor + each record).
+    assert before["crossings"] >= min_partitions
+    assert before["requests"] >= min_partitions + 1
+    # Transport changes, the work does not: same ecalls either way.
+    assert after["ecalls"] == before["ecalls"]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

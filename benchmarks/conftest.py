@@ -97,11 +97,35 @@ def toy_group() -> PairingGroup:
 
 def make_bench_system(seed: str, capacity: int, params: str = "toy64",
                       system_bound: int | None = None,
-                      auto_repartition: bool = True):
+                      auto_repartition: bool = True,
+                      pipeline: bool = True):
     return quickstart_system(
         partition_capacity=capacity,
         params=params,
         rng=DeterministicRng(f"bench:{seed}"),
         auto_repartition=auto_repartition,
         system_bound=system_bound or capacity,
+        pipeline=pipeline,
     )
+
+
+def footprint_counters(system) -> dict:
+    """Boundary-crossing and cloud-traffic counters for pipeline reports.
+
+    ``bytes_in`` is upload volume (put payloads), ``bytes_out`` download
+    volume (get payloads) — the asymmetric quantities cloud providers
+    meter and bill separately."""
+    meter = system.enclave.meter
+    cloud = system.cloud.metrics
+    return {
+        "crossings": meter.crossings,
+        "ecalls": meter.ecalls,
+        "requests": cloud.requests,
+        "batch_commits": cloud.batch_commits,
+        "bytes_in": cloud.bytes_in,
+        "bytes_out": cloud.bytes_out,
+    }
+
+
+def footprint_delta(before: dict, after: dict) -> dict:
+    return {key: after[key] - before[key] for key in before}

@@ -114,7 +114,8 @@ def quickstart_system(partition_capacity: int = 1000,
                       rng: Optional[Rng] = None,
                       latency: Optional[LatencyModel] = None,
                       auto_repartition: bool = True,
-                      system_bound: Optional[int] = None) -> System:
+                      system_bound: Optional[int] = None,
+                      pipeline: bool = True) -> System:
     """Stand up a complete single-admin deployment.
 
     Performs manufacturing (device + IAS registration), enclave load,
@@ -125,6 +126,11 @@ def quickstart_system(partition_capacity: int = 1000,
     IBBE public key is linear in it); it defaults to ``partition_capacity``
     and must be raised at setup time if partitions may later grow (e.g.
     under the adaptive-sizing extension).
+
+    ``pipeline`` selects the administrator's batched operation pipeline
+    (one enclave crossing + one cloud commit per mutation, the default);
+    ``pipeline=False`` replays the sequential call-per-ecall,
+    request-per-object behaviour for comparison.
     """
     rng = rng or SystemRng()
     pairing_group = PairingGroup(preset(params))
@@ -152,6 +158,7 @@ def quickstart_system(partition_capacity: int = 1000,
         partition_capacity=partition_capacity,
         rng=rng,
         auto_repartition=auto_repartition,
+        pipeline=pipeline,
     )
     return System(
         group=pairing_group, device=device, enclave=enclave, ias=ias,

@@ -45,7 +45,7 @@ class HeSgxEnclave(Enclave):
 
     # -- registry ---------------------------------------------------------------
 
-    @ecall
+    @ecall(batchable=True)
     def register_user(self, identity: str, public_key_bytes: bytes) -> None:
         self._public_keys[identity] = ecies.EciesPublicKey.decode(
             public_key_bytes
@@ -53,7 +53,7 @@ class HeSgxEnclave(Enclave):
 
     # -- membership operations -----------------------------------------------------
 
-    @ecall
+    @ecall(batchable=True)
     def create_group(self, group_id: str,
                      members: Sequence[str]) -> Dict[str, bytes]:
         if group_id in self._group_keys:
@@ -64,7 +64,7 @@ class HeSgxEnclave(Enclave):
         self._charge_metadata_pass(wrapped)
         return wrapped
 
-    @ecall
+    @ecall(batchable=True)
     def add_user(self, group_id: str, user: str) -> bytes:
         gk = self._require_gk(group_id)
         wrapped = self._wrap_for([user], gk)
@@ -72,7 +72,7 @@ class HeSgxEnclave(Enclave):
         self._charge_metadata_pass(wrapped)
         return wrapped[user]
 
-    @ecall
+    @ecall(batchable=True)
     def remove_user(self, group_id: str,
                     remaining_members: Sequence[str]) -> Dict[str, bytes]:
         """Revocation: fresh gk, re-wrap for everyone — the linear pass
@@ -136,6 +136,15 @@ class HeSgxGroupManager:
         self.enclave.call(
             "register_user", identity, private_key.public_key().encode()
         )
+
+    def register_users(self, keys: Dict[str, ecies.EciesPrivateKey]) -> None:
+        """Bulk registration in one boundary crossing (fairness with the
+        IBBE pipeline when comparing bootstrap costs)."""
+        self.user_keys.update(keys)
+        self.enclave.call_batch([
+            ("register_user", (identity, key.public_key().encode()))
+            for identity, key in keys.items()
+        ])
 
     def create_group(self, group_id: str, members: Sequence[str]) -> None:
         self._wrapped[group_id] = self.enclave.call(

@@ -8,7 +8,14 @@ directory (Dropbox long polling works at directory level, paper §V-A).
 
 from repro.cloud.filestore import FileCloudStore
 from repro.cloud.latency import LatencyModel
-from repro.cloud.store import CloudObject, CloudStore, DirectoryEvent
+from repro.cloud.store import (
+    BatchDelete,
+    BatchPut,
+    CloudBatch,
+    CloudObject,
+    CloudStore,
+    DirectoryEvent,
+)
 
 __all__ = [
     "CloudStore",
@@ -16,4 +23,7 @@ __all__ = [
     "CloudObject",
     "DirectoryEvent",
     "LatencyModel",
+    "CloudBatch",
+    "BatchPut",
+    "BatchDelete",
 ]

@@ -18,10 +18,13 @@ from __future__ import annotations
 import base64
 import json
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cloud.latency import LatencyModel
 from repro.cloud.store import (
+    BatchDelete,
+    BatchPut,
+    CloudBatch,
     CloudMetrics,
     CloudObject,
     DirectoryEvent,
@@ -57,20 +60,15 @@ class FileCloudStore:
     def put(self, path: str, data: bytes,
             expected_version: Optional[int] = None) -> int:
         path = _normalize(path)
-        self._account(len(data))
-        object_path = self._objects_dir / _slug(path)
-        meta_path = object_path.with_suffix(".meta")
-        current = self._read_version(meta_path)
+        self._account(bytes_in=len(data))
+        current = self._current_version(path)
         if expected_version is not None and current != expected_version:
             raise ConflictError(
                 f"version conflict on {path}: have {current}, "
                 f"expected {expected_version}"
             )
         version = current + 1
-        object_path.write_bytes(data)
-        meta_path.write_text(json.dumps({"version": version}),
-                             encoding="utf-8")
-        self._append_event(path, "put", version)
+        self._apply_put(path, data, version)
         return version
 
     def get(self, path: str) -> CloudObject:
@@ -79,9 +77,25 @@ class FileCloudStore:
         if not object_path.exists():
             raise NotFoundError(f"no object at {path}")
         data = object_path.read_bytes()
-        self._account(len(data))
+        self._account(bytes_out=len(data))
         version = self._read_version(object_path.with_suffix(".meta"))
         return CloudObject(path=path, data=data, version=version)
+
+    def get_many(self, paths: Iterable[str]) -> Dict[str, CloudObject]:
+        """Fetch several objects in one round trip (missing paths skipped)."""
+        found: Dict[str, CloudObject] = {}
+        for raw in paths:
+            path = _normalize(raw)
+            object_path = self._objects_dir / _slug(path)
+            if not object_path.exists():
+                continue
+            found[path] = CloudObject(
+                path=path,
+                data=object_path.read_bytes(),
+                version=self._read_version(object_path.with_suffix(".meta")),
+            )
+        self._account(bytes_out=sum(len(o.data) for o in found.values()))
+        return found
 
     def exists(self, path: str) -> bool:
         return (self._objects_dir / _slug(_normalize(path))).exists()
@@ -92,10 +106,57 @@ class FileCloudStore:
         if not object_path.exists():
             raise NotFoundError(f"no object at {path}")
         version = self._read_version(object_path.with_suffix(".meta"))
-        object_path.unlink()
-        object_path.with_suffix(".meta").unlink(missing_ok=True)
-        self._account(0)
-        self._append_event(path, "delete", version)
+        self._account()
+        self._apply_delete(path, version)
+
+    def commit(self, batch: CloudBatch) -> Dict[str, int]:
+        """Atomic multi-object write; see :meth:`CloudStore.commit`.
+
+        Atomicity here means all-or-nothing with respect to this process's
+        validation (no partial application on a version conflict); the
+        individual file writes are not crash-atomic, matching the rest of
+        this store's single-writer model.
+        """
+        staged = []
+        projected: Dict[str, Optional[int]] = {}
+
+        def current(path: str) -> int:
+            if path in projected:
+                return projected[path] or 0
+            return self._current_version(path)
+
+        for op in batch.ops:
+            path = _normalize(op.path)
+            have = current(path)
+            if isinstance(op, BatchPut):
+                if op.expected_version is not None and have != op.expected_version:
+                    raise ConflictError(
+                        f"version conflict on {path}: have {have}, "
+                        f"expected {op.expected_version}"
+                    )
+                version = have + 1
+                projected[path] = version
+                staged.append((op, path, version))
+            elif isinstance(op, BatchDelete):
+                if have == 0:
+                    if op.ignore_missing:
+                        continue
+                    raise NotFoundError(f"no object at {path}")
+                projected[path] = None
+                staged.append((op, path, have))
+            else:  # pragma: no cover - defensive
+                raise StorageError(f"unknown batch operation {op!r}")
+
+        self._account(bytes_in=batch.payload_bytes)
+        self.metrics.batch_commits += 1
+        versions: Dict[str, int] = {}
+        for op, path, version in staged:
+            if isinstance(op, BatchPut):
+                self._apply_put(path, op.data, version)
+                versions[path] = version
+            else:
+                self._apply_delete(path, version)
+        return versions
 
     def list_dir(self, directory: str) -> List[str]:
         directory = _normalize(directory).rstrip("/") + "/"
@@ -148,6 +209,27 @@ class FileCloudStore:
 
     # -- internals -----------------------------------------------------------------
 
+    def _current_version(self, path: str) -> int:
+        """Version of the live object at ``path`` (0 if absent)."""
+        object_path = self._objects_dir / _slug(path)
+        if not object_path.exists():
+            return 0
+        return self._read_version(object_path.with_suffix(".meta"))
+
+    def _apply_put(self, path: str, data: bytes, version: int) -> None:
+        object_path = self._objects_dir / _slug(path)
+        object_path.write_bytes(data)
+        object_path.with_suffix(".meta").write_text(
+            json.dumps({"version": version}), encoding="utf-8"
+        )
+        self._append_event(path, "put", version)
+
+    def _apply_delete(self, path: str, version: int) -> None:
+        object_path = self._objects_dir / _slug(path)
+        object_path.unlink(missing_ok=True)
+        object_path.with_suffix(".meta").unlink(missing_ok=True)
+        self._append_event(path, "delete", version)
+
     def _read_version(self, meta_path: Path) -> int:
         if not meta_path.exists():
             return 0
@@ -184,7 +266,10 @@ class FileCloudStore:
                 raise StorageError("corrupt event log") from exc
         return events
 
-    def _account(self, payload: int) -> None:
+    def _account(self, bytes_in: int = 0, bytes_out: int = 0) -> None:
         self.metrics.requests += 1
-        self.metrics.bytes_in += payload
-        self.metrics.simulated_latency_ms += self._latency.sample(payload)
+        self.metrics.bytes_in += bytes_in
+        self.metrics.bytes_out += bytes_out
+        self.metrics.simulated_latency_ms += self._latency.sample(
+            bytes_in + bytes_out
+        )

@@ -7,20 +7,30 @@ Semantics follow what the paper uses from Dropbox:
 * *long polling at directory level*: a client subscribes to a directory and
   is handed every subsequent change event in order (§V-A: "In Dropbox, long
   polling works at the directory level, so we index the group metadata as a
-  bi-level hierarchy").
+  bi-level hierarchy");
+* an atomic multi-object :meth:`CloudStore.commit` — the server-side batch
+  endpoint every real object store offers (Dropbox ``/files/upload_session
+  /finish_batch``, S3 multi-object ops).  One round trip carries a
+  conditional descriptor put plus all partition puts/deletes; per-object
+  versions and directory events are preserved exactly as if the operations
+  had been issued one by one.
 
 The store is honest-but-curious: it faithfully executes requests while
 keeping everything it has seen readable through :meth:`adversary_view`,
 which the security tests use to verify that stored metadata never reveals
 group keys.
+
+Metrics: each API call counts one request; ``bytes_in`` is upload volume
+(put payloads), ``bytes_out`` is download volume (get payloads).  A batch
+commit counts one request (that is the point) and increments
+``batch_commits`` so benchmarks can report round-trip savings.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.cloud.latency import LatencyModel
 from repro.errors import ConflictError, NotFoundError, StorageError
@@ -48,6 +58,7 @@ class CloudMetrics:
     requests: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    batch_commits: int = 0
     simulated_latency_ms: float = 0.0
 
     def snapshot(self) -> Dict[str, float]:
@@ -55,8 +66,66 @@ class CloudMetrics:
             "requests": self.requests,
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
+            "batch_commits": self.batch_commits,
             "simulated_latency_ms": self.simulated_latency_ms,
         }
+
+
+@dataclass(frozen=True)
+class BatchPut:
+    """One put inside a :class:`CloudBatch` (conditional iff
+    ``expected_version`` is set)."""
+
+    path: str
+    data: bytes
+    expected_version: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BatchDelete:
+    """One delete inside a :class:`CloudBatch`.
+
+    ``ignore_missing`` makes the delete a no-op when the object is absent
+    (garbage that another admin may already have collected).
+    """
+
+    path: str
+    ignore_missing: bool = False
+
+
+BatchOp = Union[BatchPut, BatchDelete]
+
+
+@dataclass
+class CloudBatch:
+    """An ordered multi-object write, committed atomically in one request.
+
+    Build with :meth:`put` / :meth:`delete` (chainable) or pass operations
+    directly.  Operation order matters: events are emitted in it, and a
+    put after a delete of the same path restarts the version at 1, exactly
+    as sequential calls would.
+    """
+
+    ops: List[BatchOp] = field(default_factory=list)
+
+    def put(self, path: str, data: bytes,
+            expected_version: Optional[int] = None) -> "CloudBatch":
+        self.ops.append(BatchPut(path, data, expected_version))
+        return self
+
+    def delete(self, path: str, ignore_missing: bool = False) -> "CloudBatch":
+        self.ops.append(BatchDelete(path, ignore_missing))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(len(op.data) for op in self.ops if isinstance(op, BatchPut))
 
 
 class CloudStore:
@@ -78,7 +147,7 @@ class CloudStore:
         With ``expected_version`` set, the put is conditional (used by
         multi-admin setups to detect lost updates)."""
         path = _normalize(path)
-        self._account(len(data))
+        self._account(bytes_in=len(data))
         current = self._objects.get(path)
         if expected_version is not None:
             have = current.version if current else 0
@@ -88,11 +157,7 @@ class CloudStore:
                     f"expected {expected_version}"
                 )
         version = (current.version if current else 0) + 1
-        self._objects[path] = CloudObject(path=path, data=data, version=version)
-        self._event_log.append(DirectoryEvent(
-            sequence=next(self._sequence), path=path, kind="put",
-            version=version,
-        ))
+        self._apply_put(path, data, version)
         return version
 
     def get(self, path: str) -> CloudObject:
@@ -100,27 +165,95 @@ class CloudStore:
         obj = self._objects.get(path)
         if obj is None:
             raise NotFoundError(f"no object at {path}")
-        self._account(len(obj.data))
+        self._account(bytes_out=len(obj.data))
         return obj
+
+    def get_many(self, paths: Iterable[str]) -> Dict[str, CloudObject]:
+        """Fetch several objects in one round trip.
+
+        Missing paths are silently skipped (they may have been deleted
+        between the event that advertised them and this fetch), mirroring
+        the per-path ``NotFoundError → skip`` pattern clients used with
+        sequential gets.  Returns ``{normalized path: object}``.
+        """
+        found: Dict[str, CloudObject] = {}
+        for path in paths:
+            obj = self._objects.get(_normalize(path))
+            if obj is not None:
+                found[obj.path] = obj
+        self._account(bytes_out=sum(len(o.data) for o in found.values()))
+        return found
 
     def exists(self, path: str) -> bool:
         return _normalize(path) in self._objects
 
     def delete(self, path: str) -> None:
         path = _normalize(path)
-        obj = self._objects.pop(path, None)
+        obj = self._objects.get(path)
         if obj is None:
             raise NotFoundError(f"no object at {path}")
-        self._account(0)
-        self._event_log.append(DirectoryEvent(
-            sequence=next(self._sequence), path=path, kind="delete",
-            version=obj.version,
-        ))
+        self._account()
+        self._apply_delete(path, obj.version)
+
+    def commit(self, batch: CloudBatch) -> Dict[str, int]:
+        """Apply a :class:`CloudBatch` atomically, charged as ONE request.
+
+        Every operation is validated against the store state *as projected
+        through the preceding operations of the same batch* before anything
+        mutates — a failed conditional put or a delete of a missing object
+        raises :class:`ConflictError` / :class:`NotFoundError` and leaves
+        the store untouched.  On success the operations apply in order,
+        each emitting its ordinary directory event with the same version
+        numbers sequential calls would have produced.
+
+        Returns ``{normalized path: new version}`` for the puts.
+        """
+        staged: List[Tuple[BatchOp, str, int]] = []
+        projected: Dict[str, Optional[int]] = {}
+
+        def current_version(path: str) -> int:
+            if path in projected:
+                return projected[path] or 0
+            obj = self._objects.get(path)
+            return obj.version if obj else 0
+
+        for op in batch.ops:
+            path = _normalize(op.path)
+            have = current_version(path)
+            if isinstance(op, BatchPut):
+                if op.expected_version is not None and have != op.expected_version:
+                    raise ConflictError(
+                        f"version conflict on {path}: have {have}, "
+                        f"expected {op.expected_version}"
+                    )
+                version = have + 1
+                projected[path] = version
+                staged.append((op, path, version))
+            elif isinstance(op, BatchDelete):
+                if have == 0:
+                    if op.ignore_missing:
+                        continue
+                    raise NotFoundError(f"no object at {path}")
+                projected[path] = None
+                staged.append((op, path, have))
+            else:  # pragma: no cover - defensive
+                raise StorageError(f"unknown batch operation {op!r}")
+
+        self._account(bytes_in=batch.payload_bytes)
+        self.metrics.batch_commits += 1
+        versions: Dict[str, int] = {}
+        for op, path, version in staged:
+            if isinstance(op, BatchPut):
+                self._apply_put(path, op.data, version)
+                versions[path] = version
+            else:
+                self._apply_delete(path, version)
+        return versions
 
     def list_dir(self, directory: str) -> List[str]:
         """Immediate children (paths) under a directory."""
         directory = _normalize(directory).rstrip("/") + "/"
-        self._account(0)
+        self._account()
         children = set()
         for path in self._objects:
             if path.startswith(directory):
@@ -139,7 +272,7 @@ class CloudStore:
         the new cursor.
         """
         directory = _normalize(directory).rstrip("/") + "/"
-        self._account(0)
+        self._account()
         events = [
             ev for ev in self._event_log
             if ev.sequence > after_sequence
@@ -163,10 +296,27 @@ class CloudStore:
 
     # -- internals -----------------------------------------------------------------
 
-    def _account(self, payload: int) -> None:
+    def _apply_put(self, path: str, data: bytes, version: int) -> None:
+        self._objects[path] = CloudObject(path=path, data=data, version=version)
+        self._event_log.append(DirectoryEvent(
+            sequence=next(self._sequence), path=path, kind="put",
+            version=version,
+        ))
+
+    def _apply_delete(self, path: str, version: int) -> None:
+        self._objects.pop(path, None)
+        self._event_log.append(DirectoryEvent(
+            sequence=next(self._sequence), path=path, kind="delete",
+            version=version,
+        ))
+
+    def _account(self, bytes_in: int = 0, bytes_out: int = 0) -> None:
         self.metrics.requests += 1
-        self.metrics.bytes_in += payload
-        self.metrics.simulated_latency_ms += self._latency.sample(payload)
+        self.metrics.bytes_in += bytes_in
+        self.metrics.bytes_out += bytes_out
+        self.metrics.simulated_latency_ms += self._latency.sample(
+            bytes_in + bytes_out
+        )
 
 
 def _normalize(path: str) -> str:

@@ -5,14 +5,24 @@ orchestrates partition bookkeeping, drives the IBBE-SGX enclave for every
 cryptographic step, signs the resulting metadata, and pushes it to the
 cloud.  At no point does it see a plaintext group or broadcast key — the
 zero-knowledge tests run these exact code paths.
+
+Every mutation is expressed as an :class:`~repro.core.pipeline.OpPlan`
+(enclave batch + ordered cloud effects) executed by one shared
+:meth:`GroupAdministrator._commit_plan` path.  With ``pipeline=True`` (the
+default) the enclave work runs in a single
+:meth:`~repro.sgx.enclave.Enclave.call_batch` crossing and the cloud
+writes land in a single atomic :meth:`~repro.cloud.store.CloudStore.commit`
+round trip; ``pipeline=False`` replays the plan with per-ecall calls and
+per-object requests — the seed behaviour, kept as the reference for the
+equivalence tests and the before/after boundary-cost benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.cloud.store import CloudStore
+from repro.cloud.store import CloudBatch, CloudStore
 from repro.core.cache import AdminCache, AdminGroupState
 from repro.core.metadata import (
     GroupDescriptor,
@@ -22,10 +32,19 @@ from repro.core.metadata import (
     sealed_key_path,
 )
 from repro.core.partitions import PartitionTable
+from repro.core.pipeline import (
+    DropPartition,
+    EcallOp,
+    InstallPartition,
+    OpPlan,
+    PlanEffects,
+    PushSealedKey,
+)
 from repro.crypto import ecdsa
 from repro.crypto.rng import Rng, SystemRng
 from repro.enclave_app.ibbe_enclave import IbbeEnclave, PartitionBlob
 from repro.errors import AccessControlError, MembershipError, SealingError
+from repro.sgx.enclave import ResultRef, resolve_batch_args
 
 
 @dataclass
@@ -39,9 +58,18 @@ class AdminMetrics:
     repartitions: int = 0
     partitions_written: int = 0
     bytes_pushed: int = 0
+    plans_committed: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return dict(vars(self))
+
+
+@dataclass
+class _Placement:
+    """Where a batch-add routed users: one entry per touched partition."""
+
+    fresh: bool
+    users: List[str]
 
 
 class GroupAdministrator:
@@ -51,13 +79,15 @@ class GroupAdministrator:
                  signing_key: ecdsa.EcdsaPrivateKey,
                  partition_capacity: int,
                  rng: Optional[Rng] = None,
-                 auto_repartition: bool = True) -> None:
+                 auto_repartition: bool = True,
+                 pipeline: bool = True) -> None:
         if partition_capacity < 1:
             raise AccessControlError("partition capacity must be >= 1")
         self.enclave = enclave
         self.cloud = cloud
         self.partition_capacity = partition_capacity
         self.auto_repartition = auto_repartition
+        self.pipeline = pipeline
         self._signing_key = signing_key
         self._rng = rng or SystemRng()
         self.cache = AdminCache()
@@ -84,22 +114,36 @@ class GroupAdministrator:
 
     def _build_group(self, group_id: str, members: Sequence[str],
                      epoch: int = 0,
-                     descriptor_version: int = 0) -> AdminGroupState:
+                     descriptor_version: int = 0,
+                     drop_pids: Sequence[int] = ()) -> AdminGroupState:
+        """Shared by creation and re-partitioning: one ``create_group``
+        ecall emits every partition blob; the commit installs them all
+        (and, for re-partitioning, drops the stale partition objects) in
+        one batch."""
         table = PartitionTable.build(members, self.partition_capacity)
-        partition_members = [table.members_of(pid) for pid in table.partition_ids]
-        blobs, sealed_gk = self.enclave.call(
-            "create_group", group_id, partition_members
-        )
-        state = AdminGroupState(group_id=group_id, table=table,
-                                sealed_group_key=sealed_gk, epoch=epoch,
+        pids = table.partition_ids
+        partition_members = [table.members_of(pid) for pid in pids]
+        state = AdminGroupState(group_id=group_id, table=table, epoch=epoch,
                                 descriptor_version=descriptor_version)
-        # The descriptor is the commit point: its conditional put claims
-        # the next version *before* any other object is touched, so a
-        # lost multi-admin race leaves no partial writes behind.
-        self._push_descriptor(state)
-        for pid, blob in zip(table.partition_ids, blobs):
-            self._install_partition(state, pid, blob)
-        self._push_sealed_gk(state)
+
+        def make_plan() -> OpPlan:
+            def effects(results: Sequence[Any]) -> PlanEffects:
+                blobs, sealed_gk = results[0]
+                actions = [
+                    InstallPartition(pid, blob)
+                    for pid, blob in zip(pids, blobs)
+                ]
+                actions.append(PushSealedKey())
+                actions.extend(DropPartition(pid) for pid in drop_pids)
+                return PlanEffects(actions=actions, sealed_gk=sealed_gk)
+
+            return OpPlan(
+                ecalls=[EcallOp("create_group", (group_id, partition_members))],
+                effects=effects,
+                bump_epoch=False,
+            )
+
+        self._commit_plan(state, make_plan)
         return state
 
     # -- Algorithm 2: add user ---------------------------------------------------------
@@ -113,80 +157,178 @@ class GroupAdministrator:
         pid = state.table.pick_open_partition(self._rng)
         if pid is None:
             pid = state.table.add_new_partition(user)
-            blob = self._create_partition_blob(state, [user])
+            fresh_pid = pid
+
+            def make_plan() -> OpPlan:
+                return OpPlan(
+                    ecalls=[EcallOp("create_partition",
+                                    (group_id, [user],
+                                     state.sealed_group_key))],
+                    effects=lambda results: PlanEffects(
+                        actions=[InstallPartition(fresh_pid, results[0])]
+                    ),
+                )
         else:
             state.table.add_to_partition(pid, user)
-            old_record = state.records[pid]
-            new_ciphertext = self.enclave.call(
-                "add_user_to_partition", old_record.ciphertext, user
-            )
-            # The broadcast key is unchanged: y_p is carried over verbatim
-            # (Algorithm 2 pushes only members and ciphertext).
-            blob = PartitionBlob(ciphertext=new_ciphertext,
-                                 envelope=old_record.envelope)
-        state.epoch += 1
-        self._push_descriptor(state)  # commit point (may raise Conflict)
-        self._install_partition(state, pid, blob)
+            record = state.records[pid]
+            host_pid = pid
+
+            def make_plan() -> OpPlan:
+                # The broadcast key is unchanged: y_p is carried over
+                # verbatim (Algorithm 2 pushes only members + ciphertext).
+                return OpPlan(
+                    ecalls=[EcallOp("add_user_to_partition",
+                                    (record.ciphertext, user))],
+                    effects=lambda results: PlanEffects(actions=[
+                        InstallPartition(host_pid, PartitionBlob(
+                            ciphertext=results[0],
+                            envelope=record.envelope,
+                        ))
+                    ]),
+                )
+
+        self._commit_plan(state, make_plan)
         self.metrics.users_added += 1
 
     def add_users(self, group_id: str, users: Sequence[str]) -> None:
-        """Batch addition: one descriptor commit for the whole batch.
+        """Batch addition: one crossing + one commit for the whole batch.
 
-        Amortizes the commit/record pushes over many joins (administrators
-        "perform membership changes for multiple groups at a time", §II —
-        bulk on-boarding is the common case this serves).  The broadcast
-        keys are unchanged throughout, exactly as in repeated single adds.
+        Amortizes the enclave crossing and the cloud round trip over many
+        joins (administrators "perform membership changes for multiple
+        groups at a time", §II — bulk on-boarding is the common case this
+        serves).  The broadcast keys are unchanged throughout, exactly as
+        in repeated single adds; ciphertext extension inside the enclave
+        is deterministic, so the result is byte-identical to the
+        one-call-per-user sequence.
         """
         state = self._require_group(group_id)
         users = list(users)
+        seen: set = set()
         for user in users:
-            if user in state.table or users.count(user) > 1:
+            if user in state.table or user in seen:
                 raise MembershipError(
                     f"user {user!r} is already a member or duplicated"
                 )
-        touched: Dict[int, PartitionBlob] = {}
+            seen.add(user)
+
+        # Placement phase: route every user (mutating the table and
+        # drawing placement randomness) before any enclave work, so the
+        # pipeline and sequential modes consume the RNG identically.
+        placements: Dict[int, _Placement] = {}
         for user in users:
             pid = state.table.pick_open_partition(self._rng)
             if pid is None:
                 pid = state.table.add_new_partition(user)
-                touched[pid] = self._create_partition_blob(state, [user])
+                placements[pid] = _Placement(fresh=True, users=[user])
             else:
                 state.table.add_to_partition(pid, user)
-                previous = touched.get(pid)
-                base_ciphertext = (
-                    previous.ciphertext if previous
-                    else state.records[pid].ciphertext
+                placement = placements.setdefault(
+                    pid, _Placement(fresh=False, users=[])
                 )
-                envelope = (
-                    previous.envelope if previous
-                    else state.records[pid].envelope
-                )
-                new_ciphertext = self.enclave.call(
-                    "add_user_to_partition", base_ciphertext, user
-                )
-                touched[pid] = PartitionBlob(ciphertext=new_ciphertext,
-                                             envelope=envelope)
-        state.epoch += 1
-        self._push_descriptor(state)  # commit point
-        for pid, blob in touched.items():
-            self._install_partition(state, pid, blob)
+                placement.users.append(user)
+
+        def make_plan() -> OpPlan:
+            ecalls: List[EcallOp] = []
+            # (pid, envelope_source, ciphertext_index) where the envelope
+            # source is either a create-partition result index (fresh) or
+            # the existing record's envelope bytes.
+            spec: List[Tuple[int, Any, int]] = []
+            for pid, placement in placements.items():
+                if placement.fresh:
+                    create_index = len(ecalls)
+                    ecalls.append(EcallOp(
+                        "create_partition",
+                        (group_id, [placement.users[0]],
+                         state.sealed_group_key),
+                    ))
+                    ct_index = create_index
+                    if len(placement.users) > 1:
+                        ct_index = len(ecalls)
+                        ecalls.append(EcallOp(
+                            "add_users_to_partition",
+                            (ResultRef(create_index, "ciphertext"),
+                             placement.users[1:]),
+                        ))
+                    spec.append((pid, create_index, ct_index))
+                else:
+                    record = state.records[pid]
+                    index = len(ecalls)
+                    ecalls.append(EcallOp(
+                        "add_users_to_partition",
+                        (record.ciphertext, list(placement.users)),
+                    ))
+                    spec.append((pid, record.envelope, index))
+
+            def effects(results: Sequence[Any]) -> PlanEffects:
+                actions = []
+                for pid, envelope_source, ct_index in spec:
+                    if isinstance(envelope_source, int):
+                        envelope = results[envelope_source].envelope
+                        if ct_index == envelope_source:
+                            ciphertext = results[ct_index].ciphertext
+                        else:
+                            ciphertext = results[ct_index]
+                    else:
+                        envelope = envelope_source
+                        ciphertext = results[ct_index]
+                    actions.append(InstallPartition(pid, PartitionBlob(
+                        ciphertext=ciphertext, envelope=envelope,
+                    )))
+                return PlanEffects(actions=actions)
+
+            return OpPlan(ecalls=ecalls, effects=effects)
+
+        self._commit_plan(state, make_plan)
         self.metrics.users_added += len(users)
 
     def delete_group(self, group_id: str) -> None:
-        """Remove a group and all of its cloud metadata."""
+        """Remove a group and all of its cloud metadata.
+
+        Multi-admin safe: the teardown first *claims* the descriptor with
+        a conditional tombstone put (a signed empty-membership descriptor
+        at the next epoch), so a concurrent administrator's conditional
+        commit loses the race cleanly (:class:`ConflictError`) instead of
+        interleaving writes with a half-deleted group.  Only then are the
+        partitions, the sealed key and finally the descriptor removed.
+        """
         state = self._require_group(group_id)
-        for pid in list(state.table.partition_ids):
-            self._delete_partition(state, pid)
-        for path in (descriptor_path(group_id), sealed_key_path(group_id)):
-            if self.cloud.exists(path):
-                self.cloud.delete(path)
+        pids = list(state.table.partition_ids)
+        dpath = descriptor_path(group_id)
+        spath = sealed_key_path(group_id)
+        tombstone = GroupDescriptor(
+            group_id=group_id,
+            partition_capacity=state.table.capacity,
+            user_to_partition={},
+            epoch=state.epoch + 1,
+        ).signed(self._signing_key)
+        if self.pipeline:
+            batch = CloudBatch()
+            batch.put(dpath, tombstone,
+                      expected_version=state.descriptor_version)
+            for pid in pids:
+                batch.delete(partition_path(group_id, pid),
+                             ignore_missing=True)
+            batch.delete(spath, ignore_missing=True)
+            batch.delete(dpath)
+            self.cloud.commit(batch)
+        else:
+            self.cloud.put(dpath, tombstone,
+                           expected_version=state.descriptor_version)
+            for pid in pids:
+                path = partition_path(group_id, pid)
+                if self.cloud.exists(path):
+                    self.cloud.delete(path)
+            if self.cloud.exists(spath):
+                self.cloud.delete(spath)
+            self.cloud.delete(dpath)
         self.cache.drop(group_id)
 
     # -- Algorithm 3: remove user --------------------------------------------------------
 
     def remove_user(self, group_id: str, user: str) -> None:
         """Revoke ``user``: fresh group key, O(1) update of the hosting
-        partition, O(1) re-key of every other partition."""
+        partition, O(1) re-key of every other partition — all partition
+        blobs emitted by a single enclave entry."""
         state = self._require_group(group_id)
         host_pid = state.table.partition_of(user)
         host_record = state.records[host_pid]
@@ -197,35 +339,54 @@ class GroupAdministrator:
         if len(state.table) == 0:
             # Last member left: drop all metadata; no re-key needed since
             # nobody may read the group any longer.
-            state.epoch += 1
-            self._push_descriptor(state)  # commit point
-            self._delete_partition(state, host_pid)
-            self.metrics.users_removed += 1
-            return
+            def make_plan() -> OpPlan:
+                return OpPlan(
+                    ecalls=[],
+                    effects=lambda results: PlanEffects(
+                        actions=[DropPartition(host_pid)]
+                    ),
+                )
+        elif host_pid in state.table.partition_ids:
+            def make_plan() -> OpPlan:
+                def effects(results: Sequence[Any]) -> PlanEffects:
+                    host_blob, other_blobs, sealed_gk = results[0]
+                    actions = [InstallPartition(host_pid, host_blob)]
+                    actions.extend(
+                        InstallPartition(pid, blob)
+                        for pid, blob in zip(other_pids, other_blobs)
+                    )
+                    actions.append(PushSealedKey())
+                    return PlanEffects(actions=actions, sealed_gk=sealed_gk)
 
-        host_survives = host_pid in state.table.partition_ids
-        if host_survives:
-            host_blob, other_blobs, sealed_gk = self.enclave.call(
-                "remove_user", group_id, user, host_record.ciphertext,
-                [state.records[pid].ciphertext for pid in other_pids],
-            )
+                return OpPlan(
+                    ecalls=[EcallOp("remove_user", (
+                        group_id, user, host_record.ciphertext,
+                        [state.records[pid].ciphertext for pid in other_pids],
+                    ))],
+                    effects=effects,
+                )
         else:
             # Hosting partition became empty: drop it and re-key the rest.
-            host_blob = None
-            other_blobs, sealed_gk = self.enclave.call(
-                "rekey_group", group_id,
-                [state.records[pid].ciphertext for pid in other_pids],
-            )
-        state.sealed_group_key = sealed_gk
-        state.epoch += 1
-        self._push_descriptor(state)  # commit point (may raise Conflict)
-        if host_blob is not None:
-            self._install_partition(state, host_pid, host_blob)
-        else:
-            self._delete_partition(state, host_pid)
-        for pid, blob in zip(other_pids, other_blobs):
-            self._install_partition(state, pid, blob)
-        self._push_sealed_gk(state)
+            def make_plan() -> OpPlan:
+                def effects(results: Sequence[Any]) -> PlanEffects:
+                    other_blobs, sealed_gk = results[0]
+                    actions: List[Any] = [DropPartition(host_pid)]
+                    actions.extend(
+                        InstallPartition(pid, blob)
+                        for pid, blob in zip(other_pids, other_blobs)
+                    )
+                    actions.append(PushSealedKey())
+                    return PlanEffects(actions=actions, sealed_gk=sealed_gk)
+
+                return OpPlan(
+                    ecalls=[EcallOp("rekey_group", (
+                        group_id,
+                        [state.records[pid].ciphertext for pid in other_pids],
+                    ))],
+                    effects=effects,
+                )
+
+        self._commit_plan(state, make_plan)
         self.metrics.users_removed += 1
 
         if self.auto_repartition and state.table.needs_repartition():
@@ -237,16 +398,26 @@ class GroupAdministrator:
         """Refresh the group key without membership changes (A-G)."""
         state = self._require_group(group_id)
         pids = state.table.partition_ids
-        blobs, sealed_gk = self.enclave.call(
-            "rekey_group", group_id,
-            [state.records[pid].ciphertext for pid in pids],
-        )
-        state.sealed_group_key = sealed_gk
-        state.epoch += 1
-        self._push_descriptor(state)  # commit point (may raise Conflict)
-        for pid, blob in zip(pids, blobs):
-            self._install_partition(state, pid, blob)
-        self._push_sealed_gk(state)
+
+        def make_plan() -> OpPlan:
+            def effects(results: Sequence[Any]) -> PlanEffects:
+                blobs, sealed_gk = results[0]
+                actions = [
+                    InstallPartition(pid, blob)
+                    for pid, blob in zip(pids, blobs)
+                ]
+                actions.append(PushSealedKey())
+                return PlanEffects(actions=actions, sealed_gk=sealed_gk)
+
+            return OpPlan(
+                ecalls=[EcallOp("rekey_group", (
+                    group_id,
+                    [state.records[pid].ciphertext for pid in pids],
+                ))],
+                effects=effects,
+            )
+
+        self._commit_plan(state, make_plan)
         self.metrics.rekeys += 1
 
     def repartition(self, group_id: str,
@@ -272,16 +443,17 @@ class GroupAdministrator:
             self.partition_capacity = new_capacity
         members = state.table.all_members()
         old_pids = set(state.table.partition_ids)
-        # _build_group claims the descriptor first (the commit point) and
-        # pushes the new layout; stale partition objects from the old
-        # layout are deleted afterwards.
+        # The new layout's descriptor put claims the next version (the
+        # commit point); stale partition objects from the old layout are
+        # dropped in the same batch.
+        new_table_pids = set(
+            PartitionTable.build(members, self.partition_capacity).partition_ids
+        )
         new_state = self._build_group(
             group_id, members, epoch=state.epoch + 1,
             descriptor_version=state.descriptor_version,
+            drop_pids=sorted(old_pids - new_table_pids),
         )
-        for pid in old_pids - set(new_state.table.partition_ids):
-            if self.cloud.exists(partition_path(group_id, pid)):
-                self.cloud.delete(partition_path(group_id, pid))
         self.cache.put(new_state)
         self.metrics.repartitions += 1
 
@@ -293,28 +465,131 @@ class GroupAdministrator:
     def members(self, group_id: str) -> List[str]:
         return self._require_group(group_id).table.all_members()
 
-    # -- internals -----------------------------------------------------------------------
+    # -- the shared plan executor ---------------------------------------------------------
 
-    def _install_partition(self, state: AdminGroupState, pid: int,
-                           blob: PartitionBlob) -> None:
-        record = PartitionRecord(
+    def _commit_plan(self, state: AdminGroupState,
+                     make_plan: Callable[[], OpPlan]) -> None:
+        """Run one mutation end to end: enclave phase, then cloud commit.
+
+        ``make_plan`` must be a pure function of the (already mutated)
+        bookkeeping state: on a :class:`SealingError` — the cached sealed
+        group key was produced by another admin's enclave — the group key
+        is recovered and re-sealed and the plan is rebuilt against the
+        fresh ``state.sealed_group_key``, then re-run.
+        """
+        plan = make_plan()
+        try:
+            results = self._run_ecalls(plan.ecalls)
+        except SealingError:
+            state.sealed_group_key = self._recover_sealed_gk(state)
+            plan = make_plan()
+            results = self._run_ecalls(plan.ecalls)
+        effects = plan.effects(results)
+        if effects.sealed_gk is not None:
+            state.sealed_group_key = effects.sealed_gk
+        if plan.bump_epoch:
+            state.epoch += 1
+        self._commit_effects(state, effects)
+        self.metrics.plans_committed += 1
+
+    def _run_ecalls(self, ecalls: Sequence[EcallOp]) -> List[Any]:
+        if not ecalls:
+            return []
+        if self.pipeline:
+            return self.enclave.call_batch(
+                [(op.name, op.args) for op in ecalls]
+            )
+        results: List[Any] = []
+        for op in ecalls:
+            args = resolve_batch_args(op.args, results)
+            results.append(self.enclave.call(op.name, *args))
+        return results
+
+    def _commit_effects(self, state: AdminGroupState,
+                        effects: PlanEffects) -> None:
+        """Apply a plan's cloud actions.
+
+        The descriptor put always goes first and is conditional on the
+        version this administrator last observed: it is the commit point —
+        a lost multi-admin race raises :class:`ConflictError` before any
+        object is touched (atomically so in pipeline mode).
+        """
+        descriptor_data = self._encode_descriptor(state)
+        dpath = descriptor_path(state.group_id)
+        # Sign the records up front so both modes do identical work.
+        staged: List[Tuple[str, Any]] = []
+        installed: Dict[int, PartitionRecord] = {}
+        dropped: List[int] = []
+        for action in effects.actions:
+            if isinstance(action, InstallPartition):
+                record = PartitionRecord(
+                    group_id=state.group_id,
+                    partition_id=action.pid,
+                    members=tuple(state.table.members_of(action.pid)),
+                    ciphertext=action.blob.ciphertext,
+                    envelope=action.blob.envelope,
+                )
+                installed[action.pid] = record
+                staged.append(("put", (
+                    partition_path(state.group_id, action.pid),
+                    record.signed(self._signing_key),
+                )))
+            elif isinstance(action, DropPartition):
+                dropped.append(action.pid)
+                staged.append(("delete",
+                               partition_path(state.group_id, action.pid)))
+            elif isinstance(action, PushSealedKey):
+                if state.sealed_group_key:
+                    staged.append(("put", (
+                        sealed_key_path(state.group_id),
+                        state.sealed_group_key,
+                    )))
+            else:  # pragma: no cover - defensive
+                raise AccessControlError(f"unknown plan action {action!r}")
+
+        if self.pipeline:
+            batch = CloudBatch()
+            batch.put(dpath, descriptor_data,
+                      expected_version=state.descriptor_version)
+            for kind, payload in staged:
+                if kind == "put":
+                    batch.put(*payload)
+                else:
+                    batch.delete(payload, ignore_missing=True)
+            versions = self.cloud.commit(batch)
+            state.descriptor_version = versions[dpath]
+        else:
+            state.descriptor_version = self.cloud.put(
+                dpath, descriptor_data,
+                expected_version=state.descriptor_version,
+            )
+            for kind, payload in staged:
+                if kind == "put":
+                    self.cloud.put(*payload)
+                elif self.cloud.exists(payload):
+                    self.cloud.delete(payload)
+
+        # Bookkeeping + metrics (identical in both modes).
+        for pid, record in installed.items():
+            state.records[pid] = record
+        for pid in dropped:
+            state.records.pop(pid, None)
+        self.metrics.bytes_pushed += len(descriptor_data)
+        for kind, payload in staged:
+            if kind == "put":
+                self.metrics.bytes_pushed += len(payload[1])
+        self.metrics.partitions_written += len(installed)
+
+    def _encode_descriptor(self, state: AdminGroupState) -> bytes:
+        return GroupDescriptor(
             group_id=state.group_id,
-            partition_id=pid,
-            members=tuple(state.table.members_of(pid)),
-            ciphertext=blob.ciphertext,
-            envelope=blob.envelope,
-        )
-        state.records[pid] = record
-        data = record.signed(self._signing_key)
-        self.cloud.put(partition_path(state.group_id, pid), data)
-        self.metrics.partitions_written += 1
-        self.metrics.bytes_pushed += len(data)
-
-    def _delete_partition(self, state: AdminGroupState, pid: int) -> None:
-        state.records.pop(pid, None)
-        path = partition_path(state.group_id, pid)
-        if self.cloud.exists(path):
-            self.cloud.delete(path)
+            partition_capacity=state.table.capacity,
+            user_to_partition={
+                user: state.table.partition_of(user)
+                for user in state.table.all_members()
+            },
+            epoch=state.epoch,
+        ).signed(self._signing_key)
 
     # -- persistence / recovery ------------------------------------------------
 
@@ -326,6 +601,8 @@ class GroupAdministrator:
         partition records the ciphertexts, and the sealed group key is the
         opaque blob only the enclave can open.  All records are
         signature-checked against this administrator's verification key.
+        In pipeline mode the partition records and the sealed key arrive
+        in one ``get_many`` round trip.
         """
         descriptor_obj = self.cloud.get(descriptor_path(group_id))
         descriptor = GroupDescriptor.verify_and_decode(
@@ -338,8 +615,26 @@ class GroupAdministrator:
         state = AdminGroupState(group_id=group_id, table=table,
                                 epoch=descriptor.epoch,
                                 descriptor_version=descriptor_obj.version)
-        for pid in sorted(by_partition):
-            record_obj = self.cloud.get(partition_path(group_id, pid))
+        pids = sorted(by_partition)
+        record_paths = {pid: partition_path(group_id, pid) for pid in pids}
+        skey_path = sealed_key_path(group_id)
+        if self.pipeline:
+            objects = self.cloud.get_many(
+                list(record_paths.values()) + [skey_path]
+            )
+            fetch = objects.get
+        else:
+            def fetch(path: str):
+                from repro.errors import NotFoundError
+                try:
+                    return self.cloud.get(path)
+                except NotFoundError:
+                    return None
+        for pid in pids:
+            record_obj = fetch(record_paths[pid])
+            if record_obj is None:
+                from repro.errors import NotFoundError
+                raise NotFoundError(f"no object at {record_paths[pid]}")
             record = PartitionRecord.verify_and_decode(
                 record_obj.data, self.verification_key
             )
@@ -353,36 +648,17 @@ class GroupAdministrator:
                     table._user_to_partition[user] = pid
                 table._next_id = max(table._next_id, pid + 1)
             state.records[pid] = record
-        if self.cloud.exists(sealed_key_path(group_id)):
-            state.sealed_group_key = self.cloud.get(
-                sealed_key_path(group_id)
-            ).data
+        sealed_obj = fetch(skey_path)
+        if sealed_obj is not None:
+            state.sealed_group_key = sealed_obj.data
         self.cache.put(state)
         return state
 
-    def _create_partition_blob(self, state: AdminGroupState,
-                               members: List[str]) -> PartitionBlob:
-        """Algorithm 2's new-partition path, multi-admin-safe.
-
-        In a multi-administrator deployment the cached sealed group key
-        may have been sealed by *another* admin's enclave (sealed blobs
-        are platform-bound).  On a sealing failure the enclave recovers
-        ``gk`` from a current partition record (it holds the MSK) and
-        re-seals it for itself, after which the operation proceeds.
-        """
-        try:
-            return self.enclave.call(
-                "create_partition", state.group_id, members,
-                state.sealed_group_key,
-            )
-        except SealingError:
-            state.sealed_group_key = self._recover_sealed_gk(state)
-            return self.enclave.call(
-                "create_partition", state.group_id, members,
-                state.sealed_group_key,
-            )
-
     def _recover_sealed_gk(self, state: AdminGroupState) -> bytes:
+        """Multi-admin recovery: the cached sealed group key may have been
+        sealed by *another* admin's enclave (sealed blobs are platform-
+        bound).  Holding the MSK, our enclave recovers ``gk`` from a
+        current partition record and re-seals it for itself."""
         reference = next(
             (record for record in state.records.values() if record.members),
             None,
@@ -397,32 +673,6 @@ class GroupAdministrator:
             list(reference.members), reference.ciphertext,
             reference.envelope,
         )
-
-    def _push_sealed_gk(self, state: AdminGroupState) -> None:
-        if state.sealed_group_key:
-            self.cloud.put(sealed_key_path(state.group_id),
-                           state.sealed_group_key)
-            self.metrics.bytes_pushed += len(state.sealed_group_key)
-
-    def _push_descriptor(self, state: AdminGroupState) -> None:
-        descriptor = GroupDescriptor(
-            group_id=state.group_id,
-            partition_capacity=state.table.capacity,
-            user_to_partition={
-                user: state.table.partition_of(user)
-                for user in state.table.all_members()
-            },
-            epoch=state.epoch,
-        )
-        data = descriptor.signed(self._signing_key)
-        # Conditional put: the descriptor is the serialization point for
-        # concurrent administrators — a stale local view raises
-        # ConflictError (handled by core.multiadmin's retry loop).
-        state.descriptor_version = self.cloud.put(
-            descriptor_path(state.group_id), data,
-            expected_version=state.descriptor_version,
-        )
-        self.metrics.bytes_pushed += len(data)
 
     def _require_group(self, group_id: str) -> AdminGroupState:
         state = self.cache.get(group_id)

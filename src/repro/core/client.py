@@ -29,7 +29,6 @@ from repro.core.metadata import GroupDescriptor, PartitionRecord, group_dir
 from repro.crypto import ecdsa
 from repro.errors import (
     AccessControlError,
-    NotFoundError,
     RevokedError,
     StaleMetadataError,
 )
@@ -70,11 +69,23 @@ class GroupClient:
 
     def sync(self) -> bool:
         """One long-poll round: ingest directory events, refresh our
-        partition record.  Returns True when our partition changed."""
+        partition record.  Returns True when our partition changed.
+
+        All objects advertised by the poll round are fetched in a single
+        ``get_many`` round trip (the client-side counterpart of the
+        administrator's batched commit); events are then processed in
+        log order against that snapshot.
+        """
         events, cursor = self._cloud.poll_dir(
             group_dir(self.group_id), self.state.poll_cursor
         )
         self.state.poll_cursor = cursor
+        fetch_paths = list(dict.fromkeys(
+            event.path for event in events
+            if event.kind != "delete"
+            and not event.path.endswith("/sealed-gk")
+        ))
+        objects = self._cloud.get_many(fetch_paths) if fetch_paths else {}
         changed = False
         for event in events:
             if event.kind == "delete":
@@ -87,9 +98,8 @@ class GroupClient:
             if event.path.endswith("/sealed-gk"):
                 # Opaque to everyone but the enclave.
                 continue
-            try:
-                obj = self._cloud.get(event.path)
-            except NotFoundError:
+            obj = objects.get(event.path)
+            if obj is None:
                 # The object was deleted by a later operation (e.g. a
                 # re-partitioning); its delete event follows in the batch.
                 continue

@@ -12,22 +12,28 @@ The honest-but-curious administrator of the paper's model drives these
 ecalls but gains zero knowledge of ``gk`` — the property the boundary leak
 scanner and the zero-knowledge tests enforce.
 
-Ecall inventory (``enclave.call(name, ...)``):
+Ecall inventory (``enclave.call(name, ...)``; entries marked [b] are
+batchable and may ride in a single :meth:`~repro.sgx.enclave.Enclave.call_batch`
+crossing):
 
-===========================  ===============================================
-``setup_system(m)``           System setup; returns (public key, sealed MSK).
-``restore_system(...)``       Reload MSK from a sealed blob after a restart.
-``get_public_key``            Identity public key (Fig. 3).
-``get_attestation_quote``     Quote committing to the identity key (Fig. 3).
-``provision_user_key``        Extract a user secret over a secure channel.
-``extract_user_key_raw``      Extract for benchmark use (bootstrap, Fig. 6b).
-``create_group``              Algorithm 1.
-``create_partition``          Algorithm 2, new-partition path (lines 3-7).
-``add_user_to_partition``     Algorithm 2, existing-partition path (line 11).
-``remove_user``               Algorithm 3.
-``rekey_group``               Re-key every partition without a membership
-                              change (A-G; also used by re-partitioning).
-===========================  ===============================================
+==============================  ===============================================
+``setup_system(m)``              System setup; returns (public key, sealed MSK).
+``restore_system(...)``          Reload MSK from a sealed blob after a restart.
+``get_system_bound`` [b]         Partition capacity ``m`` fixed at setup.
+``get_public_key``               Identity public key (Fig. 3).
+``get_attestation_quote``        Quote committing to the identity key (Fig. 3).
+``provision_user_key``           Extract a user secret over a secure channel.
+``extract_user_key_raw``         Extract for benchmarks (bootstrap, Fig. 6b).
+``create_group`` [b]             Algorithm 1 (all partitions, one entry).
+``create_partition`` [b]         Algorithm 2, new-partition path (lines 3-7).
+``add_user_to_partition`` [b]    Algorithm 2, existing path (line 11).
+``add_users_to_partition`` [b]   Line 11 iterated over many users in one
+                                 entry (batch add).
+``remove_user`` [b]              Algorithm 3 (all partition blobs, one entry).
+``rekey_group`` [b]              Re-key every partition without a membership
+                                 change (A-G; also used by re-partitioning).
+``recover_and_reseal`` [b]       Re-seal another admin's gk for this enclave.
+==============================  ===============================================
 """
 
 from __future__ import annotations
@@ -131,7 +137,7 @@ class IbbeEnclave(Enclave):
 
     # -- trust establishment (Fig. 3) ---------------------------------------------
 
-    @ecall
+    @ecall(batchable=True)
     def get_system_bound(self) -> int:
         """The maximal broadcast-set (partition) size ``m`` fixed at setup."""
         return self._require_pk().m
@@ -218,7 +224,7 @@ class IbbeEnclave(Enclave):
 
     # -- Algorithm 1: create group -------------------------------------------------
 
-    @ecall
+    @ecall(batchable=True)
     def create_group(self, group_id: str,
                      partitions: Sequence[Sequence[str]],
                      ) -> Tuple[List[PartitionBlob], bytes]:
@@ -239,7 +245,7 @@ class IbbeEnclave(Enclave):
 
     # -- Algorithm 2: add user -------------------------------------------------------
 
-    @ecall
+    @ecall(batchable=True)
     def create_partition(self, group_id: str, members: Sequence[str],
                          sealed_gk: bytes) -> PartitionBlob:
         """Algorithm 2 lines 4-6: new partition enveloping the current gk."""
@@ -247,7 +253,7 @@ class IbbeEnclave(Enclave):
         gk = self.track_secret(self._unseal_group_key(group_id, sealed_gk))
         return self._build_partition(msk, pk, members, gk, group_id)
 
-    @ecall
+    @ecall(batchable=True)
     def add_user_to_partition(self, partition_ciphertext: bytes,
                               identity: str) -> bytes:
         """Algorithm 2 line 11: O(1) ciphertext extension, bk unchanged."""
@@ -255,9 +261,26 @@ class IbbeEnclave(Enclave):
         ct = ibbe.IbbeCiphertext.decode(self._group, partition_ciphertext)
         return ibbe.add_user_msk(msk, pk, ct, identity).encode()
 
+    @ecall(batchable=True)
+    def add_users_to_partition(self, partition_ciphertext: bytes,
+                               identities: Sequence[str]) -> bytes:
+        """Algorithm 2 line 11 iterated inside one entry (batch add).
+
+        Each extension is the same deterministic O(1) ``add_user_msk``
+        step, so the resulting ciphertext is byte-identical to applying
+        :meth:`add_user_to_partition` once per identity — without the
+        per-user boundary crossing.
+        """
+        msk, pk = self._require_msk(), self._require_pk()
+        ct = ibbe.IbbeCiphertext.decode(self._group, partition_ciphertext)
+        self._account_epc(len(partition_ciphertext))
+        for identity in identities:
+            ct = ibbe.add_user_msk(msk, pk, ct, identity)
+        return ct.encode()
+
     # -- Algorithm 3: remove user -------------------------------------------------------
 
-    @ecall
+    @ecall(batchable=True)
     def remove_user(self, group_id: str, identity: str,
                     hosting_ciphertext: bytes,
                     other_ciphertexts: Sequence[bytes],
@@ -292,7 +315,7 @@ class IbbeEnclave(Enclave):
         sealed_gk = self._seal_group_key(group_id, gk)
         return host_blob, other_blobs, sealed_gk
 
-    @ecall
+    @ecall(batchable=True)
     def recover_and_reseal(self, group_id: str, members: Sequence[str],
                            ciphertext: bytes, envelope: bytes) -> bytes:
         """Recover ``gk`` from current partition metadata and seal it for
@@ -322,7 +345,7 @@ class IbbeEnclave(Enclave):
         ))
         return self._seal_group_key(group_id, gk)
 
-    @ecall
+    @ecall(batchable=True)
     def rekey_group(self, group_id: str, ciphertexts: Sequence[bytes],
                     ) -> Tuple[List[PartitionBlob], bytes]:
         """Refresh ``gk`` for all partitions without membership changes."""

@@ -24,7 +24,15 @@ Attestation             :mod:`repro.sgx.quote`, :mod:`repro.sgx.ias`,
 from repro.sgx.attestation import provision_user_key, setup_trust
 from repro.sgx.auditor import Auditor, EnclaveCertificate
 from repro.sgx.device import SgxDevice
-from repro.sgx.enclave import Enclave, ecall
+from repro.sgx.enclave import (
+    CrossingMeter,
+    Enclave,
+    EnclaveHandle,
+    EcallRegistry,
+    ResultRef,
+    ecall,
+    trusted_view,
+)
 from repro.sgx.epc import EpcModel, EpcStats
 from repro.sgx.ias import IntelAttestationService
 from repro.sgx.quote import Quote
@@ -32,6 +40,11 @@ from repro.sgx.quote import Quote
 __all__ = [
     "SgxDevice",
     "Enclave",
+    "EnclaveHandle",
+    "EcallRegistry",
+    "CrossingMeter",
+    "ResultRef",
+    "trusted_view",
     "ecall",
     "EpcModel",
     "EpcStats",

@@ -1,8 +1,9 @@
-"""Cloud storage substrate tests: objects, versions, long polling, latency."""
+"""Cloud storage substrate tests: objects, versions, long polling,
+batch commits, latency."""
 
 import pytest
 
-from repro.cloud import CloudStore, LatencyModel
+from repro.cloud import CloudBatch, CloudStore, LatencyModel
 from repro.errors import ConflictError, NotFoundError, StorageError
 
 
@@ -111,13 +112,106 @@ class TestAdversaryView:
         assert view == {"/g/p0": b"secret-ish"}
 
 
+class TestBatchCommit:
+    def test_commit_applies_in_order(self, store):
+        versions = store.commit(
+            CloudBatch().put("/g/descriptor", b"d").put("/g/p0", b"a")
+        )
+        assert versions == {"/g/descriptor": 1, "/g/p0": 1}
+        assert store.get("/g/p0").data == b"a"
+
+    def test_commit_is_one_request(self, store):
+        store.commit(CloudBatch().put("/g/p0", b"a").put("/g/p1", b"bb"))
+        snap = store.metrics.snapshot()
+        assert snap["requests"] == 1
+        assert snap["batch_commits"] == 1
+        assert snap["bytes_in"] == 3
+
+    def test_conditional_put_inside_batch(self, store):
+        store.put("/g/descriptor", b"v1")
+        store.commit(CloudBatch().put("/g/descriptor", b"v2",
+                                      expected_version=1))
+        with pytest.raises(ConflictError):
+            store.commit(CloudBatch().put("/g/descriptor", b"v3",
+                                          expected_version=1))
+
+    def test_failed_commit_leaves_store_untouched(self, store):
+        store.put("/g/descriptor", b"v1")
+        before = {o.path: (o.data, o.version) for o in store.adversary_view()}
+        events_before, _ = store.poll_dir("/g")
+        with pytest.raises(ConflictError):
+            store.commit(
+                CloudBatch()
+                .put("/g/p0", b"partial")
+                .put("/g/descriptor", b"v2", expected_version=7)
+            )
+        after = {o.path: (o.data, o.version) for o in store.adversary_view()}
+        events_after, _ = store.poll_dir("/g")
+        assert after == before
+        assert len(events_after) == len(events_before)
+
+    def test_delete_missing_raises_unless_ignored(self, store):
+        with pytest.raises(NotFoundError):
+            store.commit(CloudBatch().delete("/nope"))
+        store.commit(CloudBatch().delete("/nope", ignore_missing=True))
+        assert store.metrics.batch_commits == 1
+
+    def test_put_after_delete_restarts_versions(self, store):
+        store.put("/g/p0", b"old")
+        store.put("/g/p0", b"old2")
+        versions = store.commit(
+            CloudBatch().delete("/g/p0").put("/g/p0", b"new")
+        )
+        # Matches sequential semantics: a delete resets the version chain.
+        assert versions == {"/g/p0": 1}
+        assert store.get("/g/p0").version == 1
+
+    def test_commit_emits_ordinary_events(self, store):
+        store.commit(CloudBatch().put("/g/p0", b"a").delete("/g/p0"))
+        events, _ = store.poll_dir("/g")
+        assert [e.kind for e in events] == ["put", "delete"]
+
+    def test_conditional_put_sees_in_batch_writes(self, store):
+        with pytest.raises(ConflictError):
+            store.commit(
+                CloudBatch()
+                .put("/g/p0", b"a")
+                .put("/g/p0", b"b", expected_version=0)
+            )
+        store.commit(
+            CloudBatch()
+            .put("/g/p0", b"a")
+            .put("/g/p0", b"b", expected_version=1)
+        )
+        assert store.get("/g/p0").data == b"b"
+
+
+class TestGetMany:
+    def test_fetches_existing_and_skips_missing(self, store):
+        store.put("/g/p0", b"a")
+        store.put("/g/p1", b"bb")
+        objects = store.get_many(["/g/p0", "/g/p1", "/g/ghost"])
+        assert {p: o.data for p, o in objects.items()} == {
+            "/g/p0": b"a", "/g/p1": b"bb",
+        }
+
+    def test_single_request_bytes_out(self, store):
+        store.put("/g/p0", bytes(10))
+        store.put("/g/p1", bytes(20))
+        requests_before = store.metrics.requests
+        store.get_many(["/g/p0", "/g/p1"])
+        assert store.metrics.requests == requests_before + 1
+        assert store.metrics.bytes_out == 30
+
+
 class TestMetricsAndLatency:
     def test_request_accounting(self, store):
         store.put("/g/p0", bytes(100))
         store.get("/g/p0")
         snap = store.metrics.snapshot()
         assert snap["requests"] == 2
-        assert snap["bytes_in"] == 200  # put payload + get payload echo
+        assert snap["bytes_in"] == 100   # upload volume (put payloads)
+        assert snap["bytes_out"] == 100  # download volume (get payloads)
 
     def test_latency_model_disabled_by_default(self, store):
         store.put("/g/p0", b"x")

@@ -1,0 +1,276 @@
+"""Pipeline vs. sequential equivalence — the refactor's safety net.
+
+The batched operation pipeline (``pipeline=True``, the default) must be
+*observationally identical* to the sequential mode it replaced: both run
+the same planning phase (partition-table mutations and RNG draws) before
+any enclave work, and the enclave sees the same ecalls in the same
+order.  Only the transport differs — one crossing instead of N, one
+cloud commit instead of N requests — so the resulting cloud bytes,
+object versions and client-derived keys must match exactly.
+
+Also pins the crossing/request footprint the pipeline was built for, and
+the sparse-partition-id ``load_group_from_cloud`` path.
+"""
+
+import pytest
+
+from repro.core.admin import GroupAdministrator
+from repro.errors import RevokedError
+from tests.conftest import make_system
+
+
+def run_paired(script, seed="equiv", capacity=3, auto_repartition=True,
+               system_bound=64):
+    """Run the same mutation script against a pipelined and a sequential
+    deployment built from the same deterministic seed."""
+    systems = []
+    for pipeline in (True, False):
+        system = make_system(seed, capacity=capacity,
+                             auto_repartition=auto_repartition,
+                             system_bound=system_bound, pipeline=pipeline)
+        script(system)
+        systems.append(system)
+    return systems
+
+
+def cloud_state(system):
+    return {obj.path: (obj.data, obj.version)
+            for obj in system.cloud.adversary_view()}
+
+
+def derived_keys(system, group_id, users):
+    keys = {}
+    for user in users:
+        client = system.make_client(group_id, user)
+        client.sync()
+        keys[user] = client.current_group_key()
+    assert len(set(keys.values())) == 1
+    return keys
+
+
+def assert_equivalent(script, users_after, group_id="g", **kwargs):
+    pipelined, sequential = run_paired(script, **kwargs)
+    assert cloud_state(pipelined) == cloud_state(sequential)
+    if users_after:
+        assert (derived_keys(pipelined, group_id, users_after)
+                == derived_keys(sequential, group_id, users_after))
+    return pipelined, sequential
+
+
+class TestByteIdenticalCloudState:
+    def test_create_group_multiple_partitions(self):
+        members = [f"u{i}" for i in range(8)]
+        assert_equivalent(
+            lambda s: s.admin.create_group("g", members), members,
+        )
+
+    def test_add_user_existing_and_fresh_partition(self):
+        def script(system):
+            system.admin.create_group("g", ["a", "b"])
+            system.admin.add_user("g", "c")   # joins the open partition
+            system.admin.add_user("g", "d")   # fills it? capacity=3: fresh
+            system.admin.add_user("g", "e")   # existing again
+
+        assert_equivalent(script, ["a", "b", "c", "d", "e"])
+
+    def test_add_users_fill_then_spill(self):
+        joiners = [f"j{i}" for i in range(7)]
+
+        def script(system):
+            system.admin.create_group("g", ["a", "b"])
+            system.admin.add_users("g", joiners)
+
+        assert_equivalent(script, ["a", "b"] + joiners)
+
+    def test_remove_user_host_survives(self):
+        def script(system):
+            system.admin.create_group("g", ["a", "b", "c"])
+            system.admin.remove_user("g", "b")
+
+        assert_equivalent(script, ["a", "c"])
+
+    def test_remove_user_host_empties(self):
+        def script(system):
+            system.admin.create_group("g", ["a", "b", "c"])
+            system.admin.remove_user("g", "b")
+
+        assert_equivalent(script, ["a", "c"], capacity=1,
+                          auto_repartition=False)
+
+    def test_remove_last_member(self):
+        def script(system):
+            system.admin.create_group("g", ["solo"])
+            system.admin.remove_user("g", "solo")
+
+        pipelined, sequential = assert_equivalent(script, [])
+        client = pipelined.make_client("g", "solo")
+        client.sync()
+        with pytest.raises(RevokedError):
+            client.current_group_key()
+
+    def test_rekey(self):
+        members = [f"u{i}" for i in range(6)]
+
+        def script(system):
+            system.admin.create_group("g", members)
+            system.admin.rekey("g")
+
+        assert_equivalent(script, members)
+
+    def test_delete_then_recreate(self):
+        def script(system):
+            system.admin.create_group("g", ["a", "b", "c", "d"])
+            system.admin.delete_group("g")
+            system.admin.create_group("g", ["x", "y"])
+
+        assert_equivalent(script, ["x", "y"])
+
+    def test_churn_script(self):
+        """A longer mixed sequence, including auto-repartitioning."""
+        def script(system):
+            admin = system.admin
+            admin.create_group("g", [f"u{i}" for i in range(9)])
+            admin.add_users("g", [f"n{i}" for i in range(5)])
+            for user in ("u1", "u4", "n0", "u8"):
+                admin.remove_user("g", user)
+            admin.rekey("g")
+            admin.add_user("g", "late")
+            admin.create_group("h", ["other"])
+
+        survivors = ([f"u{i}" for i in range(9) if i not in (1, 4, 8)]
+                     + [f"n{i}" for i in range(1, 5)] + ["late"])
+        pipelined, sequential = assert_equivalent(script, survivors)
+        assert (pipelined.admin.metrics.bytes_pushed
+                == sequential.admin.metrics.bytes_pushed)
+        assert (pipelined.admin.metrics.partitions_written
+                == sequential.admin.metrics.partitions_written)
+
+
+class TestCrossingAndRequestFootprint:
+    """The point of the pipeline: one crossing + one commit per mutation,
+    regardless of how many partitions it touches."""
+
+    def _fan_out(self, pipeline):
+        # capacity=1 -> every member is their own partition.
+        system = make_system("footprint", capacity=1, system_bound=4,
+                             auto_repartition=False, pipeline=pipeline)
+        system.admin.create_group("g", [f"u{i}" for i in range(6)])
+        return system
+
+    def test_rekey_is_one_crossing_one_commit(self):
+        system = self._fan_out(pipeline=True)
+        meter = system.enclave.meter
+        metrics = system.cloud.metrics
+        crossings = meter.crossings
+        requests = metrics.requests
+        commits = metrics.batch_commits
+        system.admin.rekey("g")
+        assert meter.crossings - crossings == 1
+        assert metrics.requests - requests == 1
+        assert metrics.batch_commits - commits == 1
+
+    def test_sequential_rekey_pays_per_object(self):
+        system = self._fan_out(pipeline=False)
+        requests = system.cloud.metrics.requests
+        system.admin.rekey("g")
+        # Descriptor + 6 partitions + sealed key, one request each.
+        assert system.cloud.metrics.requests - requests == 8
+        assert system.cloud.metrics.batch_commits == 0
+
+    def test_add_users_batch_is_one_crossing_one_commit(self):
+        system = make_system("footprint-add", capacity=2, system_bound=4,
+                             pipeline=True)
+        system.admin.create_group("g", ["a", "b"])
+        meter = system.enclave.meter
+        metrics = system.cloud.metrics
+        crossings = meter.crossings
+        requests = metrics.requests
+        commits = metrics.batch_commits
+        system.admin.add_users("g", [f"n{i}" for i in range(6)])
+        assert meter.crossings - crossings == 1
+        assert metrics.requests - requests == 1
+        assert metrics.batch_commits - commits == 1
+
+    def test_sequential_add_users_pays_per_partition(self):
+        system = make_system("footprint-add", capacity=2, system_bound=4,
+                             pipeline=False)
+        system.admin.create_group("g", ["a", "b"])
+        crossings = system.enclave.meter.crossings
+        requests = system.cloud.metrics.requests
+        system.admin.add_users("g", [f"n{i}" for i in range(6)])
+        # Three fresh partitions: one create ecall each, plus batched-add
+        # ecalls replayed individually.
+        assert system.enclave.meter.crossings - crossings > 1
+        assert system.cloud.metrics.requests - requests > 1
+
+    def test_delete_group_is_one_commit(self):
+        system = self._fan_out(pipeline=True)
+        metrics = system.cloud.metrics
+        requests = metrics.requests
+        commits = metrics.batch_commits
+        system.admin.delete_group("g")
+        assert metrics.requests - requests == 1
+        assert metrics.batch_commits - commits == 1
+        assert not any("/g/" in obj.path or obj.path.endswith("/g")
+                       for obj in system.cloud.adversary_view())
+
+
+class TestLoadFromCloudSparseIds:
+    """After deletions, partition ids on the cloud are sparse; a takeover
+    administrator must rebuild the exact table, not a renumbered one."""
+
+    def _sparse_world(self, pipeline):
+        system = make_system("sparse", capacity=1, system_bound=4,
+                            auto_repartition=False, pipeline=pipeline)
+        system.admin.create_group("g", ["a", "b", "c"])
+        system.admin.remove_user("g", "b")   # drops partition 1
+        return system
+
+    def _takeover_admin(self, system, pipeline):
+        return GroupAdministrator(
+            enclave=system.enclave,
+            cloud=system.cloud,
+            signing_key=system.admin._signing_key,
+            partition_capacity=1,
+            rng=system.rng,
+            auto_repartition=False,
+            pipeline=pipeline,
+        )
+
+    @pytest.mark.parametrize("pipeline", [True, False])
+    def test_reload_preserves_sparse_partition_ids(self, pipeline):
+        system = self._sparse_world(pipeline)
+        original = system.admin.group_state("g")
+        assert sorted(original.records) == [0, 2]
+
+        admin2 = self._takeover_admin(system, pipeline)
+        state = admin2.load_group_from_cloud("g")
+        assert sorted(state.records) == [0, 2]
+        assert state.epoch == original.epoch
+        assert state.descriptor_version == original.descriptor_version
+        assert {pid: tuple(r.members) for pid, r in state.records.items()} \
+            == {pid: tuple(r.members) for pid, r in original.records.items()}
+        assert state.sealed_group_key == original.sealed_group_key
+
+    def test_new_partition_ids_continue_after_gap(self):
+        system = self._sparse_world(pipeline=True)
+        admin2 = self._takeover_admin(system, pipeline=True)
+        admin2.load_group_from_cloud("g")
+        admin2.add_user("g", "d")
+        state = admin2.group_state("g")
+        # The freed id 1 is not reused blindly past the stored ids.
+        assert sorted(state.records) == [0, 2, 3]
+        client = system.make_client("g", "d")
+        client.sync()
+        assert client.current_group_key() is not None
+
+    def test_pipelined_and_sequential_reload_agree(self):
+        system = self._sparse_world(pipeline=True)
+        via_batch = self._takeover_admin(system, pipeline=True) \
+            .load_group_from_cloud("g")
+        via_single = self._takeover_admin(system, pipeline=False) \
+            .load_group_from_cloud("g")
+        assert via_batch.records.keys() == via_single.records.keys()
+        assert {pid: r.ciphertext for pid, r in via_batch.records.items()} \
+            == {pid: r.ciphertext for pid, r in via_single.records.items()}
+        assert via_batch.sealed_group_key == via_single.sealed_group_key

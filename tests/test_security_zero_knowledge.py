@@ -73,13 +73,20 @@ class TestCuriousAdministrator:
 
     def test_enclave_leak_scanner_active(self, world):
         """The enclave tracks the live gk as secret; a hypothetical leaky
-        ecall would be caught (see test_sgx_enclave for the mechanism)."""
+        ecall would be caught (see test_sgx_enclave for the mechanism).
+
+        White-box assertion standing inside the trust boundary, hence the
+        ``trusted_view`` escape hatch."""
+        from repro.sgx.enclave import trusted_view
         system, _, _ = world
-        assert system.enclave._secret_values  # gk & msk registered
+        assert trusted_view(system.enclave)._secret_values  # gk & msk
 
     def test_msk_never_in_ecall_results(self, world):
+        from repro.sgx.enclave import trusted_view
         system, _, _ = world
-        gamma_bytes = system.enclave._msk.gamma.to_bytes(32, "big")
+        gamma_bytes = trusted_view(system.enclave)._msk.gamma.to_bytes(
+            32, "big"
+        )
         state = system.admin.group_state("team")
         for record in state.records.values():
             assert gamma_bytes not in record.ciphertext

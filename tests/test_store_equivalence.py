@@ -9,10 +9,22 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.cloud import CloudStore, FileCloudStore
+from repro.cloud import CloudBatch, CloudStore, FileCloudStore
 from repro.errors import ConflictError, NotFoundError
 
 PATHS = ["/g/p0", "/g/p1", "/g/descriptor", "/h/p0"]
+
+batch_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("bput"), st.sampled_from(PATHS),
+                  st.binary(max_size=8)),
+        st.tuples(st.just("bcput"), st.sampled_from(PATHS),
+                  st.integers(min_value=0, max_value=3)),
+        st.tuples(st.just("bdel"), st.sampled_from(PATHS),
+                  st.booleans()),
+    ),
+    min_size=1, max_size=4,
+)
 
 operations = st.lists(
     st.one_of(
@@ -24,9 +36,24 @@ operations = st.lists(
         st.tuples(st.just("delete"), st.sampled_from(PATHS)),
         st.tuples(st.just("list"), st.sampled_from(["/g", "/h"])),
         st.tuples(st.just("poll"), st.sampled_from(["/g", "/h"])),
+        st.tuples(st.just("commit"), batch_ops),
+        st.tuples(st.just("get_many"),
+                  st.lists(st.sampled_from(PATHS), max_size=4)),
     ),
     max_size=25,
 )
+
+
+def _build_batch(specs) -> CloudBatch:
+    batch = CloudBatch()
+    for spec in specs:
+        if spec[0] == "bput":
+            batch.put(spec[1], spec[2])
+        elif spec[0] == "bcput":
+            batch.put(spec[1], b"cond", expected_version=spec[2])
+        else:
+            batch.delete(spec[1], ignore_missing=spec[2])
+    return batch
 
 
 def _apply(store, op):
@@ -51,6 +78,14 @@ def _apply(store, op):
             return ("events",
                     tuple((e.path, e.kind, e.version) for e in events),
                     cursor)
+        if kind == "commit":
+            versions = store.commit(_build_batch(op[1]))
+            return ("committed", tuple(sorted(versions.items())))
+        if kind == "get_many":
+            objects = store.get_many(op[1])
+            return ("objects",
+                    tuple(sorted((p, o.data, o.version)
+                                 for p, o in objects.items())))
         raise AssertionError(kind)
     except NotFoundError:
         return ("error", "not-found")
