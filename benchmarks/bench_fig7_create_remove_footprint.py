@@ -31,6 +31,7 @@ from conftest import (
     footprint_delta,
     make_bench_system,
     scaled,
+    traced_breakdown,
 )
 
 GROUP_SIZES = [32, 64, 128, 256]
@@ -190,9 +191,9 @@ def test_fig7c_rekey_boundary_footprint(sink, benchmark):
         _, elapsed = time_call(system.admin.rekey, "g")
         delta = footprint_delta(counters, footprint_counters(system))
         deltas[pipeline] = delta
-        rows.append([label, delta["crossings"], delta["ecalls"],
-                     delta["requests"], delta["batch_commits"],
-                     format_bytes(delta["bytes_in"]),
+        rows.append([label, delta["sgx.crossings"], delta["sgx.ecalls"],
+                     delta["cloud.requests"], delta["cloud.batch_commits"],
+                     format_bytes(delta["cloud.bytes_in"]),
                      format_seconds(elapsed)])
     sink.table(
         f"Fig 7c: rekey boundary footprint ({PIPELINE_MEMBERS} members, "
@@ -204,14 +205,22 @@ def test_fig7c_rekey_boundary_footprint(sink, benchmark):
 
     after = deltas[True]
     before = deltas[False]
-    assert after["crossings"] == 1, "pipelined rekey is one crossing"
-    assert after["requests"] == 1, "pipelined rekey is one cloud request"
-    assert after["batch_commits"] == 1
+    assert after["sgx.crossings"] == 1, "pipelined rekey is one crossing"
+    assert after["cloud.requests"] == 1, \
+        "pipelined rekey is one cloud request"
+    assert after["cloud.batch_commits"] == 1
     # Sequential mode pays per object: descriptor + records + sealed key.
-    assert before["requests"] >= PIPELINE_PARTITIONS + 2
-    assert before["batch_commits"] == 0
+    assert before["cloud.requests"] >= PIPELINE_PARTITIONS + 2
+    assert before["cloud.batch_commits"] == 0
     # Both modes upload the same bytes — the pipeline batches, it does
     # not change the metadata.
-    assert after["bytes_in"] == before["bytes_in"]
+    assert after["cloud.bytes_in"] == before["cloud.bytes_in"]
+
+    # Where the rekey wall-clock goes: crossing vs cloud vs crypto.
+    system = make_bench_system("fig7c-trace", capacity,
+                               auto_repartition=False)
+    system.admin.create_group("g", members)
+    traced_breakdown(sink, "pipelined rekey time breakdown",
+                     lambda: system.admin.rekey("g"))
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

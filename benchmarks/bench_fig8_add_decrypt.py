@@ -25,6 +25,7 @@ from conftest import (
     footprint_delta,
     make_bench_system,
     scaled,
+    traced_breakdown,
 )
 
 ADD_COUNT = 60
@@ -194,8 +195,8 @@ def test_fig8c_batch_add_boundary_footprint(sink, benchmark):
         _, elapsed = time_call(system.admin.add_users, "g", joiners)
         delta = footprint_delta(counters, footprint_counters(system))
         deltas[pipeline] = delta
-        rows.append([label, delta["crossings"], delta["ecalls"],
-                     delta["requests"], delta["batch_commits"],
+        rows.append([label, delta["sgx.crossings"], delta["sgx.ecalls"],
+                     delta["cloud.requests"], delta["cloud.batch_commits"],
                      format_seconds(elapsed)])
         state = system.admin.group_state("g")
         assert state.table.partition_count >= min_partitions
@@ -209,14 +210,22 @@ def test_fig8c_batch_add_boundary_footprint(sink, benchmark):
 
     after = deltas[True]
     before = deltas[False]
-    assert after["crossings"] == 1, "batch enrollment is one crossing"
-    assert after["requests"] == 1, "batch enrollment is one cloud commit"
-    assert after["batch_commits"] == 1
+    assert after["sgx.crossings"] == 1, "batch enrollment is one crossing"
+    assert after["cloud.requests"] == 1, \
+        "batch enrollment is one cloud commit"
+    assert after["cloud.batch_commits"] == 1
     # Sequential mode crosses the boundary once per ecall and pays one
     # cloud request per written object (descriptor + each record).
-    assert before["crossings"] >= min_partitions
-    assert before["requests"] >= min_partitions + 1
+    assert before["sgx.crossings"] >= min_partitions
+    assert before["cloud.requests"] >= min_partitions + 1
     # Transport changes, the work does not: same ecalls either way.
-    assert after["ecalls"] == before["ecalls"]
+    assert after["sgx.ecalls"] == before["sgx.ecalls"]
+
+    # Where the enrollment wall-clock goes: crossing vs cloud vs crypto.
+    system = make_bench_system("fig8c-trace", PIPELINE_CAPACITY,
+                               auto_repartition=False)
+    system.admin.create_group("g", ["seed0"])
+    traced_breakdown(sink, "pipelined batch-add time breakdown",
+                     lambda: system.admin.add_users("g", joiners))
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

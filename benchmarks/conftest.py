@@ -109,23 +109,49 @@ def make_bench_system(seed: str, capacity: int, params: str = "toy64",
     )
 
 
-def footprint_counters(system) -> dict:
-    """Boundary-crossing and cloud-traffic counters for pipeline reports.
+#: The dotted metric names the pipeline reports track.  ``cloud.bytes_in``
+#: is upload volume (put payloads), ``cloud.bytes_out`` download volume
+#: (get payloads) — the asymmetric quantities cloud providers meter and
+#: bill separately.
+FOOTPRINT_METRICS = (
+    "sgx.crossings",
+    "sgx.ecalls",
+    "cloud.requests",
+    "cloud.batch_commits",
+    "cloud.bytes_in",
+    "cloud.bytes_out",
+)
 
-    ``bytes_in`` is upload volume (put payloads), ``bytes_out`` download
-    volume (get payloads) — the asymmetric quantities cloud providers
-    meter and bill separately."""
-    meter = system.enclave.meter
-    cloud = system.cloud.metrics
-    return {
-        "crossings": meter.crossings,
-        "ecalls": meter.ecalls,
-        "requests": cloud.requests,
-        "batch_commits": cloud.batch_commits,
-        "bytes_in": cloud.bytes_in,
-        "bytes_out": cloud.bytes_out,
-    }
+
+def footprint_counters(system) -> dict:
+    """Boundary-crossing and cloud-traffic counters for pipeline reports,
+    read from the unified telemetry snapshot (``System.telemetry()``)."""
+    metrics = system.telemetry()["metrics"]
+    return {name: metrics[name] for name in FOOTPRINT_METRICS}
 
 
 def footprint_delta(before: dict, after: dict) -> dict:
     return {key: after[key] - before[key] for key in before}
+
+
+def traced_breakdown(sink, title: str, action) -> None:
+    """Run ``action`` once with span tracing enabled and print the
+    per-category self-time breakdown into the sink.
+
+    Always a *separate* rerun, never the timed measurement — tracing
+    overhead must not contaminate the numbers the assertions check."""
+    from repro import obs
+
+    tr = obs.tracer()
+    was_enabled = tr.enabled
+    tr.reset()
+    tr.enable()
+    try:
+        action()
+    finally:
+        if not was_enabled:
+            tr.disable()
+    sink.line(f"\n  {title} (traced rerun):")
+    for line in obs.breakdown_table(tr.spans()):
+        sink.line(f"    {line}")
+    tr.reset()

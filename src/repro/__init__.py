@@ -21,7 +21,7 @@ for the architecture and experiment index.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cloud import CloudStore, LatencyModel
 from repro.core import GroupAdministrator, GroupClient
@@ -29,6 +29,15 @@ from repro.crypto import DeterministicRng, Rng, SystemRng
 from repro.crypto import ecdsa
 from repro.enclave_app import IbbeEnclave
 from repro.errors import ReproError
+from repro.obs import (
+    MetricRegistry,
+    MetricSource,
+    Span,
+    Tracer,
+    merge_snapshots,
+    telemetry_snapshot,
+    tracer,
+)
 from repro.pairing import PairingGroup, preset, std160, toy64
 from repro.sgx import (
     Auditor,
@@ -56,6 +65,13 @@ __all__ = [
     "Auditor",
     "System",
     "quickstart_system",
+    "MetricRegistry",
+    "MetricSource",
+    "Span",
+    "Tracer",
+    "merge_snapshots",
+    "telemetry_snapshot",
+    "tracer",
 ]
 
 
@@ -80,6 +96,7 @@ class System:
     sealed_msk: bytes
     rng: Rng
     _user_keys: Dict[str, object] = field(default_factory=dict)
+    _clients: List[GroupClient] = field(default_factory=list)
 
     def user_key(self, identity: str):
         """Provision (and cache) a user's IBBE secret key via the attested
@@ -99,7 +116,7 @@ class System:
         return self._user_keys[identity]
 
     def make_client(self, group_id: str, identity: str) -> GroupClient:
-        return GroupClient(
+        client = GroupClient(
             group_id=group_id,
             identity=identity,
             user_key=self.user_key(identity),
@@ -107,6 +124,41 @@ class System:
             cloud=self.cloud,
             admin_verification_key=self.admin.verification_key,
         )
+        self._clients.append(client)
+        return client
+
+    # -- observability ----------------------------------------------------------
+
+    def metric_sources(self) -> List[MetricSource]:
+        """Every :class:`~repro.obs.MetricSource` in this deployment:
+        the enclave's ``sgx.*`` meter, the cloud's ``cloud.*`` metrics,
+        the administrator's ``admin.*`` registry (which includes its
+        cache accounting) and each client's ``client.*`` registry."""
+        sources: List[MetricSource] = [
+            self.enclave.meter.registry,
+            self.cloud.metrics.registry,
+            self.admin.metrics.registry,
+        ]
+        sources.extend(client.registry for client in self._clients)
+        return sources
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Aggregated observability snapshot of the whole deployment.
+
+        Returns ``{"metrics": {dotted name: value}, "trace": {...}}`` —
+        the merged :meth:`metric_sources` plus a summary of the spans the
+        global tracer has collected (empty unless tracing is enabled via
+        ``repro.obs.enable()`` or ``REPRO_TELEMETRY=1``).  Client
+        registries share the ``client.*`` names, so with several clients
+        the merged view reflects the most recently created one; read
+        ``client.registry`` directly for per-client numbers.
+        """
+        return telemetry_snapshot(self.metric_sources())
+
+    def reset_metrics(self) -> None:
+        """Zero every metric source (spans are left to the tracer)."""
+        for source in self.metric_sources():
+            source.reset()
 
 
 def quickstart_system(partition_capacity: int = 1000,

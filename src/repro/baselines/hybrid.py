@@ -26,6 +26,8 @@ from repro.core.serialize import Reader, Writer
 from repro.crypto import ecies
 from repro.crypto.rng import Rng, SystemRng
 from repro.errors import AccessControlError, MembershipError, RevokedError
+from repro.obs.metrics import MetricRegistry
+from repro.obs.spans import span as _span
 from repro.pairing.group import PairingGroup
 
 
@@ -161,6 +163,14 @@ class HybridGroupManager:
         self.cloud = cloud
         self._rng = rng or SystemRng()
         self._groups: Dict[str, HybridGroupState] = {}
+        # Same observability surface as the IBBE-SGX administrator: a
+        # registry of dotted-name counters under baseline.*.
+        self.registry = MetricRegistry()
+        self._m_created = self.registry.counter("baseline.groups_created")
+        self._m_added = self.registry.counter("baseline.users_added")
+        self._m_removed = self.registry.counter("baseline.users_removed")
+        self._m_rekeys = self.registry.counter("baseline.rekeys")
+        self._m_pushed = self.registry.counter("baseline.bytes_pushed")
 
     # -- membership operations -----------------------------------------------
 
@@ -171,12 +181,15 @@ class HybridGroupManager:
             raise AccessControlError(f"group {group_id!r} already exists")
         if len(set(members)) != len(members):
             raise MembershipError("duplicate members in group definition")
-        gk = self._rng.random_bytes(GROUP_KEY_SIZE)
-        state = HybridGroupState(group_id=group_id, group_key=gk)
-        for user in members:
-            state.wrapped_keys[user] = self.scheme.encrypt_for(user, gk)
-        self._groups[group_id] = state
-        self._push(state)
+        with _span("baseline.create_group", scheme=self.scheme.name,
+                   members=len(members)):
+            gk = self._rng.random_bytes(GROUP_KEY_SIZE)
+            state = HybridGroupState(group_id=group_id, group_key=gk)
+            for user in members:
+                state.wrapped_keys[user] = self.scheme.encrypt_for(user, gk)
+            self._groups[group_id] = state
+            self._push(state)
+        self._m_created.add()
         return state
 
     def add_user(self, group_id: str, user: str) -> None:
@@ -184,32 +197,39 @@ class HybridGroupManager:
         state = self._require(group_id)
         if user in state.wrapped_keys:
             raise MembershipError(f"user {user!r} is already a member")
-        state.wrapped_keys[user] = self.scheme.encrypt_for(
-            user, state.group_key
-        )
-        self._push(state)
+        with _span("baseline.add_user", scheme=self.scheme.name):
+            state.wrapped_keys[user] = self.scheme.encrypt_for(
+                user, state.group_key
+            )
+            self._push(state)
+        self._m_added.add()
 
     def remove_user(self, group_id: str, user: str) -> None:
         """O(n): fresh gk re-encrypted for every remaining member."""
         state = self._require(group_id)
         if user not in state.wrapped_keys:
             raise MembershipError(f"user {user!r} is not a member")
-        del state.wrapped_keys[user]
-        state.group_key = self._rng.random_bytes(GROUP_KEY_SIZE)
-        for member in state.wrapped_keys:
-            state.wrapped_keys[member] = self.scheme.encrypt_for(
-                member, state.group_key
-            )
-        self._push(state)
+        with _span("baseline.remove_user", scheme=self.scheme.name,
+                   remaining=len(state.wrapped_keys) - 1):
+            del state.wrapped_keys[user]
+            state.group_key = self._rng.random_bytes(GROUP_KEY_SIZE)
+            for member in state.wrapped_keys:
+                state.wrapped_keys[member] = self.scheme.encrypt_for(
+                    member, state.group_key
+                )
+            self._push(state)
+        self._m_removed.add()
 
     def rekey(self, group_id: str) -> None:
         state = self._require(group_id)
-        state.group_key = self._rng.random_bytes(GROUP_KEY_SIZE)
-        for member in state.wrapped_keys:
-            state.wrapped_keys[member] = self.scheme.encrypt_for(
-                member, state.group_key
-            )
-        self._push(state)
+        with _span("baseline.rekey", scheme=self.scheme.name):
+            state.group_key = self._rng.random_bytes(GROUP_KEY_SIZE)
+            for member in state.wrapped_keys:
+                state.wrapped_keys[member] = self.scheme.encrypt_for(
+                    member, state.group_key
+                )
+            self._push(state)
+        self._m_rekeys.add()
 
     # -- user side ---------------------------------------------------------------
 
@@ -233,7 +253,9 @@ class HybridGroupManager:
 
     def _push(self, state: HybridGroupState) -> None:
         if self.cloud is not None:
-            self.cloud.put(f"/{state.group_id}/he-metadata", state.encode())
+            data = state.encode()
+            self.cloud.put(f"/{state.group_id}/he-metadata", data)
+            self._m_pushed.add(len(data))
 
     def _require(self, group_id: str) -> HybridGroupState:
         state = self._groups.get(group_id)

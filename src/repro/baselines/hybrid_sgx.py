@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.envelope import GROUP_KEY_SIZE
 from repro.crypto import ecies
 from repro.errors import EnclaveError, MembershipError
+from repro.obs.metrics import MetricRegistry
 from repro.sgx.enclave import Enclave, ecall
 
 
@@ -129,6 +130,12 @@ class HeSgxGroupManager:
         #: client-side private keys (held by users, kept here for tests)
         self.user_keys: Dict[str, ecies.EciesPrivateKey] = user_keys or {}
         self._wrapped: Dict[str, Dict[str, bytes]] = {}
+        # baseline.* counters, same surface as HybridGroupManager; the
+        # enclave boundary costs show up in the enclave's own sgx.* meter.
+        self.registry = MetricRegistry()
+        self._m_created = self.registry.counter("baseline.groups_created")
+        self._m_added = self.registry.counter("baseline.users_added")
+        self._m_removed = self.registry.counter("baseline.users_removed")
 
     def register_user(self, identity: str,
                       private_key: ecies.EciesPrivateKey) -> None:
@@ -150,12 +157,14 @@ class HeSgxGroupManager:
         self._wrapped[group_id] = self.enclave.call(
             "create_group", group_id, list(members)
         )
+        self._m_created.add()
 
     def add_user(self, group_id: str, user: str) -> None:
         wrapped = self._require(group_id)
         if user in wrapped:
             raise MembershipError(f"user {user!r} is already a member")
         wrapped[user] = self.enclave.call("add_user", group_id, user)
+        self._m_added.add()
 
     def remove_user(self, group_id: str, user: str) -> None:
         wrapped = self._require(group_id)
@@ -165,6 +174,7 @@ class HeSgxGroupManager:
         self._wrapped[group_id] = self.enclave.call(
             "remove_user", group_id, remaining
         )
+        self._m_removed.add()
 
     def derive_group_key(self, group_id: str, user: str) -> bytes:
         wrapped = self._require(group_id).get(user)

@@ -113,6 +113,14 @@ class Deployment:
         if self.admin.cache.get(group_id) is None:
             self.admin.load_group_from_cloud(group_id)
 
+    def metric_sources(self) -> list:
+        """Admin-side metric registries (same shape as System.metric_sources)."""
+        return [
+            self.enclave.meter.registry,
+            self.cloud.metrics.registry,
+            self.admin.metrics.registry,
+        ]
+
 
 def _load_scalar(path: Path) -> ecdsa.EcdsaPrivateKey:
     return ecdsa.EcdsaPrivateKey(int(path.read_text("utf-8").strip(), 16))
@@ -320,12 +328,17 @@ def cmd_gen_trace(args) -> int:
 
 def cmd_replay(args) -> int:
     """Replay a trace file against this deployment and report costs."""
+    from repro import obs
     from repro.bench import format_seconds
     from repro.workloads import ReplayEngine, load_trace
     from repro.workloads.replay import IbbeSgxReplayAdapter
 
+    if args.telemetry:
+        obs.enable()
     deployment = Deployment(Path(args.state), Path(args.cloud))
     trace = load_trace(args.trace)
+
+    clients = []
 
     class _DeploymentShim:
         """Adapter expects a System-shaped object."""
@@ -339,11 +352,13 @@ def cmd_replay(args) -> int:
                 identity=identity,
                 element=G1Element.decode(deployment.group, raw),
             )
-            return GroupClient(
+            client = GroupClient(
                 group_id=group_id, identity=identity, user_key=user_key,
                 public_key=deployment.public_key, cloud=deployment.cloud,
                 admin_verification_key=deployment.admin.verification_key,
             )
+            clients.append(client)
+            return client
 
     engine = ReplayEngine(IbbeSgxReplayAdapter(_DeploymentShim()),
                           group_id=args.group,
@@ -356,6 +371,21 @@ def cmd_replay(args) -> int:
     if report.decrypt_samples:
         print(f"mean client decrypt: "
               f"{format_seconds(report.mean_decrypt_seconds)}")
+    if args.telemetry:
+        spans = obs.tracer().spans()
+        sources = deployment.metric_sources() + [engine.registry]
+        sources.extend(client.registry for client in clients)
+        print()
+        print("== metrics ==")
+        for line in obs.format_metrics(obs.merge_snapshots(sources)):
+            print(line)
+        print()
+        print("== time breakdown (self time per category) ==")
+        for line in obs.breakdown_table(spans):
+            print(line)
+    if args.trace_out:
+        written = obs.write_jsonl(obs.tracer().spans(), args.trace_out)
+        print(f"wrote {written} spans -> {args.trace_out}")
     return 0
 
 
@@ -454,6 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--group", default="replayed")
     p.add_argument("--sample-every", type=int, default=0,
                    help="sample a client decrypt every N operations")
+    p.add_argument("--telemetry", action="store_true",
+                   help="enable span tracing and print a metric snapshot "
+                        "and per-category time breakdown after the replay")
+    p.add_argument("--trace-out", default=None,
+                   help="write the recorded spans as JSONL to this file")
     p.set_defaults(func=cmd_replay)
 
     return parser

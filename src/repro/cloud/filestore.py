@@ -31,6 +31,7 @@ from repro.cloud.store import (
     _normalize,
 )
 from repro.errors import ConflictError, NotFoundError, StorageError
+from repro.obs.spans import span as _span
 
 
 def _slug(path: str) -> str:
@@ -60,42 +61,48 @@ class FileCloudStore:
     def put(self, path: str, data: bytes,
             expected_version: Optional[int] = None) -> int:
         path = _normalize(path)
-        self._account(bytes_in=len(data))
-        current = self._current_version(path)
-        if expected_version is not None and current != expected_version:
-            raise ConflictError(
-                f"version conflict on {path}: have {current}, "
-                f"expected {expected_version}"
-            )
-        version = current + 1
-        self._apply_put(path, data, version)
-        return version
+        with _span("cloud.put", path=path, bytes=len(data)) as sp:
+            sp.set(latency_ms=self._account(bytes_in=len(data)))
+            current = self._current_version(path)
+            if expected_version is not None and current != expected_version:
+                raise ConflictError(
+                    f"version conflict on {path}: have {current}, "
+                    f"expected {expected_version}"
+                )
+            version = current + 1
+            self._apply_put(path, data, version)
+            return version
 
     def get(self, path: str) -> CloudObject:
         path = _normalize(path)
-        object_path = self._objects_dir / _slug(path)
-        if not object_path.exists():
-            raise NotFoundError(f"no object at {path}")
-        data = object_path.read_bytes()
-        self._account(bytes_out=len(data))
-        version = self._read_version(object_path.with_suffix(".meta"))
-        return CloudObject(path=path, data=data, version=version)
+        with _span("cloud.get", path=path) as sp:
+            object_path = self._objects_dir / _slug(path)
+            if not object_path.exists():
+                raise NotFoundError(f"no object at {path}")
+            data = object_path.read_bytes()
+            sp.set(bytes=len(data),
+                   latency_ms=self._account(bytes_out=len(data)))
+            version = self._read_version(object_path.with_suffix(".meta"))
+            return CloudObject(path=path, data=data, version=version)
 
     def get_many(self, paths: Iterable[str]) -> Dict[str, CloudObject]:
         """Fetch several objects in one round trip (missing paths skipped)."""
-        found: Dict[str, CloudObject] = {}
-        for raw in paths:
-            path = _normalize(raw)
-            object_path = self._objects_dir / _slug(path)
-            if not object_path.exists():
-                continue
-            found[path] = CloudObject(
-                path=path,
-                data=object_path.read_bytes(),
-                version=self._read_version(object_path.with_suffix(".meta")),
-            )
-        self._account(bytes_out=sum(len(o.data) for o in found.values()))
-        return found
+        with _span("cloud.get_many") as sp:
+            found: Dict[str, CloudObject] = {}
+            for raw in paths:
+                path = _normalize(raw)
+                object_path = self._objects_dir / _slug(path)
+                if not object_path.exists():
+                    continue
+                found[path] = CloudObject(
+                    path=path,
+                    data=object_path.read_bytes(),
+                    version=self._read_version(object_path.with_suffix(".meta")),
+                )
+            payload = sum(len(o.data) for o in found.values())
+            sp.set(objects=len(found), bytes=payload,
+                   latency_ms=self._account(bytes_out=payload))
+            return found
 
     def exists(self, path: str) -> bool:
         return (self._objects_dir / _slug(_normalize(path))).exists()
@@ -117,46 +124,48 @@ class FileCloudStore:
         individual file writes are not crash-atomic, matching the rest of
         this store's single-writer model.
         """
-        staged = []
-        projected: Dict[str, Optional[int]] = {}
+        with _span("cloud.commit", ops=len(batch.ops),
+                   bytes=batch.payload_bytes) as sp:
+            staged = []
+            projected: Dict[str, Optional[int]] = {}
 
-        def current(path: str) -> int:
-            if path in projected:
-                return projected[path] or 0
-            return self._current_version(path)
+            def current(path: str) -> int:
+                if path in projected:
+                    return projected[path] or 0
+                return self._current_version(path)
 
-        for op in batch.ops:
-            path = _normalize(op.path)
-            have = current(path)
-            if isinstance(op, BatchPut):
-                if op.expected_version is not None and have != op.expected_version:
-                    raise ConflictError(
-                        f"version conflict on {path}: have {have}, "
-                        f"expected {op.expected_version}"
-                    )
-                version = have + 1
-                projected[path] = version
-                staged.append((op, path, version))
-            elif isinstance(op, BatchDelete):
-                if have == 0:
-                    if op.ignore_missing:
-                        continue
-                    raise NotFoundError(f"no object at {path}")
-                projected[path] = None
-                staged.append((op, path, have))
-            else:  # pragma: no cover - defensive
-                raise StorageError(f"unknown batch operation {op!r}")
+            for op in batch.ops:
+                path = _normalize(op.path)
+                have = current(path)
+                if isinstance(op, BatchPut):
+                    if op.expected_version is not None and have != op.expected_version:
+                        raise ConflictError(
+                            f"version conflict on {path}: have {have}, "
+                            f"expected {op.expected_version}"
+                        )
+                    version = have + 1
+                    projected[path] = version
+                    staged.append((op, path, version))
+                elif isinstance(op, BatchDelete):
+                    if have == 0:
+                        if op.ignore_missing:
+                            continue
+                        raise NotFoundError(f"no object at {path}")
+                    projected[path] = None
+                    staged.append((op, path, have))
+                else:  # pragma: no cover - defensive
+                    raise StorageError(f"unknown batch operation {op!r}")
 
-        self._account(bytes_in=batch.payload_bytes)
-        self.metrics.batch_commits += 1
-        versions: Dict[str, int] = {}
-        for op, path, version in staged:
-            if isinstance(op, BatchPut):
-                self._apply_put(path, op.data, version)
-                versions[path] = version
-            else:
-                self._apply_delete(path, version)
-        return versions
+            sp.set(latency_ms=self._account(bytes_in=batch.payload_bytes))
+            self.metrics.batch_commits += 1
+            versions: Dict[str, int] = {}
+            for op, path, version in staged:
+                if isinstance(op, BatchPut):
+                    self._apply_put(path, op.data, version)
+                    versions[path] = version
+                else:
+                    self._apply_delete(path, version)
+            return versions
 
     def list_dir(self, directory: str) -> List[str]:
         directory = _normalize(directory).rstrip("/") + "/"
@@ -176,16 +185,18 @@ class FileCloudStore:
     def poll_dir(self, directory: str, after_sequence: int = 0,
                  ) -> Tuple[List[DirectoryEvent], int]:
         directory = _normalize(directory).rstrip("/") + "/"
-        self._account(0)
-        events = []
-        cursor = after_sequence
-        for event in self._read_events():
-            cursor = max(cursor, event.sequence)
-            if event.sequence <= after_sequence:
-                continue
-            if event.path.startswith(directory) or event.path == directory[:-1]:
-                events.append(event)
-        return events, cursor
+        with _span("cloud.poll_dir", dir=directory) as sp:
+            sp.set(latency_ms=self._account(0))
+            events = []
+            cursor = after_sequence
+            for event in self._read_events():
+                cursor = max(cursor, event.sequence)
+                if event.sequence <= after_sequence:
+                    continue
+                if event.path.startswith(directory) or event.path == directory[:-1]:
+                    events.append(event)
+            sp.set(events=len(events))
+            return events, cursor
 
     # -- adversary interface -------------------------------------------------------
 
@@ -266,10 +277,10 @@ class FileCloudStore:
                 raise StorageError("corrupt event log") from exc
         return events
 
-    def _account(self, bytes_in: int = 0, bytes_out: int = 0) -> None:
+    def _account(self, bytes_in: int = 0, bytes_out: int = 0) -> float:
+        latency_ms = self._latency.sample(bytes_in + bytes_out)
         self.metrics.requests += 1
         self.metrics.bytes_in += bytes_in
         self.metrics.bytes_out += bytes_out
-        self.metrics.simulated_latency_ms += self._latency.sample(
-            bytes_in + bytes_out
-        )
+        self.metrics.simulated_latency_ms += latency_ms
+        return latency_ms

@@ -34,6 +34,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Un
 
 from repro.cloud.latency import LatencyModel
 from repro.errors import ConflictError, NotFoundError, StorageError
+from repro.obs.metrics import CounterField, MetricRegistry
+from repro.obs.spans import span as _span
 
 
 @dataclass(frozen=True)
@@ -53,15 +55,29 @@ class DirectoryEvent:
     version: int
 
 
-@dataclass
 class CloudMetrics:
-    requests: int = 0
-    bytes_in: int = 0
-    bytes_out: int = 0
-    batch_commits: int = 0
-    simulated_latency_ms: float = 0.0
+    """Round-trip accounting shared by every store implementation.
+
+    Values live in a ``repro.obs`` :class:`~repro.obs.MetricRegistry`
+    under the ``cloud.*`` namespace; the attributes and the flat
+    :meth:`snapshot` are the compatibility shim over it (see
+    :class:`~repro.obs.CounterField`).
+    """
+
+    requests = CounterField("cloud.requests")
+    bytes_in = CounterField("cloud.bytes_in")
+    bytes_out = CounterField("cloud.bytes_out")
+    batch_commits = CounterField("cloud.batch_commits")
+    simulated_latency_ms = CounterField("cloud.simulated_latency_ms")
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        for name in ("cloud.requests", "cloud.bytes_in", "cloud.bytes_out",
+                     "cloud.batch_commits", "cloud.simulated_latency_ms"):
+            self.registry.counter(name)
 
     def snapshot(self) -> Dict[str, float]:
+        """Flat legacy view; prefer ``metrics.registry.snapshot()`` (dotted)."""
         return {
             "requests": self.requests,
             "bytes_in": self.bytes_in,
@@ -69,6 +85,14 @@ class CloudMetrics:
             "batch_commits": self.batch_commits,
             "simulated_latency_ms": self.simulated_latency_ms,
         }
+
+    def reset(self) -> None:
+        self.registry.reset()
+
+    def __repr__(self) -> str:
+        return (f"CloudMetrics(requests={self.requests}, "
+                f"bytes_in={self.bytes_in}, bytes_out={self.bytes_out}, "
+                f"batch_commits={self.batch_commits})")
 
 
 @dataclass(frozen=True)
@@ -147,26 +171,29 @@ class CloudStore:
         With ``expected_version`` set, the put is conditional (used by
         multi-admin setups to detect lost updates)."""
         path = _normalize(path)
-        self._account(bytes_in=len(data))
-        current = self._objects.get(path)
-        if expected_version is not None:
-            have = current.version if current else 0
-            if have != expected_version:
-                raise ConflictError(
-                    f"version conflict on {path}: have {have}, "
-                    f"expected {expected_version}"
-                )
-        version = (current.version if current else 0) + 1
-        self._apply_put(path, data, version)
-        return version
+        with _span("cloud.put", path=path, bytes=len(data)) as sp:
+            sp.set(latency_ms=self._account(bytes_in=len(data)))
+            current = self._objects.get(path)
+            if expected_version is not None:
+                have = current.version if current else 0
+                if have != expected_version:
+                    raise ConflictError(
+                        f"version conflict on {path}: have {have}, "
+                        f"expected {expected_version}"
+                    )
+            version = (current.version if current else 0) + 1
+            self._apply_put(path, data, version)
+            return version
 
     def get(self, path: str) -> CloudObject:
         path = _normalize(path)
-        obj = self._objects.get(path)
-        if obj is None:
-            raise NotFoundError(f"no object at {path}")
-        self._account(bytes_out=len(obj.data))
-        return obj
+        with _span("cloud.get", path=path) as sp:
+            obj = self._objects.get(path)
+            if obj is None:
+                raise NotFoundError(f"no object at {path}")
+            sp.set(bytes=len(obj.data),
+                   latency_ms=self._account(bytes_out=len(obj.data)))
+            return obj
 
     def get_many(self, paths: Iterable[str]) -> Dict[str, CloudObject]:
         """Fetch several objects in one round trip.
@@ -176,13 +203,16 @@ class CloudStore:
         the per-path ``NotFoundError → skip`` pattern clients used with
         sequential gets.  Returns ``{normalized path: object}``.
         """
-        found: Dict[str, CloudObject] = {}
-        for path in paths:
-            obj = self._objects.get(_normalize(path))
-            if obj is not None:
-                found[obj.path] = obj
-        self._account(bytes_out=sum(len(o.data) for o in found.values()))
-        return found
+        with _span("cloud.get_many") as sp:
+            found: Dict[str, CloudObject] = {}
+            for path in paths:
+                obj = self._objects.get(_normalize(path))
+                if obj is not None:
+                    found[obj.path] = obj
+            payload = sum(len(o.data) for o in found.values())
+            sp.set(objects=len(found), bytes=payload,
+                   latency_ms=self._account(bytes_out=payload))
+            return found
 
     def exists(self, path: str) -> bool:
         return _normalize(path) in self._objects
@@ -208,47 +238,49 @@ class CloudStore:
 
         Returns ``{normalized path: new version}`` for the puts.
         """
-        staged: List[Tuple[BatchOp, str, int]] = []
-        projected: Dict[str, Optional[int]] = {}
+        with _span("cloud.commit", ops=len(batch.ops),
+                   bytes=batch.payload_bytes) as sp:
+            staged: List[Tuple[BatchOp, str, int]] = []
+            projected: Dict[str, Optional[int]] = {}
 
-        def current_version(path: str) -> int:
-            if path in projected:
-                return projected[path] or 0
-            obj = self._objects.get(path)
-            return obj.version if obj else 0
+            def current_version(path: str) -> int:
+                if path in projected:
+                    return projected[path] or 0
+                obj = self._objects.get(path)
+                return obj.version if obj else 0
 
-        for op in batch.ops:
-            path = _normalize(op.path)
-            have = current_version(path)
-            if isinstance(op, BatchPut):
-                if op.expected_version is not None and have != op.expected_version:
-                    raise ConflictError(
-                        f"version conflict on {path}: have {have}, "
-                        f"expected {op.expected_version}"
-                    )
-                version = have + 1
-                projected[path] = version
-                staged.append((op, path, version))
-            elif isinstance(op, BatchDelete):
-                if have == 0:
-                    if op.ignore_missing:
-                        continue
-                    raise NotFoundError(f"no object at {path}")
-                projected[path] = None
-                staged.append((op, path, have))
-            else:  # pragma: no cover - defensive
-                raise StorageError(f"unknown batch operation {op!r}")
+            for op in batch.ops:
+                path = _normalize(op.path)
+                have = current_version(path)
+                if isinstance(op, BatchPut):
+                    if op.expected_version is not None and have != op.expected_version:
+                        raise ConflictError(
+                            f"version conflict on {path}: have {have}, "
+                            f"expected {op.expected_version}"
+                        )
+                    version = have + 1
+                    projected[path] = version
+                    staged.append((op, path, version))
+                elif isinstance(op, BatchDelete):
+                    if have == 0:
+                        if op.ignore_missing:
+                            continue
+                        raise NotFoundError(f"no object at {path}")
+                    projected[path] = None
+                    staged.append((op, path, have))
+                else:  # pragma: no cover - defensive
+                    raise StorageError(f"unknown batch operation {op!r}")
 
-        self._account(bytes_in=batch.payload_bytes)
-        self.metrics.batch_commits += 1
-        versions: Dict[str, int] = {}
-        for op, path, version in staged:
-            if isinstance(op, BatchPut):
-                self._apply_put(path, op.data, version)
-                versions[path] = version
-            else:
-                self._apply_delete(path, version)
-        return versions
+            sp.set(latency_ms=self._account(bytes_in=batch.payload_bytes))
+            self.metrics.batch_commits += 1
+            versions: Dict[str, int] = {}
+            for op, path, version in staged:
+                if isinstance(op, BatchPut):
+                    self._apply_put(path, op.data, version)
+                    versions[path] = version
+                else:
+                    self._apply_delete(path, version)
+            return versions
 
     def list_dir(self, directory: str) -> List[str]:
         """Immediate children (paths) under a directory."""
@@ -272,14 +304,16 @@ class CloudStore:
         the new cursor.
         """
         directory = _normalize(directory).rstrip("/") + "/"
-        self._account()
-        events = [
-            ev for ev in self._event_log
-            if ev.sequence > after_sequence
-            and (ev.path.startswith(directory) or ev.path == directory[:-1])
-        ]
-        cursor = self._event_log[-1].sequence if self._event_log else after_sequence
-        return events, max(after_sequence, cursor)
+        with _span("cloud.poll_dir", dir=directory) as sp:
+            sp.set(latency_ms=self._account())
+            events = [
+                ev for ev in self._event_log
+                if ev.sequence > after_sequence
+                and (ev.path.startswith(directory) or ev.path == directory[:-1])
+            ]
+            sp.set(events=len(events))
+            cursor = self._event_log[-1].sequence if self._event_log else after_sequence
+            return events, max(after_sequence, cursor)
 
     # -- adversary interface -------------------------------------------------------
 
@@ -310,13 +344,13 @@ class CloudStore:
             version=version,
         ))
 
-    def _account(self, bytes_in: int = 0, bytes_out: int = 0) -> None:
+    def _account(self, bytes_in: int = 0, bytes_out: int = 0) -> float:
+        latency_ms = self._latency.sample(bytes_in + bytes_out)
         self.metrics.requests += 1
         self.metrics.bytes_in += bytes_in
         self.metrics.bytes_out += bytes_out
-        self.metrics.simulated_latency_ms += self._latency.sample(
-            bytes_in + bytes_out
-        )
+        self.metrics.simulated_latency_ms += latency_ms
+        return latency_ms
 
 
 def _normalize(path: str) -> str:

@@ -44,24 +44,43 @@ from repro.crypto import ecdsa
 from repro.crypto.rng import Rng, SystemRng
 from repro.enclave_app.ibbe_enclave import IbbeEnclave, PartitionBlob
 from repro.errors import AccessControlError, MembershipError, SealingError
+from repro.obs.metrics import CounterField, MetricRegistry
+from repro.obs.spans import span as _span
 from repro.sgx.enclave import ResultRef, resolve_batch_args
 
 
-@dataclass
 class AdminMetrics:
-    """Operation counters for the macrobenchmarks."""
+    """Operation counters for the macrobenchmarks.
 
-    groups_created: int = 0
-    users_added: int = 0
-    users_removed: int = 0
-    rekeys: int = 0
-    repartitions: int = 0
-    partitions_written: int = 0
-    bytes_pushed: int = 0
-    plans_committed: int = 0
+    Backed by a ``repro.obs`` registry under the ``admin.*`` namespace;
+    the attributes and flat :meth:`snapshot` are the compatibility shim
+    (see :class:`~repro.obs.CounterField`).
+    """
+
+    _FIELDS = ("groups_created", "users_added", "users_removed", "rekeys",
+               "repartitions", "partitions_written", "bytes_pushed",
+               "plans_committed")
+
+    groups_created = CounterField("admin.groups_created")
+    users_added = CounterField("admin.users_added")
+    users_removed = CounterField("admin.users_removed")
+    rekeys = CounterField("admin.rekeys")
+    repartitions = CounterField("admin.repartitions")
+    partitions_written = CounterField("admin.partitions_written")
+    bytes_pushed = CounterField("admin.bytes_pushed")
+    plans_committed = CounterField("admin.plans_committed")
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        for field in self._FIELDS:
+            self.registry.counter(f"admin.{field}")
 
     def snapshot(self) -> Dict[str, int]:
-        return dict(vars(self))
+        """Flat legacy view; prefer ``metrics.registry.snapshot()`` (dotted)."""
+        return {field: getattr(self, field) for field in self._FIELDS}
+
+    def reset(self) -> None:
+        self.registry.reset()
 
 
 @dataclass
@@ -90,8 +109,10 @@ class GroupAdministrator:
         self.pipeline = pipeline
         self._signing_key = signing_key
         self._rng = rng or SystemRng()
-        self.cache = AdminCache()
         self.metrics = AdminMetrics()
+        # One registry per administrator: operation counters and cache
+        # hit/miss accounting share the admin.* namespace.
+        self.cache = AdminCache(registry=self.metrics.registry)
 
     @property
     def verification_key(self) -> ecdsa.EcdsaPublicKey:
@@ -478,19 +499,21 @@ class GroupAdministrator:
         fresh ``state.sealed_group_key``, then re-run.
         """
         plan = make_plan()
-        try:
-            results = self._run_ecalls(plan.ecalls)
-        except SealingError:
-            state.sealed_group_key = self._recover_sealed_gk(state)
-            plan = make_plan()
-            results = self._run_ecalls(plan.ecalls)
-        effects = plan.effects(results)
-        if effects.sealed_gk is not None:
-            state.sealed_group_key = effects.sealed_gk
-        if plan.bump_epoch:
-            state.epoch += 1
-        self._commit_effects(state, effects)
-        self.metrics.plans_committed += 1
+        with _span("admin.plan", group=state.group_id,
+                   op=plan.describe()):
+            try:
+                results = self._run_ecalls(plan.ecalls)
+            except SealingError:
+                state.sealed_group_key = self._recover_sealed_gk(state)
+                plan = make_plan()
+                results = self._run_ecalls(plan.ecalls)
+            effects = plan.effects(results)
+            if effects.sealed_gk is not None:
+                state.sealed_group_key = effects.sealed_gk
+            if plan.bump_epoch:
+                state.epoch += 1
+            self._commit_effects(state, effects)
+            self.metrics.plans_committed += 1
 
     def _run_ecalls(self, ecalls: Sequence[EcallOp]) -> List[Any]:
         if not ecalls:

@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from repro.core.metadata import PartitionRecord
 from repro.core.partitions import PartitionTable
+from repro.obs.metrics import MetricRegistry
 
 
 @dataclass
@@ -38,16 +39,31 @@ class AdminGroupState:
 
 
 class AdminCache:
-    """All groups managed by one administrator."""
+    """All groups managed by one administrator.
 
-    def __init__(self) -> None:
+    Hit/miss accounting lands in the supplied ``repro.obs`` registry
+    (``admin.cache_hits`` / ``admin.cache_misses``) so cache
+    effectiveness shows up next to the other ``admin.*`` metrics; a
+    private registry is created when none is shared.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
         self._groups: Dict[str, AdminGroupState] = {}
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._hits = self.registry.counter("admin.cache_hits")
+        self._misses = self.registry.counter("admin.cache_misses")
+        self.registry.gauge("admin.cached_groups", lambda: len(self._groups))
 
     def put(self, state: AdminGroupState) -> None:
         self._groups[state.group_id] = state
 
     def get(self, group_id: str) -> Optional[AdminGroupState]:
-        return self._groups.get(group_id)
+        state = self._groups.get(group_id)
+        if state is None:
+            self._misses.add()
+        else:
+            self._hits.add()
+        return state
 
     def drop(self, group_id: str) -> None:
         self._groups.pop(group_id, None)

@@ -32,11 +32,18 @@ from repro.errors import (
     RevokedError,
     StaleMetadataError,
 )
+from repro.obs.metrics import CounterField, MetricRegistry
+from repro.obs.spans import span as _span
 from repro.pairing.group import PairingGroup
 
 
 class GroupClient:
     """One user's view of one group."""
+
+    #: Registry-backed counters (``client.*`` namespace); the attribute
+    #: names are the historical API, kept working via the descriptors.
+    decrypt_count = CounterField("client.decrypts")
+    expansion_count = CounterField("client.expansions")
 
     def __init__(self, group_id: str, identity: str,
                  user_key: ibbe.IbbeUserKey,
@@ -54,11 +61,14 @@ class GroupClient:
         self._cloud = cloud
         self._admin_key = admin_verification_key
         self.state = ClientGroupState(group_id=group_id)
+        self.registry = MetricRegistry()
         self.decrypt_count = 0
         #: Expansions actually computed (cache misses) — the hint cache
         #: keeps this far below :attr:`decrypt_count` under re-key churn.
         self.expansion_count = 0
         self._hints: Dict[Tuple[str, ...], ibbe.DecryptionHint] = {}
+        self.registry.gauge("client.hint_cache_size",
+                            lambda: len(self._hints))
         self._highest_epoch = -1
 
     @property
@@ -76,6 +86,11 @@ class GroupClient:
         administrator's batched commit); events are then processed in
         log order against that snapshot.
         """
+        with _span("client.sync", group=self.group_id,
+                   identity=self.identity):
+            return self._sync()
+
+    def _sync(self) -> bool:
         events, cursor = self._cloud.poll_dir(
             group_dir(self.group_id), self.state.poll_cursor
         )
@@ -161,14 +176,18 @@ class GroupClient:
         """The client-side cryptographic path, benchmarked by Fig. 8b:
         IBBE decrypt (quadratic in |p|, amortized by the hint cache) then
         AES envelope unwrap."""
-        ciphertext = ibbe.IbbeCiphertext.decode(self.group, record.ciphertext)
-        hint = self._hint_for(record.members)
-        bk = ibbe.decrypt_with_hint(self._pk, self._user_key, hint,
-                                    ciphertext)
-        self.decrypt_count += 1
-        return unwrap_group_key(
-            bk.digest(), record.envelope, aad=self.group_id.encode("utf-8")
-        )
+        with _span("client.decrypt", group=self.group_id,
+                   partition_size=len(record.members)):
+            ciphertext = ibbe.IbbeCiphertext.decode(self.group,
+                                                    record.ciphertext)
+            hint = self._hint_for(record.members)
+            bk = ibbe.decrypt_with_hint(self._pk, self._user_key, hint,
+                                        ciphertext)
+            self.decrypt_count += 1
+            return unwrap_group_key(
+                bk.digest(), record.envelope,
+                aad=self.group_id.encode("utf-8"),
+            )
 
     def _hint_for(self, members: Tuple[str, ...]) -> ibbe.DecryptionHint:
         key = tuple(members)

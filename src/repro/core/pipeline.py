@@ -88,3 +88,13 @@ class OpPlan:
     ecalls: List[EcallOp]
     effects: Callable[[Sequence[Any]], PlanEffects]
     bump_epoch: bool = True
+    #: Telemetry label; defaults to the ecall names (see :meth:`describe`).
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        """Short human/trace label for this plan (``admin.plan`` spans)."""
+        if self.label:
+            return self.label
+        if not self.ecalls:
+            return "noop"
+        return "+".join(op.name for op in self.ecalls)

@@ -46,6 +46,7 @@ from repro.core.envelope import GROUP_KEY_SIZE, wrap_group_key
 from repro.crypto import ecies
 from repro.crypto.kdf import sha256
 from repro.errors import EnclaveError
+from repro.obs.spans import span as _span
 from repro.pairing.group import PairingGroup
 from repro.sgx.attestation import parse_provision_request
 from repro.sgx.counters import MonotonicCounterService
@@ -384,15 +385,16 @@ class IbbeEnclave(Enclave):
 
     def _build_partition(self, msk, pk, members: Sequence[str], gk: bytes,
                          group_id: str) -> PartitionBlob:
-        self._account_epc(
-            sum(len(m.encode("utf-8")) for m in members) + 256, write=True
-        )
-        bk, ct = ibbe.encrypt_msk(msk, pk, list(members), self.rng)
-        return PartitionBlob(
-            ciphertext=ct.encode(),
-            envelope=wrap_group_key(bk.digest(), gk, self.rng,
-                                    aad=group_id.encode("utf-8")),
-        )
+        with _span("enclave.build_partition", members=len(members)):
+            self._account_epc(
+                sum(len(m.encode("utf-8")) for m in members) + 256, write=True
+            )
+            bk, ct = ibbe.encrypt_msk(msk, pk, list(members), self.rng)
+            return PartitionBlob(
+                ciphertext=ct.encode(),
+                envelope=wrap_group_key(bk.digest(), gk, self.rng,
+                                        aad=group_id.encode("utf-8")),
+            )
 
     def _seal_group_key(self, group_id: str, gk: bytes) -> bytes:
         """Seal gk with a monotonic version for rollback protection."""

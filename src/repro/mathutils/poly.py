@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.errors import MathError
+from repro.obs.spans import span as _span
 
 
 def poly_mul(a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
@@ -39,15 +40,16 @@ def monic_linear_product(roots: Sequence[int], q: int) -> List[int]:
     and decryption (paper Appendix A-C/A-D).  The returned list has length
     ``len(roots) + 1`` and its last coefficient is 1.
     """
-    coeffs = [1]
-    for r in roots:
-        r %= q
-        nxt = [0] * (len(coeffs) + 1)
-        for i, c in enumerate(coeffs):
-            nxt[i] = (nxt[i] + c * r) % q
-            nxt[i + 1] = (nxt[i + 1] + c) % q
-        coeffs = nxt
-    return coeffs
+    with _span("crypto.poly_expand", roots=len(roots)):
+        coeffs = [1]
+        for r in roots:
+            r %= q
+            nxt = [0] * (len(coeffs) + 1)
+            for i, c in enumerate(coeffs):
+                nxt[i] = (nxt[i] + c * r) % q
+                nxt[i + 1] = (nxt[i + 1] + c) % q
+            coeffs = nxt
+        return coeffs
 
 
 def poly_eval(coeffs: Sequence[int], x: int, q: int) -> int:

@@ -1,0 +1,65 @@
+"""``repro.obs`` — the unified observability layer.
+
+One API for the two questions the paper's evaluation asks of every
+component: *how many* (counters and histograms in a
+:class:`MetricRegistry`, consumed through the :class:`MetricSource`
+protocol) and *how long* (hierarchical :class:`Span` traces collected by
+the process-wide :class:`Tracer`).  Exporters turn both into JSONL
+dumps, aggregated ``System.telemetry()`` snapshots, and the per-phase
+breakdown tables printed by ``repro replay --telemetry`` and the
+Fig. 7/8 benchmark reports.
+
+The package imports nothing from the rest of ``repro`` so any module —
+including the lowest-level crypto kernels — can instrument itself
+without creating an import cycle.
+"""
+
+from repro.obs.export import (
+    aggregate_spans,
+    breakdown_table,
+    format_metrics,
+    spans_to_jsonl,
+    telemetry_snapshot,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    CounterField,
+    Histogram,
+    MetricRegistry,
+    MetricSource,
+    merge_snapshots,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    span,
+    tracer,
+)
+
+__all__ = [
+    "Counter",
+    "CounterField",
+    "Histogram",
+    "MetricRegistry",
+    "MetricSource",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "breakdown_table",
+    "disable",
+    "enable",
+    "enabled",
+    "format_metrics",
+    "merge_snapshots",
+    "span",
+    "spans_to_jsonl",
+    "telemetry_snapshot",
+    "tracer",
+    "write_jsonl",
+]

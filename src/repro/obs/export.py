@@ -1,0 +1,163 @@
+"""Trace and metric exporters: JSONL dumps, aggregates, breakdown tables.
+
+Three consumers, three formats:
+
+* machine post-processing — :func:`spans_to_jsonl` / :func:`write_jsonl`
+  emit one JSON object per span (``id``, ``parent``, ``name``,
+  ``category``, ``depth``, ``start``, ``duration``, ``self``, ``error``,
+  ``attrs``);
+* programmatic snapshots — :func:`aggregate_spans` rolls spans up into
+  per-category and per-name totals (count / total seconds / self
+  seconds), and :func:`telemetry_snapshot` combines that with the merged
+  metric sources into the dict ``System.telemetry()`` returns;
+* humans — :func:`breakdown_table` renders the crossing-vs-cloud-vs-
+  crypto split the Fig. 7/8 reports and ``repro replay --telemetry``
+  print.
+
+Self time is the aggregation currency: a crypto kernel runs *inside* an
+enclave crossing which runs *inside* a replayed operation, so summing
+durations per category would triple-count.  Self seconds (duration minus
+child-span time) partition the wall clock exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.metrics import MetricSource, merge_snapshots
+from repro.obs.spans import Span, Tracer
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, in span-completion order."""
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True)
+                     for span in spans)
+
+
+def write_jsonl(spans: Iterable[Span], path) -> int:
+    """Write the JSONL trace dump; returns the number of spans written."""
+    rows = [json.dumps(span.to_dict(), sort_keys=True) for span in spans]
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(row + "\n")
+    return len(rows)
+
+
+def aggregate_spans(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Roll spans up into per-category and per-name summaries.
+
+    Returns ``{"categories": {cat: {count, total_s, self_s}},
+    "names": {name: {count, total_s, self_s, max_s}}, "errors": n}``.
+    ``self_s`` sums to total traced wall time across categories.
+    """
+    categories: Dict[str, Dict[str, float]] = {}
+    names: Dict[str, Dict[str, float]] = {}
+    errors = 0
+    for span in spans:
+        if span.error is not None:
+            errors += 1
+        cat = categories.setdefault(
+            span.category, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        cat["count"] += 1
+        cat["total_s"] += span.duration
+        cat["self_s"] += span.self_seconds
+        name = names.setdefault(
+            span.name,
+            {"count": 0, "total_s": 0.0, "self_s": 0.0, "max_s": 0.0},
+        )
+        name["count"] += 1
+        name["total_s"] += span.duration
+        name["self_s"] += span.self_seconds
+        name["max_s"] = max(name["max_s"], span.duration)
+    return {"categories": categories, "names": names, "errors": errors}
+
+
+def telemetry_snapshot(sources: Iterable[MetricSource] = (),
+                       tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """The aggregated observability snapshot behind ``System.telemetry()``.
+
+    ``{"metrics": {dotted name: value}, "trace": {"enabled", "spans",
+    "dropped", "categories", "names", "errors"}}``.  The trace section
+    summarizes whatever the tracer has collected so far (possibly from a
+    now-disabled tracer — spans survive ``disable()``).
+    """
+    snapshot: Dict[str, Any] = {"metrics": merge_snapshots(sources)}
+    if tracer is None:
+        from repro.obs.spans import tracer as _global_tracer
+        tracer = _global_tracer()
+    spans = tracer.spans()
+    trace: Dict[str, Any] = {
+        "enabled": tracer.enabled,
+        "spans": len(spans),
+        "dropped": tracer.dropped,
+    }
+    if spans:
+        trace.update(aggregate_spans(spans))
+    snapshot["trace"] = trace
+    return snapshot
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} µs"
+
+
+def breakdown_table(spans: Iterable[Span],
+                    by: str = "category") -> List[str]:
+    """Render the per-phase time breakdown as aligned text lines.
+
+    ``by="category"`` gives the crossing-vs-cloud-vs-crypto split;
+    ``by="name"`` the finer per-instrumentation-point table.  Rows are
+    sorted by self time, descending; the share column is each row's self
+    time over the summed self time (i.e. of the traced wall clock).
+    """
+    summary = aggregate_spans(spans)
+    if by == "category":
+        rows_data = summary["categories"]
+        headers = ["category", "count", "total", "self", "share"]
+    elif by == "name":
+        rows_data = summary["names"]
+        headers = ["span", "count", "total", "self", "share"]
+    else:
+        raise ValueError(f"unknown breakdown axis {by!r}")
+    grand_self = sum(row["self_s"] for row in rows_data.values()) or 1.0
+    rows = [
+        [key, str(int(row["count"])), _format_seconds(row["total_s"]),
+         _format_seconds(row["self_s"]),
+         f"{100.0 * row['self_s'] / grand_self:.1f}%"]
+        for key, row in sorted(rows_data.items(),
+                               key=lambda item: -item[1]["self_s"])
+    ]
+    if not rows:
+        return ["(no spans recorded — is telemetry enabled?)"]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i])
+                               for i, c in enumerate(row)))
+    if summary["errors"]:
+        lines.append(f"({summary['errors']} span(s) closed on an exception)")
+    return lines
+
+
+def format_metrics(metrics: Mapping[str, float]) -> List[str]:
+    """Aligned ``name  value`` lines for a dotted-name metric snapshot."""
+    if not metrics:
+        return ["(no metrics)"]
+    width = max(len(name) for name in metrics)
+    lines = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, float) and not value.is_integer():
+            rendered = f"{value:.6f}"
+        else:
+            rendered = str(int(value))
+        lines.append(f"{name.ljust(width)}  {rendered}")
+    return lines

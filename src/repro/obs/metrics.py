@@ -1,0 +1,212 @@
+"""Namespaced counters and histograms behind one ``MetricSource`` protocol.
+
+Every component that accounts for *where time and bytes go* — the enclave
+boundary, the cloud store, the administrator, clients, replay engines —
+keeps its numbers in a :class:`MetricRegistry` of dotted-name metrics
+(``sgx.crossings``, ``cloud.bytes_out``, ``admin.plans_committed``, …).
+The registry is the single authoritative store; the historical per-
+component metric objects (``CrossingMeter``, ``CloudMetrics``,
+``AdminMetrics``) survive as thin shims whose attributes read and write
+registry counters through :class:`CounterField`, so every pre-existing
+call site keeps working unchanged.
+
+The consumer-facing contract is :class:`MetricSource`: anything with
+``snapshot() -> {dotted name: value}`` and ``reset()``.  Registries
+implement it natively; ``repro.obs.merge_snapshots`` combines many
+sources into the one flat mapping that ``System.telemetry()`` and the
+benchmark harness read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Protocol, \
+    runtime_checkable
+
+
+@runtime_checkable
+class MetricSource(Protocol):
+    """The common face of every metric surface in the package."""
+
+    def snapshot(self) -> Mapping[str, float]:
+        """Current values keyed by dotted metric name."""
+        ...
+
+    def reset(self) -> None:
+        """Zero all values (gauges, being derived, are unaffected)."""
+        ...
+
+
+class Counter:
+    """A monotonically adjustable scalar (ints or floats)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def add(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary of an observed distribution (count/total/min/max).
+
+    Kept deliberately small: the benchmarks fit curves from raw samples,
+    so the histogram only needs the aggregates that telemetry snapshots
+    report (``*.count``, ``*.total``, ``*.min``, ``*.max``, ``*.mean``).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reset()
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            f"{self.name}.count": self.count,
+            f"{self.name}.total": self.total,
+            f"{self.name}.min": self.min or 0.0,
+            f"{self.name}.max": self.max or 0.0,
+            f"{self.name}.mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"total={self.total:.6f})")
+
+
+class MetricRegistry:
+    """A namespace of counters, histograms and derived gauges.
+
+    Metric names are dotted (``sgx.crossings``); an optional ``prefix``
+    is prepended to every name created through this registry, letting a
+    component own a sub-namespace without repeating itself.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self._prefix = f"{prefix}." if prefix and not prefix.endswith(".") \
+            else prefix
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+
+    def _qualify(self, name: str) -> str:
+        return self._prefix + name
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter at ``name`` (idempotent)."""
+        name = self._qualify(name)
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the histogram at ``name`` (idempotent)."""
+        name = self._qualify(name)
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a derived metric evaluated at snapshot time."""
+        self._gauges[self._qualify(name)] = fn
+
+    # -- MetricSource ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            name: counter.value for name, counter in self._counters.items()
+        }
+        for histogram in self._histograms.values():
+            out.update(histogram.snapshot())
+        for name, fn in self._gauges.items():
+            out[name] = fn()
+        return out
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def names(self) -> Iterable[str]:
+        return sorted({*self._counters, *self._histograms, *self._gauges})
+
+    def __contains__(self, name: str) -> bool:
+        return (name in self._counters or name in self._histograms
+                or name in self._gauges)
+
+    def __repr__(self) -> str:
+        return (f"MetricRegistry({len(self._counters)} counters, "
+                f"{len(self._histograms)} histograms, "
+                f"{len(self._gauges)} gauges)")
+
+
+class CounterField:
+    """Descriptor exposing a registry counter as a plain numeric attribute.
+
+    The deprecation-shim mechanism: legacy metric classes declare
+
+    ``requests = CounterField("cloud.requests")``
+
+    and existing call sites (``metrics.requests += 1``, benchmark reads)
+    keep working while the value itself lives in ``obj.registry`` — the
+    consolidated :class:`MetricRegistry` that telemetry snapshots read.
+    The owning object must expose that registry as ``registry``.
+    """
+
+    __slots__ = ("metric_name",)
+
+    def __init__(self, metric_name: str) -> None:
+        self.metric_name = metric_name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.registry.counter(self.metric_name).value
+
+    def __set__(self, obj, value) -> None:
+        obj.registry.counter(self.metric_name).set(value)
+
+
+def merge_snapshots(sources: Iterable[MetricSource]) -> Dict[str, float]:
+    """Flatten several sources into one dotted-name mapping.
+
+    Later sources win on (unexpected) name collisions, matching plain
+    ``dict.update`` semantics.
+    """
+    merged: Dict[str, float] = {}
+    for source in sources:
+        merged.update(source.snapshot())
+    return merged

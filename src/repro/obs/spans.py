@@ -1,0 +1,274 @@
+"""Hierarchical spans: where the time goes, boundary by boundary.
+
+A :class:`Span` is a context manager timing one region of interest —
+an enclave crossing, a cloud round trip, a crypto kernel, one replayed
+operation.  Spans nest: the tracer keeps a stack, so each span knows its
+parent and its *self time* (duration minus time spent in child spans),
+which is what makes per-category breakdowns sum without double counting
+even though crypto kernels run inside enclave crossings.
+
+Tracing is off by default and the disabled path is near-free:
+``Tracer.span(...)`` returns a shared no-op singleton without allocating
+anything, so instrumented hot paths (``pairing.pair``, the cloud store,
+ecall dispatch) cost one method call and one dict build when telemetry
+is off.  ``force=True`` spans always *time* (callers that need the
+duration, e.g. the replay engine) but are only *recorded* while the
+tracer is enabled.
+
+One module-level tracer (:func:`tracer`) is shared by all instrumented
+components, so a single ``enable()`` — or the ``REPRO_TELEMETRY=1``
+environment variable, or ``repro replay --telemetry`` — turns the whole
+system's trace on.  The buffer is bounded; overflow increments
+``dropped`` rather than growing without limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled-mode fast path."""
+
+    __slots__ = ()
+
+    duration = 0.0
+    self_seconds = 0.0
+    name = ""
+    category = None
+    error = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:
+        return "<null span>"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region; use as a context manager.
+
+    Exception-safe: leaving the ``with`` block on a raise still closes
+    the span (recording the exception type in :attr:`error`) and
+    restores the tracer's stack.
+    """
+
+    __slots__ = ("tracer", "name", "category", "attrs", "span_id",
+                 "parent_id", "depth", "start", "end", "children_seconds",
+                 "error", "_record")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 category: Optional[str], attrs: Dict[str, Any],
+                 record: bool) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.category = category or name.split(".", 1)[0]
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.start = 0.0
+        self.end = 0.0
+        self.children_seconds = 0.0
+        self.error: Optional[str] = None
+        self._record = record
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        if self._record:
+            self.tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        if self._record:
+            self.tracer._pop(self)
+        return None
+
+    # -- data -----------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds spent inside the span."""
+        return self.end - self.start
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration minus time attributed to child spans."""
+        return max(0.0, self.duration - self.children_seconds)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (bytes moved, latency sampled, …)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (the JSONL exporter's row format)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "self": self.self_seconds,
+            "error": self.error,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, category={self.category!r}, "
+                f"duration={self.duration:.6f})")
+
+
+class Tracer:
+    """Collects finished spans and maintains the active-span stack.
+
+    Single-threaded by design, matching the simulation: the stack is a
+    plain list, not a context variable.
+    """
+
+    DEFAULT_MAX_SPANS = 100_000
+
+    def __init__(self, enabled: bool = False,
+                 max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self._enabled = enabled
+        self.max_spans = max_spans
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._ids = itertools.count(1)
+        self.dropped = 0
+
+    # -- switches -------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- span creation --------------------------------------------------------
+
+    def span(self, name: str, category: Optional[str] = None,
+             force: bool = False, **attrs: Any):
+        """Open a span; returns a context manager.
+
+        Disabled and not ``force``: returns the shared no-op singleton
+        (no allocation, no timing).  ``force=True`` always returns a real
+        timed :class:`Span`, but it is recorded into the trace only while
+        the tracer is enabled.
+        """
+        if not self._enabled:
+            if not force:
+                return NULL_SPAN
+            return Span(self, name, category, attrs, record=False)
+        return Span(self, name, category, attrs, record=True)
+
+    # -- stack maintenance (called by Span) -----------------------------------
+
+    def _push(self, span: Span) -> None:
+        span.span_id = next(self._ids)
+        if self._stack:
+            parent = self._stack[-1]
+            span.parent_id = parent.span_id
+            span.depth = parent.depth + 1
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate a corrupted stack (a span closed out of order) rather
+        # than poisoning unrelated instrumentation.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+        if self._stack:
+            self._stack[-1].children_seconds += span.duration
+        if len(self._spans) < self.max_spans:
+            self._spans.append(span)
+        else:
+            self.dropped += 1
+
+    # -- access ---------------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Finished spans in completion order."""
+        return list(self._spans)
+
+    def reset(self) -> None:
+        """Drop collected spans (the enabled flag is untouched)."""
+        self._spans.clear()
+        self._stack.clear()
+        self.dropped = 0
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self._enabled else "disabled"
+        return f"Tracer({state}, {len(self._spans)} spans)"
+
+
+#: The process-wide tracer every instrumented component reports to.
+#: ``REPRO_TELEMETRY=1`` in the environment switches it on at import time
+#: (the hook the CI telemetry smoke step uses).
+_GLOBAL_TRACER = Tracer(
+    enabled=os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")
+)
+
+
+def tracer() -> Tracer:
+    """The global tracer instance."""
+    return _GLOBAL_TRACER
+
+
+def span(name: str, category: Optional[str] = None, force: bool = False,
+         **attrs: Any):
+    """Open a span on the global tracer (the instrumentation entry point)."""
+    t = _GLOBAL_TRACER
+    if not t._enabled and not force:
+        return NULL_SPAN
+    return t.span(name, category, force=force, **attrs)
+
+
+def enable() -> None:
+    _GLOBAL_TRACER.enable()
+
+
+def disable() -> None:
+    _GLOBAL_TRACER.disable()
+
+
+@contextmanager
+def enabled():
+    """Enable global tracing for a ``with`` block, restoring the previous
+    state (and keeping collected spans) on exit."""
+    was = _GLOBAL_TRACER.enabled
+    _GLOBAL_TRACER.enable()
+    try:
+        yield _GLOBAL_TRACER
+    finally:
+        if not was:
+            _GLOBAL_TRACER.disable()

@@ -13,6 +13,7 @@ from typing import Iterable, Tuple
 
 from repro.ec.curve import Curve, Point
 from repro.errors import PairingError
+from repro.obs.spans import span as _span
 from repro.fields.fp2 import (
     RawFp2,
     fp2_conj,
@@ -94,7 +95,8 @@ class PairingGroup:
         pa, pb = a.point, b.point
         if pa.is_infinity() or pb.is_infinity():
             return self.gt_identity()
-        raw = tate_pairing(pa.x, pa.y, pb.x, pb.y, self.p, self.q)  # type: ignore[arg-type]
+        with _span("crypto.pair", curve=self.params.name):
+            raw = tate_pairing(pa.x, pa.y, pb.x, pb.y, self.p, self.q)  # type: ignore[arg-type]
         return GTElement(self, raw)
 
     def multi_mul_g1(self, pairs: Iterable[Tuple[int, "G1Element"]]) -> "G1Element":

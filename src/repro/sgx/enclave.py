@@ -35,11 +35,13 @@ from __future__ import annotations
 
 import functools
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.rng import Rng
 from repro.errors import EnclaveError
+from repro.obs.metrics import CounterField, MetricRegistry
+from repro.obs.spans import span as _span
 from repro.sgx.device import SgxDevice
 from repro.sgx.measurement import measure_enclave
 from repro.sgx.quote import REPORT_DATA_SIZE, Quote
@@ -130,7 +132,6 @@ class EcallRegistry:
         return len(self._entries)
 
 
-@dataclass
 class CrossingMeter:
     """Boundary-crossing accounting (ecalls, ocalls, estimated cycles).
 
@@ -138,12 +139,28 @@ class CrossingMeter:
     :meth:`Enclave.call`, one whole :meth:`Enclave.call_batch`, or one
     ocall.  Benchmarks read crossings and cycle estimates from here
     instead of re-deriving them from per-call counters.
+
+    The authoritative values live in a ``repro.obs``
+    :class:`~repro.obs.MetricRegistry` under the ``sgx.*`` namespace; the
+    meter's attributes and flat :meth:`snapshot` are the compatibility
+    shim over it, so existing call sites and the consolidated telemetry
+    view stay in lockstep by construction.
     """
 
-    crossings: int = 0
-    ecalls: int = 0
-    ocalls: int = 0
-    batches: int = 0
+    crossings = CounterField("sgx.crossings")
+    ecalls = CounterField("sgx.ecalls")
+    ocalls = CounterField("sgx.ocalls")
+    batches = CounterField("sgx.batches")
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        for name in ("sgx.crossings", "sgx.ecalls", "sgx.ocalls",
+                     "sgx.batches"):
+            self.registry.counter(name)
+        self.registry.gauge(
+            "sgx.estimated_cycles",
+            lambda: self.crossings * ECALL_CROSSING_CYCLES,
+        )
 
     def record_call(self) -> None:
         self.crossings += 1
@@ -163,6 +180,7 @@ class CrossingMeter:
         return self.crossings * ECALL_CROSSING_CYCLES
 
     def snapshot(self) -> Dict[str, int]:
+        """Flat legacy view; prefer ``meter.registry.snapshot()`` (dotted)."""
         return {
             "crossings": self.crossings,
             "ecalls": self.ecalls,
@@ -170,6 +188,14 @@ class CrossingMeter:
             "batches": self.batches,
             "estimated_cycles": self.estimated_cycles,
         }
+
+    def reset(self) -> None:
+        self.registry.reset()
+
+    def __repr__(self) -> str:
+        return (f"CrossingMeter(crossings={self.crossings}, "
+                f"ecalls={self.ecalls}, ocalls={self.ocalls}, "
+                f"batches={self.batches})")
 
 
 @dataclass(frozen=True)
@@ -330,7 +356,8 @@ class Enclave:
         if handler is None:
             raise EnclaveError(f"no ocall handler registered for {name!r}")
         self.meter.record_ocall()
-        return handler(*args)
+        with _span("sgx.ocall", ocall=name):
+            return handler(*args)
 
     # -- the boundary ------------------------------------------------------------
 
@@ -343,7 +370,8 @@ class Enclave:
         self._require_initialized()
         descriptor = self.registry.resolve(name)
         self.meter.record_call()
-        result = descriptor.handler(self, *args, **kwargs)
+        with _span("sgx.ecall", ecall=name):
+            result = descriptor.handler(self, *args, **kwargs)
         self._scan_for_leaks(result, name)
         return result
 
@@ -374,11 +402,12 @@ class Enclave:
             return []
         self.meter.record_batch(len(ops))
         results: List[Any] = []
-        for descriptor, args, kwargs in ops:
-            resolved = resolve_batch_args(args, results)
-            result = descriptor.handler(self, *resolved, **kwargs)
-            self._scan_for_leaks(result, descriptor.name)
-            results.append(result)
+        with _span("sgx.batch", ops=len(ops)):
+            for descriptor, args, kwargs in ops:
+                resolved = resolve_batch_args(args, results)
+                result = descriptor.handler(self, *resolved, **kwargs)
+                self._scan_for_leaks(result, descriptor.name)
+                results.append(result)
         return results
 
     def _require_initialized(self) -> None:

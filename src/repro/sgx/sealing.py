@@ -16,6 +16,7 @@ from repro.crypto.kdf import hkdf
 from repro.crypto.modes import gcm_decrypt, gcm_encrypt
 from repro.crypto.rng import Rng
 from repro.errors import AuthenticationError, SealingError
+from repro.obs.spans import span as _span
 
 POLICY_MRENCLAVE = "MRENCLAVE"
 POLICY_MRSIGNER = "MRSIGNER"
@@ -37,10 +38,11 @@ def derive_seal_key(device_key: bytes, identity: bytes, policy: str) -> bytes:
 def seal(device_key: bytes, identity: bytes, plaintext: bytes, rng: Rng,
          policy: str = POLICY_MRENCLAVE, aad: bytes = b"") -> bytes:
     """Seal ``plaintext`` to the enclave identity.  Returns an opaque blob."""
-    key = derive_seal_key(device_key, identity, policy)
-    nonce = rng.random_bytes(12)
-    body = gcm_encrypt(key, nonce, plaintext, aad=_MAGIC + aad)
-    return _MAGIC + policy.encode("ascii").ljust(10, b"\x00") + nonce + body
+    with _span("crypto.seal", bytes=len(plaintext)):
+        key = derive_seal_key(device_key, identity, policy)
+        nonce = rng.random_bytes(12)
+        body = gcm_encrypt(key, nonce, plaintext, aad=_MAGIC + aad)
+        return _MAGIC + policy.encode("ascii").ljust(10, b"\x00") + nonce + body
 
 
 def unseal(device_key: bytes, identity: bytes, blob: bytes,
@@ -49,15 +51,16 @@ def unseal(device_key: bytes, identity: bytes, blob: bytes,
     blobs (wrong enclave identity, wrong device, or corrupted data)."""
     if len(blob) < len(_MAGIC) + 10 + 12 + 16 or not blob.startswith(_MAGIC):
         raise SealingError("not a sealed blob")
-    policy = blob[len(_MAGIC):len(_MAGIC) + 10].rstrip(b"\x00").decode("ascii")
-    offset = len(_MAGIC) + 10
-    nonce = blob[offset:offset + 12]
-    body = blob[offset + 12:]
-    key = derive_seal_key(device_key, identity, policy)
-    try:
-        return gcm_decrypt(key, nonce, body, aad=_MAGIC + aad)
-    except AuthenticationError as exc:
-        raise SealingError(
-            "unsealing failed: blob was sealed by a different enclave "
-            "identity or device, or has been tampered with"
-        ) from exc
+    with _span("crypto.unseal", bytes=len(blob)):
+        policy = blob[len(_MAGIC):len(_MAGIC) + 10].rstrip(b"\x00").decode("ascii")
+        offset = len(_MAGIC) + 10
+        nonce = blob[offset:offset + 12]
+        body = blob[offset + 12:]
+        key = derive_seal_key(device_key, identity, policy)
+        try:
+            return gcm_decrypt(key, nonce, body, aad=_MAGIC + aad)
+        except AuthenticationError as exc:
+            raise SealingError(
+                "unsealing failed: blob was sealed by a different enclave "
+                "identity or device, or has been tampered with"
+            ) from exc

@@ -8,6 +8,14 @@ interface, capturing:
 
 Adapters are provided for the IBBE-SGX system and the hybrid baselines so
 the same trace drives both sides of every comparison.
+
+Timing goes through ``repro.obs`` spans: every replayed operation and
+every decrypt probe opens a ``replay.*`` span (``force=True`` — the
+engine needs the duration even with tracing disabled), so with telemetry
+enabled a replay emits the same trace format as the benchmarks and the
+breakdown table can split replay time into crossing, cloud and crypto
+shares.  Aggregates additionally land in the engine's
+:class:`~repro.obs.MetricRegistry` (``replay.*`` dotted names).
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ from typing import Dict, List, Optional, Protocol, Sequence
 
 from repro.crypto.rng import DeterministicRng
 from repro.errors import MembershipError
+from repro.obs.metrics import MetricRegistry
+from repro.obs.spans import span as _span
 from repro.workloads.synthetic import OP_ADD, OP_REMOVE, Operation
 
 
@@ -71,44 +81,65 @@ class ReplayEngine:
 
     def __init__(self, adapter: ReplayAdapter, group_id: str = "replay",
                  decrypt_sample_every: int = 0,
-                 seed: str = "replay") -> None:
+                 seed: str = "replay",
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.adapter = adapter
         self.group_id = group_id
         self.decrypt_sample_every = decrypt_sample_every
         self._rng = DeterministicRng(f"replay:{seed}")
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._ops = self.registry.counter("replay.operations")
+        self._skipped = self.registry.counter("replay.skipped")
+        self._op_seconds = self.registry.histogram("replay.op_seconds")
+        self._decrypt_seconds = self.registry.histogram(
+            "replay.decrypt_seconds"
+        )
 
     def run(self, trace: Sequence[Operation],
             initial_members: Sequence[str] = ()) -> ReplayReport:
         report = ReplayReport(group_id=self.group_id)
         members: List[str] = list(initial_members)
-        self.adapter.bootstrap(self.group_id, members)
+        with _span("replay.bootstrap", force=True, group=self.group_id,
+                   members=len(members)):
+            self.adapter.bootstrap(self.group_id, members)
         for index, op in enumerate(trace):
-            start = time.perf_counter()
+            span = _span("replay.op", force=True, kind=op.kind, user=op.user)
             try:
-                if op.kind == OP_ADD:
-                    self.adapter.add_user(self.group_id, op.user)
-                    members.append(op.user)
-                    report.adds += 1
-                elif op.kind == OP_REMOVE:
-                    self.adapter.remove_user(self.group_id, op.user)
-                    members.remove(op.user)
-                    report.removes += 1
-                else:
-                    raise MembershipError(f"unknown operation {op.kind!r}")
+                with span:
+                    if op.kind == OP_ADD:
+                        self.adapter.add_user(self.group_id, op.user)
+                        members.append(op.user)
+                        report.adds += 1
+                    elif op.kind == OP_REMOVE:
+                        self.adapter.remove_user(self.group_id, op.user)
+                        members.remove(op.user)
+                        report.removes += 1
+                    else:
+                        raise MembershipError(
+                            f"unknown operation {op.kind!r}"
+                        )
             except MembershipError:
                 report.skipped += 1
+                self._skipped.add()
                 continue
-            elapsed = time.perf_counter() - start
+            elapsed = span.duration
             report.admin_seconds += elapsed
             report.op_latencies.append(elapsed)
             report.operations_applied += 1
+            self._ops.add()
+            self._op_seconds.observe(elapsed)
             if (self.decrypt_sample_every
                     and members
                     and (index + 1) % self.decrypt_sample_every == 0):
                 probe = members[self._rng.randint_below(len(members))]
-                report.decrypt_samples.append(
-                    self.adapter.sample_decrypt_seconds(self.group_id, probe)
-                )
+                with _span("replay.decrypt_probe", force=True,
+                           user=probe) as probe_span:
+                    sample = self.adapter.sample_decrypt_seconds(
+                        self.group_id, probe
+                    )
+                    probe_span.set(decrypt_seconds=sample)
+                report.decrypt_samples.append(sample)
+                self._decrypt_seconds.observe(sample)
         return report
 
 

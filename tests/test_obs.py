@@ -1,0 +1,382 @@
+"""Telemetry subsystem (repro.obs): spans, metrics, exporters, and the
+integration guarantees the rest of the package relies on — span
+nesting/self-time invariants, the disabled no-op fast path, registry
+reset semantics, the legacy-accessor shims, and the pipeline-mode
+boundary footprint read through the new dotted metrics."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_SPAN,
+    Counter,
+    CounterField,
+    Histogram,
+    MetricRegistry,
+    MetricSource,
+    Span,
+    Tracer,
+    aggregate_spans,
+    breakdown_table,
+    format_metrics,
+    merge_snapshots,
+    spans_to_jsonl,
+    telemetry_snapshot,
+    write_jsonl,
+)
+from tests.conftest import make_system
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+class TestSpans:
+    def test_nesting_parent_child(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer.a") as outer:
+            with tr.span("inner.b") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == outer.depth + 1
+        assert outer.parent_id is None
+        # Completion order: children finish first.
+        assert [s.name for s in tr.spans()] == ["inner.b", "outer.a"]
+
+    def test_self_time_partitions_duration(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer.a") as outer:
+            with tr.span("inner.b"):
+                pass
+            with tr.span("inner.c"):
+                pass
+        children = sum(s.duration for s in tr.spans()
+                       if s.name.startswith("inner"))
+        assert outer.children_seconds == pytest.approx(children)
+        assert outer.self_seconds == pytest.approx(
+            outer.duration - children
+        )
+        assert outer.self_seconds >= 0.0
+        # Parent duration covers its children.
+        assert outer.duration >= children
+
+    def test_category_defaults_to_name_prefix(self):
+        tr = Tracer(enabled=True)
+        with tr.span("cloud.put") as a:
+            pass
+        with tr.span("cloud.put", category="io") as b:
+            pass
+        assert a.category == "cloud"
+        assert b.category == "io"
+
+    def test_exception_safety(self):
+        tr = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tr.span("outer.a"):
+                with tr.span("inner.b"):
+                    raise ValueError("boom")
+        # Both spans closed, stack restored, errors recorded.
+        assert tr._stack == []
+        by_name = {s.name: s for s in tr.spans()}
+        assert by_name["inner.b"].error == "ValueError"
+        assert by_name["outer.a"].error == "ValueError"
+        # The tracer still works afterwards.
+        with tr.span("after.c"):
+            pass
+        assert len(tr) == 3
+
+    def test_disabled_returns_null_singleton(self):
+        tr = Tracer(enabled=False)
+        a = tr.span("x.y", attr=1)
+        b = tr.span("z.w")
+        assert a is NULL_SPAN and b is NULL_SPAN
+        with a as s:
+            s.set(more=2)
+        assert len(tr) == 0
+
+    def test_force_span_times_but_does_not_record(self):
+        tr = Tracer(enabled=False)
+        span = tr.span("replay.op", force=True)
+        assert isinstance(span, Span)
+        with span:
+            pass
+        assert span.duration > 0.0
+        assert len(tr) == 0
+        tr.enable()
+        with tr.span("replay.op", force=True):
+            pass
+        assert len(tr) == 1
+
+    def test_buffer_bound_and_dropped(self):
+        tr = Tracer(enabled=True, max_spans=3)
+        for _ in range(5):
+            with tr.span("a.b"):
+                pass
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        tr.reset()
+        assert len(tr) == 0 and tr.dropped == 0
+        # reset leaves the enabled flag alone.
+        assert tr.enabled
+
+    def test_global_enable_disable_contextmanager(self):
+        was = obs.tracer().enabled
+        obs.disable()
+        try:
+            with obs.enabled() as tr:
+                assert tr is obs.tracer()
+                assert tr.enabled
+                with obs.span("test.x"):
+                    pass
+            assert not obs.tracer().enabled
+            assert any(s.name == "test.x" for s in obs.tracer().spans())
+        finally:
+            obs.tracer().reset()
+            if was:
+                obs.enable()
+
+    def test_global_span_disabled_is_null(self):
+        was = obs.tracer().enabled
+        obs.disable()
+        try:
+            assert obs.span("test.noop") is NULL_SPAN
+        finally:
+            if was:
+                obs.enable()
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_registry_counters_and_reset(self):
+        reg = MetricRegistry()
+        c = reg.counter("a.b")
+        assert reg.counter("a.b") is c  # idempotent
+        c.add()
+        c.add(4)
+        assert reg.snapshot() == {"a.b": 5}
+        reg.reset()
+        assert reg.snapshot() == {"a.b": 0}
+
+    def test_registry_histogram_snapshot(self):
+        reg = MetricRegistry()
+        h = reg.histogram("a.lat")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap["a.lat.count"] == 3
+        assert snap["a.lat.total"] == pytest.approx(6.0)
+        assert snap["a.lat.min"] == 1.0
+        assert snap["a.lat.max"] == 3.0
+        assert snap["a.lat.mean"] == pytest.approx(2.0)
+        reg.reset()
+        assert reg.snapshot()["a.lat.count"] == 0
+
+    def test_gauge_survives_reset(self):
+        reg = MetricRegistry()
+        state = {"n": 7}
+        reg.gauge("a.size", lambda: state["n"])
+        assert reg.snapshot()["a.size"] == 7
+        reg.reset()
+        state["n"] = 9
+        assert reg.snapshot()["a.size"] == 9
+
+    def test_prefix(self):
+        reg = MetricRegistry(prefix="sgx")
+        reg.counter("crossings").add()
+        assert reg.snapshot() == {"sgx.crossings": 1}
+        assert "sgx.crossings" in reg
+
+    def test_registry_is_metric_source(self):
+        assert isinstance(MetricRegistry(), MetricSource)
+
+    def test_counter_field_shim(self):
+        class Shim:
+            requests = CounterField("x.requests")
+
+            def __init__(self):
+                self.registry = MetricRegistry()
+
+        shim = Shim()
+        assert shim.requests == 0
+        shim.requests += 3
+        assert shim.requests == 3
+        assert shim.registry.snapshot()["x.requests"] == 3
+        shim.requests = 0
+        assert shim.registry.snapshot()["x.requests"] == 0
+
+    def test_merge_snapshots_later_wins(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("k").set(1)
+        a.counter("only.a").set(5)
+        b.counter("k").set(2)
+        merged = merge_snapshots([a, b])
+        assert merged == {"k": 2, "only.a": 5}
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+def _make_trace():
+    tr = Tracer(enabled=True)
+    with tr.span("sgx.ecall", ecall="create_group"):
+        with tr.span("crypto.pair"):
+            pass
+    with pytest.raises(RuntimeError):
+        with tr.span("cloud.put"):
+            raise RuntimeError("nope")
+    return tr
+
+
+class TestExporters:
+    def test_jsonl_roundtrip(self, tmp_path):
+        tr = _make_trace()
+        lines = spans_to_jsonl(tr.spans()).strip().split("\n")
+        rows = [json.loads(line) for line in lines]
+        assert [r["name"] for r in rows] == \
+            ["crypto.pair", "sgx.ecall", "cloud.put"]
+        ecall = next(r for r in rows if r["name"] == "sgx.ecall")
+        assert ecall["attrs"] == {"ecall": "create_group"}
+        assert ecall["self"] <= ecall["duration"]
+        assert next(r for r in rows if r["name"] == "cloud.put")["error"] \
+            == "RuntimeError"
+
+        path = tmp_path / "spans.jsonl"
+        assert write_jsonl(tr.spans(), path) == 3
+        assert path.read_text("utf-8").strip().split("\n") == lines
+
+    def test_aggregate_spans(self):
+        tr = _make_trace()
+        agg = aggregate_spans(tr.spans())
+        assert set(agg["categories"]) == {"sgx", "crypto", "cloud"}
+        assert agg["categories"]["sgx"]["count"] == 1
+        assert agg["errors"] == 1
+        # Self times sum to total wall-clock across the tree.
+        roots = [s for s in tr.spans() if s.parent_id is None]
+        total_self = sum(c["self_s"] for c in agg["categories"].values())
+        assert total_self == pytest.approx(
+            sum(s.duration for s in roots)
+        )
+
+    def test_breakdown_table(self):
+        tr = _make_trace()
+        lines = breakdown_table(tr.spans())
+        text = "\n".join(lines)
+        assert "category" in lines[0]
+        for cat in ("sgx", "crypto", "cloud"):
+            assert cat in text
+        assert "closed on an exception" in text  # 1 failed span reported
+        assert breakdown_table([]) == \
+            ["(no spans recorded — is telemetry enabled?)"]
+
+    def test_telemetry_snapshot_shape(self):
+        reg = MetricRegistry()
+        reg.counter("a.b").add()
+        tr = _make_trace()
+        snap = telemetry_snapshot([reg], tracer=tr)
+        assert snap["metrics"] == {"a.b": 1}
+        assert snap["trace"]["enabled"] is True
+        assert snap["trace"]["spans"] == 3
+        assert snap["trace"]["errors"] == 1
+
+    def test_format_metrics(self):
+        lines = format_metrics({"b.y": 2, "a.x": 1})
+        assert lines[0].startswith("a.x")
+        assert lines[1].startswith("b.y")
+
+
+# ---------------------------------------------------------------------------
+# Integration: the deployment's metric surfaces
+# ---------------------------------------------------------------------------
+
+class TestSystemTelemetry:
+    def test_pipeline_mutation_is_one_crossing_one_commit(self):
+        """Regression: in pipeline mode an admin mutation costs exactly
+        one enclave crossing and one cloud commit — asserted through the
+        new dotted metrics rather than the legacy attributes."""
+        system = make_system("obs-pipeline", capacity=4)
+        system.admin.create_group("g", ["a", "b", "c"])
+        before = system.telemetry()["metrics"]
+        system.admin.add_user("g", "d")
+        after = system.telemetry()["metrics"]
+        assert after["sgx.crossings"] - before["sgx.crossings"] == 1
+        assert after["cloud.batch_commits"] - before["cloud.batch_commits"] \
+            == 1
+        assert after["admin.plans_committed"] \
+            - before["admin.plans_committed"] == 1
+
+    def test_legacy_accessors_match_dotted_snapshot(self):
+        system = make_system("obs-shims", capacity=4)
+        system.admin.create_group("g", ["a", "b", "c", "d", "e"])
+        client = system.make_client("g", "a")
+        client.sync()
+        client.current_group_key()
+        metrics = system.telemetry()["metrics"]
+        # Old attribute surfaces and the consolidated registry agree.
+        assert system.enclave.meter.crossings == metrics["sgx.crossings"]
+        assert system.enclave.meter.ecalls == metrics["sgx.ecalls"]
+        assert system.cloud.metrics.requests == metrics["cloud.requests"]
+        assert system.cloud.metrics.bytes_in == metrics["cloud.bytes_in"]
+        assert system.admin.metrics.users_added \
+            == metrics["admin.users_added"]
+        assert client.decrypt_count == metrics["client.decrypts"]
+        # Legacy flat snapshots still work.
+        assert system.cloud.metrics.snapshot()["requests"] \
+            == metrics["cloud.requests"]
+        assert system.enclave.meter.snapshot()["crossings"] \
+            == metrics["sgx.crossings"]
+
+    def test_estimated_cycles_gauge(self):
+        system = make_system("obs-cycles", capacity=4)
+        system.admin.create_group("g", ["a"])
+        metrics = system.telemetry()["metrics"]
+        assert metrics["sgx.estimated_cycles"] \
+            == metrics["sgx.crossings"] * 8_000
+        assert system.enclave.meter.estimated_cycles \
+            == metrics["sgx.estimated_cycles"]
+
+    def test_reset_metrics(self):
+        system = make_system("obs-reset", capacity=4)
+        system.admin.create_group("g", ["a", "b"])
+        assert system.telemetry()["metrics"]["sgx.crossings"] > 0
+        system.reset_metrics()
+        metrics = system.telemetry()["metrics"]
+        assert metrics["sgx.crossings"] == 0
+        assert metrics["cloud.requests"] == 0
+        assert metrics["admin.groups_created"] == 0
+        # Gauges derive from live state, not counters: the cache still
+        # holds the group after a metric reset.
+        assert metrics["admin.cached_groups"] == 1
+
+    def test_spans_cover_the_hot_boundaries(self):
+        system = make_system("obs-spans", capacity=4)
+        with obs.enabled() as tr:
+            tr.reset()
+            system.admin.create_group("g", ["a", "b", "c"])
+            client = system.make_client("g", "a")
+            client.sync()
+            client.current_group_key()
+            categories = {s.category for s in tr.spans()}
+            names = {s.name for s in tr.spans()}
+        tr.reset()
+        assert {"sgx", "cloud", "crypto", "admin", "client"} <= categories
+        assert "sgx.batch" in names or "sgx.ecall" in names
+        assert "cloud.commit" in names
+        assert "admin.plan" in names
+        assert "client.decrypt" in names
+
+    def test_sequential_mode_pays_per_object(self):
+        system = make_system("obs-seq", capacity=2, pipeline=False,
+                             auto_repartition=False)
+        system.admin.create_group("g", ["a", "b", "c", "d"])
+        before = system.telemetry()["metrics"]
+        system.admin.rekey("g")
+        after = system.telemetry()["metrics"]
+        # Two partitions + descriptor + sealed key: >1 request, 0 commits.
+        assert after["cloud.requests"] - before["cloud.requests"] > 1
+        assert after["cloud.batch_commits"] == before["cloud.batch_commits"]

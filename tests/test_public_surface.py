@@ -1,0 +1,49 @@
+"""The package root's public surface must match its documentation.
+
+``docs/API.md`` carries a machine-readable block (between the
+``repro-public-surface`` markers) listing exactly what ``repro.__all__``
+exports.  This test fails whenever one drifts from the other, forcing
+doc updates to ride along with API changes."""
+
+import re
+from pathlib import Path
+
+import repro
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+_BLOCK = re.compile(
+    r"<!-- begin repro-public-surface -->\s*```\w*\n(.*?)```\s*"
+    r"<!-- end repro-public-surface -->",
+    re.DOTALL,
+)
+
+
+def documented_surface() -> list:
+    match = _BLOCK.search(API_MD.read_text("utf-8"))
+    assert match, (
+        "docs/API.md must contain the repro-public-surface block "
+        "(<!-- begin repro-public-surface --> ... <!-- end ... -->)"
+    )
+    return [line.strip() for line in match.group(1).splitlines()
+            if line.strip()]
+
+
+def test_all_matches_docs():
+    documented = documented_surface()
+    actual = list(repro.__all__)
+    assert documented == actual, (
+        "repro.__all__ and the docs/API.md public-surface block have "
+        f"drifted.\n  only in docs: {sorted(set(documented) - set(actual))}"
+        f"\n  only in __all__: {sorted(set(actual) - set(documented))}"
+        f"\n  (or the ordering differs)"
+    )
+
+
+def test_all_names_are_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} listed but missing"
+
+
+def test_no_duplicate_exports():
+    assert len(repro.__all__) == len(set(repro.__all__))
