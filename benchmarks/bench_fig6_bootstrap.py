@@ -10,6 +10,7 @@ Paper's observations:
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -18,10 +19,16 @@ from repro import ibbe
 from repro.bench import fit_power_law, format_seconds, time_call
 from repro.crypto.rng import DeterministicRng
 
-from conftest import scaled
+from conftest import bench_scale, make_bench_system, scaled
 
 PARTITION_SIZES = [64, 128, 256, 512]
 EXTRACTS_PER_SIZE = 20
+
+#: Fig. 5 worker sweep: the paper parallelizes group creation across
+#: enclave threads; we sweep the repro.par engine's process count.
+WORKER_COUNTS = [1, 2, 4]
+BOOTSTRAP_USERS = 10_000
+BOOTSTRAP_CAPACITY = 500
 
 
 def test_fig6a_setup_latency(std_group, sink, benchmark):
@@ -73,3 +80,76 @@ def test_fig6b_extract_throughput(std_group, sink, benchmark):
 
     msk, pk = ibbe.setup(std_group, scaled(64), rng)
     benchmark(lambda: ibbe.extract(msk, pk, "bench-user"))
+
+
+def test_fig6c_parallel_bootstrap_sweep(sink, benchmark):
+    """Group-creation scaling across engine worker counts (paper Fig. 5).
+
+    One std160 deployment bootstraps the same large group at each worker
+    count; the device RNG is reset between rounds so every round consumes
+    an identical randomness stream.  Two properties are checked:
+
+    * partition metadata (ciphertext + envelope) is byte-identical at
+      every worker count — the engine's determinism contract;
+    * with >= 4 physical cores at full scale, 4 workers beat serial by
+      >= 2x on a 10k-user bootstrap.
+    """
+    users = scaled(BOOTSTRAP_USERS)
+    capacity = scaled(BOOTSTRAP_CAPACITY)
+    members = [f"user{i:05d}" for i in range(users)]
+    system = make_bench_system("fig6c", capacity, params="std160")
+
+    rows, timings, reference = [], {}, None
+    for workers in WORKER_COUNTS:
+        system.device.rng = DeterministicRng("fig6c-round")
+        system.set_workers(workers)
+        system.admin.warm_enclave_workers()
+        start = time.perf_counter()
+        system.admin.create_group("boot", members)
+        elapsed = time.perf_counter() - start
+        timings[workers] = elapsed
+
+        state = system.admin.group_state("boot")
+        blobs = {
+            pid: (state.records[pid].ciphertext, state.records[pid].envelope)
+            for pid in state.table.partition_ids
+        }
+        if reference is None:
+            reference = blobs
+        else:
+            assert blobs == reference, (
+                f"group metadata diverged at workers={workers}"
+            )
+        snapshot = system.telemetry()["metrics"]
+        rows.append([workers, format_seconds(elapsed),
+                     f"{timings[1] / elapsed:.2f}x",
+                     int(snapshot["par.tasks"])])
+        system.admin.delete_group("boot")
+        system.reset_metrics()
+
+    sink.table(
+        f"Fig 6c: {users}-user bootstrap vs engine worker count "
+        f"(capacity {capacity}, {len(reference)} partitions)",
+        ["workers", "create_group", "speedup", "par.tasks"], rows,
+    )
+    sink.line("  (partition ciphertexts + envelopes byte-identical "
+              "across all worker counts)")
+
+    cores = os.cpu_count() or 1
+    if cores >= 4 and bench_scale() >= 1.0:
+        speedup = timings[1] / timings[4]
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at 4 workers on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )
+    else:
+        sink.line(f"  (speedup assertion skipped: {cores} cores, "
+                  f"scale {bench_scale()})")
+
+    system.set_workers(1)
+    benchmark.pedantic(
+        lambda: (system.admin.create_group("boot", members[:capacity]),
+                 system.admin.delete_group("boot")),
+        rounds=1, iterations=1,
+    )
+    system.close()

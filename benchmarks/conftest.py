@@ -98,7 +98,9 @@ def toy_group() -> PairingGroup:
 def make_bench_system(seed: str, capacity: int, params: str = "toy64",
                       system_bound: int | None = None,
                       auto_repartition: bool = True,
-                      pipeline: bool = True):
+                      pipeline: bool = True,
+                      workers: int | None = 1,
+                      precompute: bool = False):
     return quickstart_system(
         partition_capacity=capacity,
         params=params,
@@ -106,6 +108,8 @@ def make_bench_system(seed: str, capacity: int, params: str = "toy64",
         auto_repartition=auto_repartition,
         system_bound=system_bound or capacity,
         pipeline=pipeline,
+        workers=workers,
+        precompute=precompute,
     )
 
 

@@ -95,6 +95,10 @@ class System:
     public_key: object
     sealed_msk: bytes
     rng: Rng
+    #: Parallel-engine worker count the enclave was configured with
+    #: (``repro.par``; 1 = serial).  Results are byte-identical for any
+    #: value — this changes wall-clock only.
+    workers: int = 1
     _user_keys: Dict[str, object] = field(default_factory=dict)
     _clients: List[GroupClient] = field(default_factory=list)
 
@@ -139,8 +143,26 @@ class System:
             self.cloud.metrics.registry,
             self.admin.metrics.registry,
         ]
+        from repro.ec import precomp_registry
+        sources.append(precomp_registry)
         sources.extend(client.registry for client in self._clients)
         return sources
+
+    def set_workers(self, workers: int) -> int:
+        """Reconfigure the enclave's parallel-engine worker count at
+        runtime (the pool restarts lazily).  Returns the new count."""
+        count = self.enclave.call("set_workers", workers)
+        self.workers = count
+        return count
+
+    def close(self) -> None:
+        """Tear the deployment down: destroys the enclave, which shuts
+        down its worker pool and scrubs tracked secrets.  Idempotent."""
+        for client in self._clients:
+            closer = getattr(client, "close", None)
+            if closer is not None:
+                closer()
+        self.enclave.destroy()
 
     def telemetry(self) -> Dict[str, Any]:
         """Aggregated observability snapshot of the whole deployment.
@@ -167,7 +189,9 @@ def quickstart_system(partition_capacity: int = 1000,
                       latency: Optional[LatencyModel] = None,
                       auto_repartition: bool = True,
                       system_bound: Optional[int] = None,
-                      pipeline: bool = True) -> System:
+                      pipeline: bool = True,
+                      workers: Optional[int] = None,
+                      precompute: bool = False) -> System:
     """Stand up a complete single-admin deployment.
 
     Performs manufacturing (device + IAS registration), enclave load,
@@ -183,6 +207,12 @@ def quickstart_system(partition_capacity: int = 1000,
     (one enclave crossing + one cloud commit per mutation, the default);
     ``pipeline=False`` replays the sequential call-per-ecall,
     request-per-object behaviour for comparison.
+
+    ``workers`` configures the enclave's parallel engine (:mod:`repro.par`)
+    for partition-independent work — ``None`` defers to ``REPRO_WORKERS``,
+    else serial.  Any worker count produces byte-identical results.
+    ``precompute`` additionally builds fixed-base wNAF tables for the
+    public-key bases in the enclave and in every worker process.
     """
     rng = rng or SystemRng()
     pairing_group = PairingGroup(preset(params))
@@ -193,9 +223,13 @@ def quickstart_system(partition_capacity: int = 1000,
     # The CA key is pinned in the enclave configuration (hence in its
     # measurement): the enclave will release its master secret only to
     # peers certified under this exact CA (see core.multiadmin).
+    from repro.par import resolve_workers
+    worker_count = resolve_workers(workers)
     enclave = IbbeEnclave.load(device, {
         "pairing_group": pairing_group,
         "ca_public_key": auditor.ca_public_key.encode().hex(),
+        "workers": worker_count,
+        "precompute": precompute,
     })
     auditor.approve_measurement(enclave.measurement)
     certificate = setup_trust(enclave, auditor)
@@ -216,4 +250,5 @@ def quickstart_system(partition_capacity: int = 1000,
         group=pairing_group, device=device, enclave=enclave, ias=ias,
         auditor=auditor, cloud=cloud, admin=admin, certificate=certificate,
         public_key=public_key, sealed_msk=sealed_msk, rng=rng,
+        workers=worker_count,
     )

@@ -9,7 +9,7 @@ mirroring the paper's deployment of an admin machine plus Dropbox.
 Usage overview::
 
     python -m repro.cli init         --state S --cloud C [--params toy64]
-                                     [--capacity 4] [--bound 16]
+                                     [--capacity 4] [--bound 16] [--workers N]
     python -m repro.cli create-group --state S --cloud C GROUP M1 M2 …
     python -m repro.cli add-user     --state S --cloud C GROUP USER
     python -m repro.cli remove-user  --state S --cloud C GROUP USER
@@ -19,7 +19,7 @@ Usage overview::
     python -m repro.cli provision    --state S --cloud C IDENTITY --out F
     python -m repro.cli client-key   --cloud C --user-key F GROUP IDENTITY
     python -m repro.cli gen-trace    --kind {synthetic,kernel} --out F …
-    python -m repro.cli replay       --state S --cloud C --trace F
+    python -m repro.cli replay       --state S --cloud C --trace F [--workers N]
 
 ``provision`` runs the Fig. 3 flow (attestation + encrypted channel) and
 writes the user's IBBE secret key to a file; ``client-key`` then acts as
@@ -66,14 +66,28 @@ _IAS_KEY = "ias-report.key"
 
 
 class Deployment:
-    """A reconstructed admin-side deployment from a state directory."""
+    """A reconstructed admin-side deployment from a state directory.
 
-    def __init__(self, state_dir: Path, cloud_dir: Path) -> None:
+    ``workers`` configures the enclave's parallel engine for this
+    invocation; ``None`` falls back to the count persisted by ``init``
+    (which itself defaults to the ``REPRO_WORKERS`` environment
+    variable, else serial).  The worker count is a runtime knob — it is
+    excluded from the enclave measurement, so any value can unseal the
+    deployment's master secret.
+    """
+
+    def __init__(self, state_dir: Path, cloud_dir: Path,
+                 workers: Optional[int] = None) -> None:
+        from repro.par import resolve_workers
+
         self.state_dir = state_dir
         config = json.loads((state_dir / _CONFIG).read_text("utf-8"))
         self.params_name = config["params"]
         self.capacity = config["capacity"]
         self.bound = config["bound"]
+        if workers is None:
+            workers = config.get("workers")
+        self.workers = resolve_workers(workers)
         self.group = PairingGroup(preset(self.params_name))
         self.rng = SystemRng()
 
@@ -88,6 +102,7 @@ class Deployment:
         self.enclave = IbbeEnclave.load(self.device, {
             "pairing_group": self.group,
             "ca_public_key": ca_key.public_key().encode().hex(),
+            "workers": self.workers,
         })
         self.auditor = Auditor(self.ias, ca_key=ca_key)
         self.auditor.approve_measurement(self.enclave.measurement)
@@ -114,11 +129,17 @@ class Deployment:
             self.admin.load_group_from_cloud(group_id)
 
     def metric_sources(self) -> list:
-        """Admin-side metric registries (same shape as System.metric_sources)."""
+        """Admin-side metric registries (same shape as System.metric_sources).
+
+        Includes the enclave meter (which carries the ``par.*`` engine
+        metrics — worker count, tasks, dispatches) and the process-wide
+        ``ec.precomp.*`` fixed-base table counters."""
+        from repro.ec import precomp_registry
         return [
             self.enclave.meter.registry,
             self.cloud.metrics.registry,
             self.admin.metrics.registry,
+            precomp_registry,
         ]
 
 
@@ -141,8 +162,11 @@ def cmd_init(args) -> int:
         print(f"error: {state_dir} is already initialized "
               "(use --force to overwrite)", file=sys.stderr)
         return 2
+    from repro.par import resolve_workers
+
     rng = SystemRng()
     group = PairingGroup(preset(args.params))
+    workers = resolve_workers(args.workers)
 
     device_secret = rng.random_bytes(32)
     (state_dir / _DEVICE_SECRET).write_bytes(device_secret)
@@ -164,10 +188,11 @@ def cmd_init(args) -> int:
         "params": args.params,
         "capacity": args.capacity,
         "bound": bound,
+        "workers": workers,
     }, indent=2), encoding="utf-8")
     FileCloudStore(Path(args.cloud))  # materialize the store directory
     print(f"initialized: params={args.params}, partition capacity="
-          f"{args.capacity}, system bound m={bound}")
+          f"{args.capacity}, system bound m={bound}, workers={workers}")
     print(f"enclave measurement: {enclave.measurement.hex()}")
     return 0
 
@@ -335,7 +360,10 @@ def cmd_replay(args) -> int:
 
     if args.telemetry:
         obs.enable()
-    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment = Deployment(Path(args.state), Path(args.cloud),
+                            workers=args.workers)
+    if deployment.workers > 1:
+        deployment.admin.warm_enclave_workers()
     trace = load_trace(args.trace)
 
     clients = []
@@ -406,6 +434,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cloud", required=True,
                        help="cloud directory (file-backed store)")
 
+    def workers_option(p):
+        p.add_argument("--workers", type=int, default=None,
+                       help="parallel engine worker count (default: the "
+                            "count persisted by init, else REPRO_WORKERS, "
+                            "else serial); results are byte-identical for "
+                            "any value")
+
     p = sub.add_parser("init", help="set up a new deployment")
     common(p)
     p.add_argument("--params", default="toy64",
@@ -415,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="partition capacity")
     p.add_argument("--bound", type=int, default=None,
                    help="enclave system bound m (default: capacity)")
+    workers_option(p)
     p.add_argument("--force", action="store_true")
     p.set_defaults(func=cmd_init)
 
@@ -481,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay a trace file against this deployment")
     common(p)
     p.add_argument("--trace", required=True)
+    workers_option(p)
     p.add_argument("--group", default="replayed")
     p.add_argument("--sample-every", type=int, default=0,
                    help="sample a client decrypt every N operations")

@@ -413,6 +413,14 @@ class GroupAdministrator:
         if self.auto_repartition and state.table.needs_repartition():
             self.repartition(group_id)
 
+    # -- parallel engine ------------------------------------------------------------------
+
+    def warm_enclave_workers(self) -> int:
+        """Pre-start the enclave's parallel worker pool (:mod:`repro.par`)
+        so pool start-up never lands inside a measured group operation.
+        Returns the worker count (1 = serial, nothing to start)."""
+        return self.enclave.call("prepare_workers")
+
     # -- re-keying and re-partitioning ----------------------------------------------------
 
     def rekey(self, group_id: str) -> None:

@@ -45,12 +45,18 @@ class GroupClient:
     decrypt_count = CounterField("client.decrypts")
     expansion_count = CounterField("client.expansions")
 
+    #: Default hint-cache capacity: one partition's member set per epoch
+    #: is live; a tiny window covers moves between partitions without
+    #: unbounded growth.  :meth:`prewarm_hints` raises it as needed.
+    HINT_CACHE_CAP = 4
+
     def __init__(self, group_id: str, identity: str,
                  user_key: ibbe.IbbeUserKey,
                  public_key: ibbe.IbbePublicKey,
                  cloud: CloudStore,
                  admin_verification_key: ecdsa.EcdsaPublicKey,
-                 enforce_freshness: bool = True) -> None:
+                 enforce_freshness: bool = True,
+                 workers: Optional[int] = None) -> None:
         if user_key.identity != identity:
             raise AccessControlError("user key does not match the identity")
         self.group_id = group_id
@@ -67,9 +73,15 @@ class GroupClient:
         #: keeps this far below :attr:`decrypt_count` under re-key churn.
         self.expansion_count = 0
         self._hints: Dict[Tuple[str, ...], ibbe.DecryptionHint] = {}
+        self.hint_cache_cap = self.HINT_CACHE_CAP
         self.registry.gauge("client.hint_cache_size",
                             lambda: len(self._hints))
         self._highest_epoch = -1
+        # Parallel hint preparation (repro.par).  The hint never involves
+        # the user secret key, so the quadratic expansion can run on
+        # untrusted worker processes; 1 keeps everything in-process.
+        self.workers = workers
+        self._pool = None
 
     @property
     def group(self) -> PairingGroup:
@@ -197,12 +209,68 @@ class GroupClient:
                 self._pk, self._user_key, list(members)
             )
             self.expansion_count += 1
-            # One partition's member set per epoch is live; a tiny window
-            # covers moves between partitions without unbounded growth.
-            if len(self._hints) >= 4:
-                self._hints.pop(next(iter(self._hints)))
-            self._hints[key] = hint
+            self._cache_hint(key, hint)
         return hint
+
+    def _cache_hint(self, key: Tuple[str, ...],
+                    hint: ibbe.DecryptionHint) -> None:
+        if len(self._hints) >= self.hint_cache_cap:
+            self._hints.pop(next(iter(self._hints)))
+        self._hints[key] = hint
+
+    # -- parallel hint preparation (repro.par) -----------------------------------
+
+    def prewarm_hints(self, member_sets) -> int:
+        """Precompute decryption hints for many member sets at once.
+
+        A user appearing in several groups (or anticipating partition
+        moves) pays one O(|S|²) expansion per set; with ``workers > 1``
+        the expansions run on a process pool.  The hint is a function of
+        *public* material only (:func:`repro.ibbe.prepare_decryption_public`),
+        so no secret ever reaches a worker.  Sets not containing this
+        client's identity are skipped.  Returns the number of hints added;
+        the cache capacity grows to hold them all.
+        """
+        from repro.par import WorkerPool
+        from repro.par import kernels as par_kernels
+
+        todo = []
+        for members in member_sets:
+            key = tuple(members)
+            if self.identity in key and key not in self._hints:
+                todo.append(key)
+        if not todo:
+            return 0
+        if self._pool is None:
+            pk, group = self._pk, self.group
+            self._pool = WorkerPool(
+                self.workers,
+                initializer=par_kernels.init_worker,
+                initargs=(group.params.name, pk.encode(), True, False),
+                inline_initializer=lambda: par_kernels.set_context(group, pk),
+                registry=self.registry,
+            )
+        results = self._pool.run(
+            par_kernels.prepare_hint_task,
+            [(self.identity, key) for key in todo],
+        )
+        self.hint_cache_cap = max(self.hint_cache_cap,
+                                  len(self._hints) + len(todo))
+        from repro.pairing.group import G1Element
+        for key, (h_pi_bytes, delta_inverse) in zip(todo, results):
+            self._cache_hint(key, ibbe.DecryptionHint(
+                identity=self.identity,
+                member_fingerprint=key,
+                h_pi=G1Element.decode(self.group, h_pi_bytes),
+                delta_inverse=delta_inverse,
+            ))
+        return len(todo)
+
+    def close(self) -> None:
+        """Shut down the hint-preparation worker pool, if any."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # -- internals -------------------------------------------------------------------
 

@@ -4,10 +4,15 @@
   (affine API, Jacobian-coordinate internals).
 * :mod:`repro.ec.p256` — the NIST P-256 curve (HE-PKI baseline, signatures).
 * :mod:`repro.ec.hashing` — try-and-increment hash-to-curve.
+* :mod:`repro.ec.wnaf` — fixed-base wNAF precomputation tables
+  (``ec.precomp.*`` metrics live in :data:`precomp_registry`).
 """
 
 from repro.ec.curve import Curve, Point
 from repro.ec.hashing import hash_to_point
 from repro.ec.p256 import P256
+from repro.ec.wnaf import FixedBaseWnaf, wnaf_digits
+from repro.ec.wnaf import registry as precomp_registry
 
-__all__ = ["Curve", "Point", "P256", "hash_to_point"]
+__all__ = ["Curve", "Point", "P256", "hash_to_point",
+           "FixedBaseWnaf", "wnaf_digits", "precomp_registry"]

@@ -33,7 +33,21 @@ crossing):
 ``rekey_group`` [b]              Re-key every partition without a membership
                                  change (A-G; also used by re-partitioning).
 ``recover_and_reseal`` [b]       Re-seal another admin's gk for this enclave.
+``prepare_workers``              Pre-start the parallel worker pool.
+``set_workers``                  Reconfigure the worker count at runtime.
 ==============================  ===============================================
+
+Parallel execution: the per-partition work of ``create_group``,
+``rekey_group`` and ``remove_user`` is partition-independent, so it runs
+on the :mod:`repro.par` engine — the substrate's version of the paper's
+in-enclave worker threads (Fig. 5).  The engine is configured by the
+``workers`` config entry (default: the ``REPRO_WORKERS`` environment
+variable, else serial) and changes *performance only*: per-partition
+randomness streams are derived by index from one parent seed, so any
+worker count produces byte-identical blobs.  γ-dependent aggregation,
+group-key generation, enveloping and sealing always execute inside this
+enclave; workers receive only public-key material and per-partition
+aggregates (see DESIGN.md, "Parallel engine and the trust split").
 """
 
 from __future__ import annotations
@@ -46,8 +60,11 @@ from repro.core.envelope import GROUP_KEY_SIZE, wrap_group_key
 from repro.crypto import ecies
 from repro.crypto.kdf import sha256
 from repro.errors import EnclaveError
+from repro.mathutils.modular import modinv
 from repro.obs.spans import span as _span
 from repro.pairing.group import PairingGroup
+from repro.par import WorkerPool, derive_seed, resolve_workers
+from repro.par import kernels as par_kernels
 from repro.sgx.attestation import parse_provision_request
 from repro.sgx.counters import MonotonicCounterService
 from repro.sgx.enclave import Enclave, ecall
@@ -66,6 +83,11 @@ class IbbeEnclave(Enclave):
     """Enclave application holding the IBBE master secret."""
 
     VERSION = "ibbe-sgx-1.0"
+
+    # Engine knobs are performance-only (results are byte-identical at
+    # any worker count), so they stay out of the audited identity — a
+    # redeploy with more workers must still unseal its MSK.
+    UNMEASURED_CONFIG = frozenset({"workers", "precompute"})
 
     def __init__(self, device, config=None) -> None:
         super().__init__(device, config)
@@ -92,6 +114,19 @@ class IbbeEnclave(Enclave):
         self._identity_key = ecies.EciesPrivateKey(scalar)
         self._counters = MonotonicCounterService()
         self._seal_counters: Dict[str, int] = {}
+        # Parallel engine configuration (repro.par).  The pool itself is
+        # created lazily on first use (it needs the public key) and its
+        # par.* metrics ride this enclave's meter registry.
+        self._workers = resolve_workers((self.config or {}).get("workers"))
+        self._precompute = bool((self.config or {}).get("precompute", False))
+        self._pool: Optional[WorkerPool] = None
+        self.meter.registry.gauge("par.workers", lambda: self._workers)
+
+    def destroy(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        super().destroy()
 
     # -- system lifecycle -------------------------------------------------------
 
@@ -124,6 +159,8 @@ class IbbeEnclave(Enclave):
                      pk: ibbe.IbbePublicKey) -> None:
         self._msk = msk
         self._pk = pk
+        if self._precompute:
+            pk.enable_precomputation()
         self.track_secret(msk.gamma.to_bytes(32, "big"))
         self.track_secret(msk.g.encode())
 
@@ -234,13 +271,16 @@ class IbbeEnclave(Enclave):
         Generates ``gk``, then per partition: an IBBE-SGX broadcast key and
         ciphertext via the O(|p|) MSK path, and the envelope ``y_p``.
         Returns the per-partition blobs and the sealed group key.
+
+        The per-partition work runs on the parallel engine (the paper's
+        enclave worker threads); the result is byte-identical for every
+        worker count.
         """
         msk, pk = self._require_msk(), self._require_pk()
         gk = self.track_secret(self.rng.random_bytes(GROUP_KEY_SIZE))
-        blobs = [
-            self._build_partition(msk, pk, members, gk, group_id)
-            for members in partitions
-        ]
+        blobs = self._build_partitions(
+            msk, pk, [list(members) for members in partitions], gk, group_id
+        )
         sealed_gk = self._seal_group_key(group_id, gk)
         return blobs, sealed_gk
 
@@ -294,27 +334,22 @@ class IbbeEnclave(Enclave):
         """
         msk, pk = self._require_msk(), self._require_pk()
         gk = self.track_secret(self.rng.random_bytes(GROUP_KEY_SIZE))
+        # Dropping the revoked user divides C3's exponent by (γ + H(u))
+        # — the only γ-dependent step, so it stays in the enclave; the
+        # per-partition re-keys are public-base work for the engine.
         host_c3 = ibbe.IbbeCiphertext.decode_c3(self._group,
                                                 hosting_ciphertext)
-        bk_rem, ct_rem = ibbe.remove_user_from_c3(msk, pk, host_c3,
-                                                  identity, self.rng)
-        host_blob = PartitionBlob(
-            ciphertext=ct_rem.encode(),
-            envelope=wrap_group_key(bk_rem.digest(), gk, self.rng,
-                                    aad=group_id.encode("utf-8")),
-        )
-        other_blobs = []
+        q = self._group.q
+        factor_inv = modinv((msk.gamma + pk.hash_identity(identity)) % q, q)
+        c3_encodings = [(host_c3 ** factor_inv).encode()]
         for encoded in other_ciphertexts:
             self._account_epc(len(encoded))
-            c3 = ibbe.IbbeCiphertext.decode_c3(self._group, encoded)
-            bk_p, ct_p = ibbe.rekey_from_c3(pk, c3, self.rng)
-            other_blobs.append(PartitionBlob(
-                ciphertext=ct_p.encode(),
-                envelope=wrap_group_key(bk_p.digest(), gk, self.rng,
-                                        aad=group_id.encode("utf-8")),
-            ))
+            c3_encodings.append(
+                ibbe.IbbeCiphertext.encoded_c3(self._group, encoded)
+            )
+        blobs = self._rekey_partitions(pk, c3_encodings, gk, group_id)
         sealed_gk = self._seal_group_key(group_id, gk)
-        return host_blob, other_blobs, sealed_gk
+        return blobs[0], blobs[1:], sealed_gk
 
     @ecall(batchable=True)
     def recover_and_reseal(self, group_id: str, members: Sequence[str],
@@ -352,17 +387,130 @@ class IbbeEnclave(Enclave):
         """Refresh ``gk`` for all partitions without membership changes."""
         pk = self._require_pk()
         gk = self.track_secret(self.rng.random_bytes(GROUP_KEY_SIZE))
-        blobs = []
-        for encoded in ciphertexts:
-            c3 = ibbe.IbbeCiphertext.decode_c3(self._group, encoded)
-            bk_p, ct_p = ibbe.rekey_from_c3(pk, c3, self.rng)
-            blobs.append(PartitionBlob(
-                ciphertext=ct_p.encode(),
-                envelope=wrap_group_key(bk_p.digest(), gk, self.rng,
-                                        aad=group_id.encode("utf-8")),
-            ))
+        c3_encodings = [
+            ibbe.IbbeCiphertext.encoded_c3(self._group, encoded)
+            for encoded in ciphertexts
+        ]
+        blobs = self._rekey_partitions(pk, c3_encodings, gk, group_id)
         sealed_gk = self._seal_group_key(group_id, gk)
         return blobs, sealed_gk
+
+    # -- parallel engine (repro.par) ------------------------------------------------
+
+    @ecall
+    def prepare_workers(self) -> int:
+        """Start every pool worker (decode the public key, build tables)
+        ahead of real work, so pool start-up never lands inside a measured
+        group operation.  Returns the worker count."""
+        return self._worker_pool().warm()
+
+    @ecall
+    def set_workers(self, workers: Optional[int]) -> int:
+        """Reconfigure the engine's worker count at runtime.
+
+        The current pool (if any) is shut down; the next parallel
+        operation starts a fresh one.  Worker count never affects
+        results, only wall-clock — see the module docstring.
+        """
+        count = resolve_workers(workers)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._workers = count
+        # Re-point the gauge at the live setting (a closed pool's gauge
+        # registration would otherwise report the stale count).
+        self.meter.registry.gauge("par.workers", lambda: self._workers)
+        return count
+
+    def _worker_pool(self) -> WorkerPool:
+        """The lazily-created engine pool (needs the public key).
+
+        Worker processes rebuild their context from wire format
+        (``init_worker``): the preset name and the *public* key bytes —
+        never γ, ``g`` or any group key.  ``full_pk=False`` skips the
+        h-power ladder the partition kernels don't touch.  The serial
+        path installs this enclave's own objects inline instead.
+        """
+        if self._pool is None:
+            pk, group = self._require_pk(), self._group
+            self._pool = WorkerPool(
+                self._workers,
+                initializer=par_kernels.init_worker,
+                initargs=(group.params.name, pk.encode(), False,
+                          self._precompute),
+                inline_initializer=lambda: par_kernels.set_context(group, pk),
+                registry=self.meter.registry,
+            )
+        return self._pool
+
+    def _build_partitions(self, msk, pk,
+                          partitions: Sequence[Sequence[str]], gk: bytes,
+                          group_id: str) -> List[PartitionBlob]:
+        """Algorithm 1's per-partition loop on the parallel engine.
+
+        Phase 1 (workers, public): hash every member identity.
+        Phase 2 (enclave, γ): fold hashes into ``∏(γ + H(u)) mod q``.
+        Phase 3 (workers, public bases): the three exponentiations and
+        the pairing-free broadcast key, randomness derived by partition
+        index from one parent seed (byte-identical at any worker count).
+        Phase 4 (enclave, gk): EPC accounting + envelope wrap, in order.
+        """
+        with _span("enclave.build_partitions", partitions=len(partitions),
+                   workers=self._workers):
+            for members in partitions:
+                ibbe.check_broadcast_set(pk, list(members))
+            pool = self._worker_pool()
+            hashes = pool.run(par_kernels.hash_members_task,
+                              [tuple(members) for members in partitions])
+            q, gamma = self._group.q, msk.gamma
+            products = []
+            for member_hashes in hashes:
+                product = 1
+                for h in member_hashes:
+                    product = (product * ((gamma + h) % q)) % q
+                products.append(product)
+            parent = self.rng.random_bytes(32)
+            results = pool.run(par_kernels.build_partition_task, [
+                (products[i], derive_seed(parent, i, "partition"))
+                for i in range(len(partitions))
+            ])
+            return self._assemble_blobs(partitions, results, gk, group_id)
+
+    def _rekey_partitions(self, pk, c3_encodings: Sequence[bytes],
+                          gk: bytes, group_id: str) -> List[PartitionBlob]:
+        """The A-G re-key loop (Algorithm 3 / re-partitioning) on the
+        engine: each partition's fresh ``(C1, C2, bk)`` needs only its
+        public aggregate ``C3`` and the public key."""
+        with _span("enclave.rekey_partitions",
+                   partitions=len(c3_encodings), workers=self._workers):
+            pool = self._worker_pool()
+            parent = self.rng.random_bytes(32)
+            results = pool.run(par_kernels.rekey_partition_task, [
+                (c3_encodings[i], derive_seed(parent, i, "rekey"))
+                for i in range(len(c3_encodings))
+            ])
+            return self._assemble_blobs(None, results, gk, group_id)
+
+    def _assemble_blobs(self, partitions: Optional[Sequence[Sequence[str]]],
+                        results: Sequence[Tuple[bytes, bytes]], gk: bytes,
+                        group_id: str) -> List[PartitionBlob]:
+        """Phase 4: wrap ``gk`` under each partition's broadcast-key
+        digest.  Runs in the enclave (``gk`` never reaches a worker), in
+        task order, drawing envelope nonces from the enclave RNG."""
+        aad = group_id.encode("utf-8")
+        blobs = []
+        for index, (ct_bytes, bk_digest) in enumerate(results):
+            if partitions is not None:
+                members = partitions[index]
+                self._account_epc(
+                    sum(len(m.encode("utf-8")) for m in members) + 256,
+                    write=True,
+                )
+            blobs.append(PartitionBlob(
+                ciphertext=ct_bytes,
+                envelope=wrap_group_key(bk_digest, gk, self.rng, aad=aad),
+            ))
+        return blobs
 
     # -- internals -----------------------------------------------------------------
 
@@ -385,16 +533,8 @@ class IbbeEnclave(Enclave):
 
     def _build_partition(self, msk, pk, members: Sequence[str], gk: bytes,
                          group_id: str) -> PartitionBlob:
-        with _span("enclave.build_partition", members=len(members)):
-            self._account_epc(
-                sum(len(m.encode("utf-8")) for m in members) + 256, write=True
-            )
-            bk, ct = ibbe.encrypt_msk(msk, pk, list(members), self.rng)
-            return PartitionBlob(
-                ciphertext=ct.encode(),
-                envelope=wrap_group_key(bk.digest(), gk, self.rng,
-                                        aad=group_id.encode("utf-8")),
-            )
+        return self._build_partitions(msk, pk, [list(members)], gk,
+                                      group_id)[0]
 
     def _seal_group_key(self, group_id: str, gk: bytes) -> bytes:
         """Seal gk with a monotonic version for rollback protection."""

@@ -83,3 +83,8 @@ class RevokedError(AccessControlError):
 class StaleMetadataError(AccessControlError):
     """The cloud served metadata older than previously observed — a
     rollback/freshness violation by the storage provider."""
+
+
+class ParallelError(ReproError):
+    """Misconfiguration or failure of the parallel execution engine
+    (:mod:`repro.par`): invalid worker counts, dead worker pools."""

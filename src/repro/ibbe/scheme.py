@@ -56,6 +56,21 @@ class IbbePublicKey:
         """H: identity string → Z_q* (paper's H(u))."""
         return self.group.hash_to_scalar(identity, domain=b"repro:ibbe-h")
 
+    def enable_precomputation(self) -> "IbbePublicKey":
+        """Build fixed-base wNAF tables for the hot bases ``w``, ``v`` and
+        ``h`` (idempotent; tables are cached on the elements, so every
+        holder of this key object shares them).
+
+        These three are the only bases ``encrypt_msk`` / ``rekey_from_c3``
+        exponentiate with fresh scalars, so this turns the per-partition
+        cost of Algorithms 1-3 from three full ladders into sparse
+        table lookups.  The parallel engine enables it per worker process.
+        """
+        self.h.enable_precomputation()
+        self.w.enable_precomputation()
+        self.v.enable_precomputation()
+        return self
+
     def size_bytes(self) -> int:
         """Wire size of the public key — linear in m (paper §IV-C)."""
         return len(self.encode())
@@ -170,10 +185,19 @@ class IbbeCiphertext:
         on the paper's hottest path — the per-partition re-key loop of
         Algorithm 3.
         """
+        return G1Element.decode(group, cls.encoded_c3(group, data))
+
+    @classmethod
+    def encoded_c3(cls, group: PairingGroup, data: bytes) -> bytes:
+        """The still-encoded C3 component of an encoded ciphertext.
+
+        Lets dispatchers (the parallel re-key engine) validate and slice
+        ciphertexts without decompressing any point; the worker that
+        executes the task performs the single C3 decode."""
         point_size = 1 + (group.p.bit_length() + 7) // 8
         if len(data) != 3 * point_size:
             raise SchemeError("malformed IBBE ciphertext encoding")
-        return G1Element.decode(group, data[2 * point_size:])
+        return data[2 * point_size:]
 
 
 # ---------------------------------------------------------------------------
@@ -206,6 +230,7 @@ def setup(group: PairingGroup, m: int, rng: Rng,
         h.enable_precomputation()
         w.enable_precomputation()
         v.enable_precomputation()
+        g.enable_precomputation()   # extract exponentiates g per user
     h_powers: List[G1Element] = [h]
     acc = 1
     for _ in range(m):
@@ -323,15 +348,21 @@ class DecryptionHint:
     delta_inverse: int
 
 
-def prepare_decryption(pk: IbbePublicKey, user_key: IbbeUserKey,
-                       identities: Sequence[str]) -> DecryptionHint:
-    """The O(|S|²) part of decryption, reusable across re-keys."""
-    if user_key.identity not in identities:
+def prepare_decryption_public(pk: IbbePublicKey, identity: str,
+                              identities: Sequence[str]) -> DecryptionHint:
+    """:func:`prepare_decryption` from the identity alone.
+
+    The hint depends only on public material (the public key and the
+    member identities), never on the user's secret key — which is what
+    lets clients farm the quadratic expansion out to untrusted worker
+    processes (:meth:`repro.core.client.GroupClient.prewarm_hints`).
+    """
+    if identity not in identities:
         raise SchemeError(
-            f"user {user_key.identity!r} is not in the broadcast set"
+            f"user {identity!r} is not in the broadcast set"
         )
     q = pk.group.q
-    others = [u for u in identities if u != user_key.identity]
+    others = [u for u in identities if u != identity]
     if len(others) > pk.m:
         raise ParameterError("broadcast set exceeds the system bound m")
     hashes = [pk.hash_identity(u) for u in others]
@@ -342,11 +373,17 @@ def prepare_decryption(pk: IbbePublicKey, user_key: IbbeUserKey,
         (coeffs[t], pk.h_powers[t - 1]) for t in range(1, len(coeffs))
     )
     return DecryptionHint(
-        identity=user_key.identity,
+        identity=identity,
         member_fingerprint=tuple(identities),
         h_pi=h_pi,
         delta_inverse=modinv(delta, q),
     )
+
+
+def prepare_decryption(pk: IbbePublicKey, user_key: IbbeUserKey,
+                       identities: Sequence[str]) -> DecryptionHint:
+    """The O(|S|²) part of decryption, reusable across re-keys."""
+    return prepare_decryption_public(pk, user_key.identity, identities)
 
 
 def decrypt_with_hint(pk: IbbePublicKey, user_key: IbbeUserKey,
@@ -447,7 +484,14 @@ def rekey_from_c3(pk: IbbePublicKey, c3: G1Element,
 # Internals
 # ---------------------------------------------------------------------------
 
-def _check_set(pk: IbbePublicKey, identities: Sequence[str]) -> None:
+def check_broadcast_set(pk: IbbePublicKey,
+                        identities: Sequence[str]) -> None:
+    """Validate a broadcast set against the public key (non-empty, within
+    the system bound ``m``, duplicate-free).  Raises on violation.
+
+    The same checks :func:`encrypt_pk` / :func:`encrypt_msk` apply; public
+    so callers that assemble ciphertexts through the parallel engine's
+    kernels can validate before dispatching work."""
     if not identities:
         raise SchemeError("broadcast set must not be empty")
     if len(identities) > pk.m:
@@ -456,6 +500,9 @@ def _check_set(pk: IbbePublicKey, identities: Sequence[str]) -> None:
         )
     if len(set(identities)) != len(identities):
         raise SchemeError("broadcast set contains duplicate identities")
+
+
+_check_set = check_broadcast_set
 
 
 def _expansion_coefficients(pk: IbbePublicKey,

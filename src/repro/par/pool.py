@@ -1,0 +1,181 @@
+"""A process-pool executor with a serial in-process mode.
+
+Python threads cannot parallelize the pairing arithmetic (the GIL), so
+the engine uses processes.  The ``fork`` start method is preferred where
+available: workers inherit the already-generated pairing presets and
+loaded modules, making pool start-up tens of milliseconds instead of
+seconds.  Each worker optionally runs an initializer once (decode the
+public key, build precomputation tables); ``workers=1`` runs tasks
+inline in the calling process — after the same initialization — so the
+serial path exercises the exact kernel code the parallel path does.
+
+Results are returned in task order regardless of scheduling
+(:meth:`concurrent.futures.Executor.map` semantics) and chunking is a
+deterministic function of the task count and worker count alone.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ParallelError
+from repro.obs.metrics import MetricRegistry
+
+#: Environment default for the worker count (CLI/System fall back to it).
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve an explicit worker count, falling back to ``REPRO_WORKERS``
+    and then to 1 (serial)."""
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ParallelError(
+                f"{ENV_WORKERS} must be an integer, got {raw!r}"
+            )
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ParallelError(f"worker count must be an int, got {workers!r}")
+    if workers < 1:
+        raise ParallelError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def _warm_task(delay: float) -> int:
+    """Occupy a worker long enough that warm-up tasks spread across the
+    pool (spawning every process and running its initializer)."""
+    time.sleep(delay)
+    return os.getpid()
+
+
+class WorkerPool:
+    """Deterministic map over a process pool (or inline when serial).
+
+    Metrics (``par.*`` namespace on ``registry``): ``par.workers`` (the
+    configured count), ``par.dispatches`` (``run`` calls), ``par.tasks``
+    (tasks executed), ``par.failures`` (dispatches that raised).
+
+    The underlying executor is created lazily on first parallel ``run``
+    and torn down by :meth:`close` (also on any task failure, so a
+    poisoned pool is never reused; the next ``run`` starts a fresh one).
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 initializer: Optional[Callable[..., None]] = None,
+                 initargs: Sequence[Any] = (),
+                 inline_initializer: Optional[Callable[[], None]] = None,
+                 registry: Optional[MetricRegistry] = None) -> None:
+        self.workers = resolve_workers(workers)
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._tasks = self.registry.counter("par.tasks")
+        self._dispatches = self.registry.counter("par.dispatches")
+        self._failures = self.registry.counter("par.failures")
+        self.registry.gauge("par.workers", lambda: self.workers)
+        self._initializer = initializer
+        self._initargs: Tuple[Any, ...] = tuple(initargs)
+        self._inline_initializer = inline_initializer
+        self._inline_ready = False
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every task, returning results in task order.
+
+        ``fn`` must be a module-level (picklable) function of one task
+        argument — see :mod:`repro.par.kernels`.  Any task exception
+        propagates to the caller after the pool is shut down.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        self._dispatches.add()
+        self._tasks.add(len(tasks))
+        if self.workers == 1:
+            self._ensure_inline()
+            try:
+                return [fn(task) for task in tasks]
+            except Exception:
+                self._failures.add()
+                raise
+        executor = self._ensure_executor()
+        try:
+            return list(executor.map(fn, tasks,
+                                     chunksize=self._chunksize(len(tasks))))
+        except Exception:
+            self._failures.add()
+            self.close()
+            raise
+
+    def warm(self) -> int:
+        """Start every worker (and run its initializer) ahead of real
+        work, so pool start-up never lands inside a measured operation.
+        Returns the worker count."""
+        if self.workers == 1:
+            self._ensure_inline()
+        else:
+            executor = self._ensure_executor()
+            list(executor.map(_warm_task, [0.02] * self.workers,
+                              chunksize=1))
+        return self.workers
+
+    def _chunksize(self, ntasks: int) -> int:
+        # Deterministic function of (ntasks, workers) only: ~4 chunks per
+        # worker bounds straggler imbalance without per-task IPC overhead.
+        return max(1, ntasks // (self.workers * 4))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_inline(self) -> None:
+        # The kernel context is per-process module state, so in serial
+        # mode a *cheap* inline initializer (install already-built
+        # objects) runs before every dispatch — several serial pools in
+        # one process would otherwise clobber each other's context.  The
+        # expensive wire-format initializer fallback runs once per pool.
+        if self._inline_initializer is not None:
+            self._inline_initializer()
+            return
+        if not self._inline_ready:
+            if self._initializer is not None:
+                self._initializer(*self._initargs)
+            self._inline_ready = True
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._executor
+
+    @property
+    def started(self) -> bool:
+        """Whether a process pool is currently live."""
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Shut the process pool down (idempotent; the pool restarts
+        lazily on the next parallel ``run``)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

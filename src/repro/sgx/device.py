@@ -61,6 +61,14 @@ class SgxDevice:
     def rng(self) -> Rng:
         return self._rng
 
+    @rng.setter
+    def rng(self, rng: Rng) -> None:
+        # Replaceable so deterministic harnesses (the worker-sweep
+        # benchmark) can reset the randomness stream between repetitions
+        # of the same operation; enclaves read ``device.rng`` per call,
+        # so the swap takes effect immediately.
+        self._rng = rng
+
     def sealing_root_key(self) -> bytes:
         """Device fuse key — accessed only by enclaves loaded on this device."""
         return self._fuse_key

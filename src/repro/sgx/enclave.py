@@ -245,12 +245,22 @@ class Enclave:
 
     VERSION = "1.0"
 
+    #: Config keys excluded from the measurement: runtime tuning knobs
+    #: (worker counts, precomputation toggles) that change performance but
+    #: never results.  Real MRENCLAVE likewise covers code and data pages,
+    #: not launch-time thread configuration — and sealing policy demands
+    #: it: data sealed by a deployment must remain unsealable after a
+    #: restart with a different knob setting.
+    UNMEASURED_CONFIG: frozenset = frozenset()
+
     def __init__(self, device: SgxDevice,
                  config: Optional[Dict[str, object]] = None) -> None:
         self.device = device
         self.config = dict(config or {})
         self.measurement = measure_enclave(
-            type(self), self.VERSION, self.config
+            type(self), self.VERSION,
+            {k: v for k, v in self.config.items()
+             if k not in self.UNMEASURED_CONFIG},
         )
         self.enclave_id = next(_enclave_counter)
         self.meter = CrossingMeter()
