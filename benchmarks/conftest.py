@@ -158,4 +158,10 @@ def traced_breakdown(sink, title: str, action) -> None:
     sink.line(f"\n  {title} (traced rerun):")
     for line in obs.breakdown_table(tr.spans()):
         sink.line(f"    {line}")
+    # Persist the spans as a Chrome trace next to the text results, so a
+    # reviewer can open the run in chrome://tracing / Perfetto.
+    slug = "".join(c if c.isalnum() else "-" for c in title.lower())
+    obs.write_chrome_trace(
+        tr.spans(), RESULTS_DIR / f"{sink.name}.{slug}.trace.json"
+    )
     tr.reset()

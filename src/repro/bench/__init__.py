@@ -1,6 +1,16 @@
-"""Shared benchmark harness utilities (timing, curve fitting, reporting)."""
+"""Shared benchmark harness utilities (timing, curve fitting, reporting)
+and the CI performance-regression gate (:mod:`repro.bench.gate`)."""
 
 from repro.bench.fitting import FitResult, extrapolate, fit_power_law
+from repro.bench.gate import (
+    compare,
+    current_rev,
+    load_snapshot,
+    load_tolerances,
+    make_snapshot,
+    run_ops,
+    write_snapshot,
+)
 from repro.bench.reporting import (
     cdf_points,
     format_bytes,
@@ -13,6 +23,13 @@ from repro.bench.timing import Timer, time_call
 __all__ = [
     "Timer",
     "time_call",
+    "compare",
+    "current_rev",
+    "load_snapshot",
+    "load_tolerances",
+    "make_snapshot",
+    "run_ops",
+    "write_snapshot",
     "FitResult",
     "fit_power_law",
     "extrapolate",

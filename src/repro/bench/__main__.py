@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — run the perf-regression gate."""
+
+from repro.bench.gate import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

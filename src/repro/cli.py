@@ -20,6 +20,10 @@ Usage overview::
     python -m repro.cli client-key   --cloud C --user-key F GROUP IDENTITY
     python -m repro.cli gen-trace    --kind {synthetic,kernel} --out F …
     python -m repro.cli replay       --state S --cloud C --trace F [--workers N]
+                                     [--telemetry] [--trace-out F.json]
+                                     [--profile [--profile-hz N]]
+    python -m repro.cli stats        --state S --cloud C
+                                     [--format table|json|prom] [--out F]
 
 ``provision`` runs the Fig. 3 flow (attestation + encrypted channel) and
 writes the user's IBBE secret key to a file; ``client-key`` then acts as
@@ -358,7 +362,7 @@ def cmd_replay(args) -> int:
     from repro.workloads import ReplayEngine, load_trace
     from repro.workloads.replay import IbbeSgxReplayAdapter
 
-    if args.telemetry:
+    if args.telemetry or args.trace_out:
         obs.enable()
     deployment = Deployment(Path(args.state), Path(args.cloud),
                             workers=args.workers)
@@ -391,7 +395,15 @@ def cmd_replay(args) -> int:
     engine = ReplayEngine(IbbeSgxReplayAdapter(_DeploymentShim()),
                           group_id=args.group,
                           decrypt_sample_every=args.sample_every)
-    report = engine.run(trace)
+    profiler = None
+    if args.profile:
+        profiler = obs.SamplingProfiler(hz=args.profile_hz)
+        profiler.start()
+    try:
+        report = engine.run(trace)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     print(f"replayed {report.operations_applied} operations "
           f"({report.adds} add / {report.removes} rm, "
           f"{report.skipped} skipped)")
@@ -411,9 +423,51 @@ def cmd_replay(args) -> int:
         print("== time breakdown (self time per category) ==")
         for line in obs.breakdown_table(spans):
             print(line)
+    if profiler is not None:
+        print()
+        print("== sampling profile ==")
+        for line in profiler.report_lines():
+            print(line)
     if args.trace_out:
-        written = obs.write_jsonl(obs.tracer().spans(), args.trace_out)
-        print(f"wrote {written} spans -> {args.trace_out}")
+        recorded = obs.tracer().spans()
+        if args.trace_out.endswith(".json"):
+            written = obs.write_chrome_trace(recorded, args.trace_out)
+            print(f"wrote {written} trace events -> {args.trace_out} "
+                  "(load in chrome://tracing or ui.perfetto.dev)")
+        else:
+            written = obs.write_jsonl(recorded, args.trace_out)
+            print(f"wrote {written} spans -> {args.trace_out}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Load the deployment, sync every group, and dump the merged metric
+    snapshot in the requested format."""
+    from repro import obs
+
+    deployment = Deployment(Path(args.state), Path(args.cloud))
+    groups = sorted({
+        path.strip("/").split("/")[0]
+        for path in deployment.cloud.list_dir("/")
+    })
+    for group_id in groups:
+        try:
+            deployment.load_group(group_id)
+        except (NotFoundError, ReproError):
+            pass
+    metrics = obs.merge_snapshots(deployment.metric_sources())
+    metrics.update(obs.tracer().registry.snapshot())
+    if args.format == "json":
+        text = json.dumps(metrics, indent=2, sort_keys=True)
+    elif args.format == "prom":
+        text = obs.metrics_to_prometheus(metrics).rstrip("\n")
+    else:
+        text = "\n".join(obs.format_metrics(metrics))
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {len(text.splitlines())} lines -> {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -525,8 +579,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable span tracing and print a metric snapshot "
                         "and per-category time breakdown after the replay")
     p.add_argument("--trace-out", default=None,
-                   help="write the recorded spans as JSONL to this file")
+                   help="write the recorded spans to this file: Chrome "
+                        "trace_event JSON when it ends in .json "
+                        "(chrome://tracing / Perfetto), JSONL otherwise")
+    p.add_argument("--profile", action="store_true",
+                   help="run the stdlib sampling profiler during the "
+                        "replay and print a span-attributed report")
+    p.add_argument("--profile-hz", type=int, default=97,
+                   help="profiler sampling rate (default: 97 Hz)")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("stats",
+                       help="dump the deployment's merged metric snapshot")
+    common(p)
+    p.add_argument("--format", choices=["table", "json", "prom"],
+                   default="table",
+                   help="output format: human table, JSON object, or "
+                        "Prometheus text exposition")
+    p.add_argument("--out", default=None,
+                   help="write to this file instead of stdout")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 
@@ -538,6 +610,13 @@ def main(argv: Optional[list] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout went away (e.g. ``repro stats | head``); not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

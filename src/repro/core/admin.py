@@ -19,6 +19,7 @@ equivalence tests and the before/after boundary-cost benchmarks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -74,6 +75,9 @@ class AdminMetrics:
         self.registry = registry if registry is not None else MetricRegistry()
         for field in self._FIELDS:
             self.registry.counter(f"admin.{field}")
+        #: Per-mutation latency distribution (one observation per
+        #: committed plan); ``snapshot()`` reports p50/p95/p99.
+        self.op_seconds = self.registry.histogram("admin.op.seconds")
 
     def snapshot(self) -> Dict[str, int]:
         """Flat legacy view; prefer ``metrics.registry.snapshot()`` (dotted)."""
@@ -507,6 +511,7 @@ class GroupAdministrator:
         fresh ``state.sealed_group_key``, then re-run.
         """
         plan = make_plan()
+        start = time.perf_counter()
         with _span("admin.plan", group=state.group_id,
                    op=plan.describe()):
             try:
@@ -522,6 +527,7 @@ class GroupAdministrator:
                 state.epoch += 1
             self._commit_effects(state, effects)
             self.metrics.plans_committed += 1
+        self.metrics.op_seconds.observe(time.perf_counter() - start)
 
     def _run_ecalls(self, ecalls: Sequence[EcallOp]) -> List[Any]:
         if not ecalls:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, TYPE_CHECKING
 
+from repro.obs.collect import register_worker_source
 from repro.obs.metrics import MetricRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -29,7 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Process-wide precomputation metrics: ``ec.precomp.tables`` (tables
 #: built), ``ec.precomp.hits`` (exponentiations served by a table),
 #: ``ec.precomp.misses`` (exponentiations that ran a full ladder).
-registry = MetricRegistry()
+#: Registered as a worker source so counters bumped inside pool workers
+#: are merged back into the parent process after each traced dispatch.
+registry = register_worker_source(MetricRegistry())
 TABLES = registry.counter("ec.precomp.tables")
 HITS = registry.counter("ec.precomp.hits")
 MISSES = registry.counter("ec.precomp.misses")

@@ -19,8 +19,9 @@ benchmark harness read.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Optional, Protocol, \
-    runtime_checkable
+import random
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, \
+    Protocol, Sequence, runtime_checkable
 
 
 @runtime_checkable
@@ -58,18 +59,39 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
-class Histogram:
-    """Streaming summary of an observed distribution (count/total/min/max).
+def quantile_from_samples(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of a sample list (0 <= q <= 1)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
-    Kept deliberately small: the benchmarks fit curves from raw samples,
-    so the histogram only needs the aggregates that telemetry snapshots
-    report (``*.count``, ``*.total``, ``*.min``, ``*.max``, ``*.mean``).
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Exact aggregates (``count/total/min/max/mean``) are maintained for
+    every observation; quantiles (``p50/p95/p99``) come from a *bounded
+    reservoir* (Vitter's algorithm R, deterministic per histogram name)
+    so memory stays O(:attr:`RESERVOIR_SIZE`) however many values are
+    observed.  Below the reservoir bound the quantiles are exact.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    RESERVOIR_SIZE = 256
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_reservoir", "_reservoir_size", "_rand")
+
+    def __init__(self, name: str,
+                 reservoir_size: int = RESERVOIR_SIZE) -> None:
         self.name = name
+        self._reservoir_size = reservoir_size
         self.reset()
 
     def observe(self, value: float) -> None:
@@ -79,16 +101,36 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rand.randrange(self.count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Reservoir estimate of the ``q``-quantile (exact while the
+        observation count is within the reservoir bound)."""
+        return quantile_from_samples(self._reservoir, q)
+
+    def samples(self) -> List[float]:
+        """The current reservoir contents (a uniform sample of all
+        observations), unordered."""
+        return list(self._reservoir)
 
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._reservoir: List[float] = []
+        # Deterministic per-name stream: snapshots are reproducible for
+        # a fixed observation sequence (the bench gate relies on this).
+        self._rand = random.Random(f"histogram:{self.name}")
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -97,6 +139,9 @@ class Histogram:
             f"{self.name}.min": self.min or 0.0,
             f"{self.name}.max": self.max or 0.0,
             f"{self.name}.mean": self.mean,
+            f"{self.name}.p50": self.quantile(0.50),
+            f"{self.name}.p95": self.quantile(0.95),
+            f"{self.name}.p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:
@@ -153,6 +198,25 @@ class MetricRegistry:
         for name, fn in self._gauges.items():
             out[name] = fn()
         return out
+
+    def counters_snapshot(self) -> Dict[str, float]:
+        """Counter values only (no histograms, no gauges).
+
+        This is the *mergeable* subset: a worker process can snapshot it
+        before and after a task and ship the difference back for
+        :func:`repro.obs.collect.merge_task_telemetry` to add into the
+        parent's registries (gauges are derived and histograms are not
+        delta-composable, so neither crosses the process boundary).
+        """
+        return {name: counter.value
+                for name, counter in self._counters.items()}
+
+    def add_counter_deltas(self, deltas: Mapping[str, float]) -> None:
+        """Add per-counter increments (a worker's task-local activity)
+        into this registry.  Unknown names create their counter."""
+        for name, delta in deltas.items():
+            if delta:
+                self._counters.setdefault(name, Counter(name)).add(delta)
 
     def reset(self) -> None:
         for counter in self._counters.values():

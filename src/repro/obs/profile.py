@@ -1,0 +1,199 @@
+"""Stdlib sampling profiler attributed to the active span tree.
+
+Instrumenting every function in a long enclave ecall is neither feasible
+nor honest (the probes would dominate toy-parameter arithmetic).  A
+*sampling* profiler gets the same flame-style attribution for free: a
+background thread wakes ``hz`` times a second, grabs the profiled
+thread's current Python frame via :func:`sys._current_frames`, and files
+the sample under
+
+* the **innermost active span** of the tracer (``tracer.current_span()``
+  — reading one list tail under the GIL, no lock), and
+* the frame's innermost application function(s),
+
+so a report reads "inside ``enclave.build_partitions``, 72 % of samples
+sit in ``fp2_mul``" without a single probe in the arithmetic.  Output
+comes in three shapes: dotted ``profile.*`` metrics (a
+:class:`~repro.obs.metrics.MetricSource` like every other surface),
+ranked report lines, and ``collapsed()`` folded stacks in the format
+flamegraph tools ingest.
+
+The sampler is cooperative and approximate by design — it never touches
+the profiled thread, so the overhead is one dict update per sample.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.spans import Tracer, tracer as _global_tracer
+
+#: Frames from these modules are scaffolding, not workload; they are
+#: skipped when picking the representative function of a sample.
+_SKIP_MODULES = ("repro/obs/", "threading.py")
+
+DEFAULT_HZ = 97  # prime, so sampling cannot alias a periodic workload
+
+
+def _frame_functions(frame, limit: int) -> List[str]:
+    """Innermost-first ``module.function`` labels of a stack."""
+    labels: List[str] = []
+    while frame is not None and len(labels) < limit:
+        code = frame.f_code
+        filename = code.co_filename.replace("\\", "/")
+        if not any(part in filename for part in _SKIP_MODULES):
+            module = filename.rsplit("/", 1)[-1].removesuffix(".py")
+            labels.append(f"{module}.{code.co_name}")
+        frame = frame.f_back
+    return labels
+
+
+class SamplingProfiler:
+    """Thread-based statistical profiler with span attribution.
+
+    >>> profiler = SamplingProfiler(hz=200)
+    >>> with profiler:
+    ...     workload()
+    >>> profiler.top()          # [(span, function, samples), ...]
+
+    ``registry`` (default: a private one) carries ``profile.samples``,
+    ``profile.hz`` and per-span ``profile.span.<name>`` counters; read
+    :meth:`counts` / :meth:`collapsed` for the full distribution.
+    """
+
+    def __init__(self, hz: int = DEFAULT_HZ,
+                 tracer: Optional[Tracer] = None,
+                 registry: Optional[MetricRegistry] = None,
+                 stack_depth: int = 12) -> None:
+        if hz < 1:
+            raise ValueError(f"sampling rate must be >= 1 Hz, got {hz}")
+        self.hz = hz
+        self.stack_depth = stack_depth
+        self._tracer = tracer
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._samples = self.registry.counter("profile.samples")
+        self.registry.gauge("profile.hz", lambda: self.hz)
+        #: (span name, innermost function) -> sample count.
+        self._counts: Dict[Tuple[str, str], int] = {}
+        #: folded "span;outer;...;inner" stack -> sample count.
+        self._stacks: Dict[str, int] = {}
+        self._target_ident: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling the *calling* thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling (idempotent); collected samples are kept."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the sampler thread --------------------------------------------------
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        tracer = self._tracer if self._tracer is not None \
+            else _global_tracer()
+        while not self._stop.wait(interval):
+            frame = sys._current_frames().get(self._target_ident)
+            if frame is None:
+                continue
+            span = tracer.current_span()
+            span_name = span.name if span is not None else "(no span)"
+            functions = _frame_functions(frame, self.stack_depth)
+            inner = functions[0] if functions else "(unknown)"
+            key = (span_name, inner)
+            self._counts[key] = self._counts.get(key, 0) + 1
+            folded = ";".join([span_name, *reversed(functions)])
+            self._stacks[folded] = self._stacks.get(folded, 0) + 1
+            self._samples.add()
+            self.registry.counter(
+                f"profile.span.{span_name}"
+            ).add()
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        return int(self._samples.value)
+
+    def counts(self) -> Dict[Tuple[str, str], int]:
+        """``{(span name, innermost function): samples}``."""
+        return dict(self._counts)
+
+    def top(self, n: int = 10) -> List[Tuple[str, str, int]]:
+        """The ``n`` hottest (span, function) pairs, descending."""
+        ranked = sorted(self._counts.items(), key=lambda item: -item[1])
+        return [(span, fn, count) for (span, fn), count in ranked[:n]]
+
+    def collapsed(self) -> List[str]:
+        """Folded-stack lines (``span;outer;...;inner count``) in the
+        format consumed by flamegraph.pl / speedscope / inferno."""
+        return [f"{stack} {count}"
+                for stack, count in sorted(self._stacks.items())]
+
+    def report_lines(self, n: int = 10) -> List[str]:
+        """Human-readable ranked attribution table."""
+        total = self.sample_count
+        if not total:
+            return ["(no samples collected — was the profiled section "
+                    "long enough for the sampling rate?)"]
+        lines = [f"{total} samples at {self.hz} Hz "
+                 f"(~{total / self.hz:.2f}s profiled)"]
+        for span, fn, count in self.top(n):
+            share = 100.0 * count / total
+            lines.append(f"  {share:5.1f}%  {span}  ·  {fn}")
+        return lines
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._stacks.clear()
+        self.registry.reset()
+
+    def __repr__(self) -> str:
+        state = "running" if self._thread is not None else "stopped"
+        return (f"SamplingProfiler({self.hz} Hz, {state}, "
+                f"{self.sample_count} samples)")
+
+
+class _ProfileContext:
+    """Re-entrant helper behind :func:`profile`."""
+
+    def __init__(self, hz: int) -> None:
+        self.profiler = SamplingProfiler(hz=hz)
+
+    def __enter__(self) -> SamplingProfiler:
+        return self.profiler.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.profiler.stop()
+
+
+def profile(hz: int = DEFAULT_HZ) -> _ProfileContext:
+    """``with profile(hz) as profiler: ...`` — sample the block."""
+    return _ProfileContext(hz)

@@ -30,6 +30,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
+from repro.obs.metrics import MetricRegistry
+
 
 class _NullSpan:
     """Shared no-op span: the disabled-mode fast path."""
@@ -68,7 +70,7 @@ class Span:
 
     __slots__ = ("tracer", "name", "category", "attrs", "span_id",
                  "parent_id", "depth", "start", "end", "children_seconds",
-                 "error", "_record")
+                 "error", "tid", "_record")
 
     def __init__(self, tracer: "Tracer", name: str,
                  category: Optional[str], attrs: Dict[str, Any],
@@ -84,6 +86,10 @@ class Span:
         self.end = 0.0
         self.children_seconds = 0.0
         self.error: Optional[str] = None
+        #: Logical thread/process lane (0 = the tracing process itself;
+        #: worker-side spans merged by ``obs.collect`` carry the worker
+        #: pid so trace viewers render them on their own track).
+        self.tid = 0
         self._record = record
 
     # -- context manager ------------------------------------------------------
@@ -131,6 +137,7 @@ class Span:
             "duration": self.duration,
             "self": self.self_seconds,
             "error": self.error,
+            "tid": self.tid,
             "attrs": self.attrs,
         }
 
@@ -155,7 +162,18 @@ class Tracer:
         self._spans: List[Span] = []
         self._stack: List[Span] = []
         self._ids = itertools.count(1)
-        self.dropped = 0
+        #: Tracer-owned metric surface.  ``obs.spans.dropped`` makes
+        #: buffer overflow visible in every metric snapshot (and hence
+        #: ``telemetry_snapshot()``) instead of silently truncating the
+        #: trace; ``obs.spans.buffered`` reports the live buffer size.
+        self.registry = MetricRegistry()
+        self._dropped = self.registry.counter("obs.spans.dropped")
+        self.registry.gauge("obs.spans.buffered", lambda: len(self._spans))
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded because the bounded buffer was full."""
+        return int(self._dropped.value)
 
     # -- switches -------------------------------------------------------------
 
@@ -208,7 +226,36 @@ class Tracer:
         if len(self._spans) < self.max_spans:
             self._spans.append(span)
         else:
-            self.dropped += 1
+            self._dropped.add()
+
+    # -- adoption (cross-process merge) ---------------------------------------
+
+    def next_id(self) -> int:
+        """Allocate a span id (used when adopting foreign spans)."""
+        return next(self._ids)
+
+    def adopt(self, span: Span) -> bool:
+        """Append an already-finished span (e.g. one reconstructed from a
+        worker process) to the buffer, honouring the bound.  The caller
+        is responsible for id assignment via :meth:`next_id`.  Returns
+        whether the span was kept."""
+        if len(self._spans) < self.max_spans:
+            self._spans.append(span)
+            return True
+        self._dropped.add()
+        return False
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost active (open) span, if any.
+
+        Safe to call from another thread (the sampling profiler reads
+        this): list indexing is atomic under the GIL and a concurrent
+        pop degrades to returning ``None``.
+        """
+        try:
+            return self._stack[-1]
+        except IndexError:
+            return None
 
     # -- access ---------------------------------------------------------------
 
@@ -220,7 +267,7 @@ class Tracer:
         """Drop collected spans (the enabled flag is untouched)."""
         self._spans.clear()
         self._stack.clear()
-        self.dropped = 0
+        self._dropped.reset()
         self._ids = itertools.count(1)
 
     def __len__(self) -> int:
@@ -259,6 +306,31 @@ def enable() -> None:
 
 def disable() -> None:
     _GLOBAL_TRACER.disable()
+
+
+def current_span() -> Optional[Span]:
+    """The global tracer's innermost active span (``None`` when idle or
+    disabled) — what the sampling profiler attributes samples to."""
+    return _GLOBAL_TRACER.current_span()
+
+
+@contextmanager
+def use_tracer(replacement: Tracer):
+    """Temporarily install ``replacement`` as the global tracer.
+
+    The cross-process collection shell runs each worker-side task under
+    a fresh enabled tracer: a forked worker inherits the parent's global
+    tracer — including its already-collected spans — so recording into
+    the inherited object would duplicate parent spans in every task
+    payload.  Swapping keeps task capture exact and self-contained.
+    """
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = replacement
+    try:
+        yield replacement
+    finally:
+        _GLOBAL_TRACER = previous
 
 
 @contextmanager

@@ -23,7 +23,9 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelError
+from repro.obs import collect as obs_collect
 from repro.obs.metrics import MetricRegistry
+from repro.obs.spans import span as _span, tracer as _tracer
 
 #: Environment default for the worker count (CLI/System fall back to it).
 ENV_WORKERS = "REPRO_WORKERS"
@@ -56,12 +58,45 @@ def _warm_task(delay: float) -> int:
     return os.getpid()
 
 
+def _run_instrumented(shipment: Tuple[Callable[[Any], Any], Any, bool]
+                      ) -> Tuple[Any, float, Optional[dict]]:
+    """Worker-side task shell: run one kernel, time it, capture telemetry.
+
+    ``shipment = (fn, task, collect)``.  The shell is what the executor
+    actually maps: it measures the task's wall time in the *worker* (so
+    ``par.task.seconds`` reflects kernel cost, not IPC), and when the
+    parent dispatched with tracing enabled it records the task under a
+    fresh child tracer whose spans and counter deltas ride back in the
+    third tuple slot (see :mod:`repro.obs.collect`).  Results are passed
+    through untouched — the byte-equivalence contract is unaffected.
+    """
+    fn, task, collect = shipment
+    if not collect:
+        start = time.perf_counter()
+        result = fn(task)
+        return result, time.perf_counter() - start, None
+    capture = obs_collect.capture_task(getattr(fn, "__name__", "task"))
+    with capture:
+        result = fn(task)
+    return result, capture.duration, capture.payload()
+
+
 class WorkerPool:
     """Deterministic map over a process pool (or inline when serial).
 
     Metrics (``par.*`` namespace on ``registry``): ``par.workers`` (the
     configured count), ``par.dispatches`` (``run`` calls), ``par.tasks``
-    (tasks executed), ``par.failures`` (dispatches that raised).
+    (tasks executed), ``par.failures`` (dispatches that raised), the
+    ``par.task.seconds`` per-task latency histogram (measured inside the
+    worker, so IPC and queueing are excluded), and the live-dispatch
+    gauges ``par.queue.depth`` (tasks submitted but not yet holding a
+    worker slot) and ``par.slots.occupied`` (slots presumed busy).
+
+    Telemetry crosses the process boundary: when the global tracer is
+    enabled at dispatch time, every task runs under a worker-side
+    capture whose spans and counter deltas are merged back into this
+    process (see :mod:`repro.obs.collect`), so a traced parallel run
+    reports the same work a serial run does.
 
     The underlying executor is created lazily on first parallel ``run``
     and torn down by :meth:`close` (also on any task failure, so a
@@ -78,7 +113,13 @@ class WorkerPool:
         self._tasks = self.registry.counter("par.tasks")
         self._dispatches = self.registry.counter("par.dispatches")
         self._failures = self.registry.counter("par.failures")
+        self._task_seconds = self.registry.histogram("par.task.seconds")
+        self._pending = 0
         self.registry.gauge("par.workers", lambda: self.workers)
+        self.registry.gauge("par.queue.depth",
+                            lambda: max(0, self._pending - self.workers))
+        self.registry.gauge("par.slots.occupied",
+                            lambda: min(self._pending, self.workers))
         self._initializer = initializer
         self._initargs: Tuple[Any, ...] = tuple(initargs)
         self._inline_initializer = inline_initializer
@@ -99,21 +140,45 @@ class WorkerPool:
             return []
         self._dispatches.add()
         self._tasks.add(len(tasks))
+        kernel = getattr(fn, "__name__", "task")
         if self.workers == 1:
             self._ensure_inline()
+            self._pending = len(tasks)
+            results: List[Any] = []
             try:
-                return [fn(task) for task in tasks]
+                for task in tasks:
+                    start = time.perf_counter()
+                    with _span("par.task", kernel=kernel):
+                        results.append(fn(task))
+                    self._task_seconds.observe(time.perf_counter() - start)
+                    self._pending -= 1
+                return results
             except Exception:
                 self._failures.add()
                 raise
+            finally:
+                self._pending = 0
         executor = self._ensure_executor()
+        collect = _tracer().enabled
+        self._pending = len(tasks)
+        results = []
         try:
-            return list(executor.map(fn, tasks,
-                                     chunksize=self._chunksize(len(tasks))))
+            for result, seconds, payload in executor.map(
+                    _run_instrumented,
+                    [(fn, task, collect) for task in tasks],
+                    chunksize=self._chunksize(len(tasks))):
+                self._pending -= 1
+                self._task_seconds.observe(seconds)
+                if payload is not None:
+                    obs_collect.merge_task_telemetry(payload)
+                results.append(result)
+            return results
         except Exception:
             self._failures.add()
             self.close()
             raise
+        finally:
+            self._pending = 0
 
     def warm(self) -> int:
         """Start every worker (and run its initializer) ahead of real

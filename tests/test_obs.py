@@ -147,6 +147,54 @@ class TestSpans:
                 obs.enable()
 
 
+class TestNullSpanFastPath:
+    """Regression: the disabled path must stay allocation-free.
+
+    The hot paths (pairing, ecall dispatch, cloud store) call ``span()``
+    unconditionally; if a disabled call ever constructed a real Span or
+    touched tracer state, telemetry-off runs would pay for tracing they
+    never asked for."""
+
+    def test_disabled_span_allocates_nothing(self, monkeypatch):
+        tr = Tracer(enabled=False)
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("disabled span() constructed a Span")
+
+        monkeypatch.setattr(Span, "__init__", _boom)
+        for _ in range(100):
+            assert tr.span("hot.path") is NULL_SPAN
+
+    def test_disabled_span_touches_no_tracer_state(self):
+        tr = Tracer(enabled=False)
+        for _ in range(50):
+            with tr.span("hot.path"):
+                pass
+        assert len(tr) == 0
+        assert tr.dropped == 0
+        assert tr.current_span() is None
+        tr.enable()
+        with tr.span("first.real") as real:
+            pass
+        # Disabled calls consumed no span ids: the first recorded span
+        # still gets id 1.
+        assert real.span_id == 1
+
+    def test_global_disabled_path_is_singleton(self, monkeypatch):
+        was = obs.tracer().enabled
+        obs.disable()
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("disabled global span() allocated")
+
+        monkeypatch.setattr(Span, "__init__", _boom)
+        try:
+            assert obs.span("a.b") is obs.span("c.d") is NULL_SPAN
+        finally:
+            if was:
+                obs.enable()
+
+
 # ---------------------------------------------------------------------------
 # Metrics
 # ---------------------------------------------------------------------------
@@ -175,6 +223,48 @@ class TestMetrics:
         assert snap["a.lat.mean"] == pytest.approx(2.0)
         reg.reset()
         assert reg.snapshot()["a.lat.count"] == 0
+
+    def test_histogram_quantiles_in_snapshot(self):
+        reg = MetricRegistry()
+        h = reg.histogram("a.lat")
+        for v in range(1, 101):  # 1..100, well under the reservoir size
+            h.observe(float(v))
+        snap = reg.snapshot()
+        assert snap["a.lat.p50"] == pytest.approx(50.5)
+        assert snap["a.lat.p95"] == pytest.approx(95.05)
+        assert snap["a.lat.p99"] == pytest.approx(99.01)
+
+    def test_histogram_reservoir_is_bounded(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("a.lat")
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert len(h.samples()) == h._reservoir_size
+        # The sampled median still lands near the true one.
+        assert 2_000 < h.quantile(0.5) < 8_000
+
+    def test_histogram_reservoir_is_deterministic(self):
+        from repro.obs.metrics import Histogram
+
+        def fill(name):
+            h = Histogram(name)
+            for v in range(5000):
+                h.observe(float(v))
+            return h.samples()
+
+        assert fill("same.name") == fill("same.name")
+
+    def test_quantile_from_samples(self):
+        from repro.obs.metrics import quantile_from_samples
+
+        assert quantile_from_samples([], 0.5) == 0.0
+        assert quantile_from_samples([7.0], 0.95) == 7.0
+        assert quantile_from_samples([1.0, 2.0, 3.0, 4.0], 0.5) \
+            == pytest.approx(2.5)
+        assert quantile_from_samples([4.0, 1.0, 3.0, 2.0], 1.0) == 4.0
+        assert quantile_from_samples([4.0, 1.0, 3.0, 2.0], 0.0) == 1.0
 
     def test_gauge_survives_reset(self):
         reg = MetricRegistry()
@@ -279,7 +369,11 @@ class TestExporters:
         reg.counter("a.b").add()
         tr = _make_trace()
         snap = telemetry_snapshot([reg], tracer=tr)
-        assert snap["metrics"] == {"a.b": 1}
+        assert snap["metrics"]["a.b"] == 1
+        # The tracer's own health registry rides along: span-loss and
+        # buffer occupancy are always visible in the snapshot.
+        assert snap["metrics"]["obs.spans.dropped"] == 0
+        assert snap["metrics"]["obs.spans.buffered"] == 3
         assert snap["trace"]["enabled"] is True
         assert snap["trace"]["spans"] == 3
         assert snap["trace"]["errors"] == 1
@@ -288,6 +382,58 @@ class TestExporters:
         lines = format_metrics({"b.y": 2, "a.x": 1})
         assert lines[0].startswith("a.x")
         assert lines[1].startswith("b.y")
+
+    def test_breakdown_table_has_quantile_columns(self):
+        tr = _make_trace()
+        lines = breakdown_table(tr.spans())
+        assert "p50" in lines[0] and "p95" in lines[0]
+
+    def test_prometheus_exposition(self):
+        from repro.obs import metrics_to_prometheus
+
+        metrics = {
+            "sgx.crossings": 5,
+            "par.task.seconds.count": 4,
+            "par.task.seconds.total": 2.0,
+            "par.task.seconds.mean": 0.5,
+            "par.task.seconds.min": 0.25,
+            "par.task.seconds.max": 1.0,
+            "par.task.seconds.p50": 0.5,
+            "par.task.seconds.p95": 0.9,
+            "par.task.seconds.p99": 0.99,
+            # A lone .count counter is NOT a histogram summary.
+            "replay.decrypt.count": 3,
+        }
+        text = metrics_to_prometheus(metrics)
+        assert "# TYPE repro_sgx_crossings gauge" in text
+        assert "repro_sgx_crossings 5" in text
+        assert "# TYPE repro_par_task_seconds summary" in text
+        assert 'repro_par_task_seconds{quantile="0.5"} 0.5' in text
+        assert 'repro_par_task_seconds{quantile="0.95"} 0.9' in text
+        assert "repro_par_task_seconds_sum 2" in text
+        assert "repro_par_task_seconds_count 4" in text
+        assert "repro_par_task_seconds_max 1" in text
+        assert "repro_replay_decrypt_count 3" in text
+        assert "repro_replay_decrypt summary" not in text
+        assert text.endswith("\n")
+
+    def test_chrome_trace_object_format(self):
+        from repro.obs import spans_to_chrome_trace
+
+        tr = _make_trace()
+        trace = spans_to_chrome_trace(tr.spans(), process_name="demo")
+        events = trace["traceEvents"]
+        span_events = [e for e in events if e["ph"] == "X"]
+        assert len(span_events) == len(tr.spans())
+        for event in span_events:
+            assert event["dur"] >= 1  # minimum 1 µs, viewers need > 0
+            assert "self_us" in event["args"]
+        process_meta = next(e for e in events
+                            if e["ph"] == "M"
+                            and e["name"] == "process_name")
+        assert process_meta["args"]["name"] == "demo"
+        # The failed span carries its error class in args.
+        assert any(e["args"].get("error") for e in span_events)
 
 
 # ---------------------------------------------------------------------------
