@@ -99,6 +99,9 @@ class System:
     #: (``repro.par``; 1 = serial).  Results are byte-identical for any
     #: value — this changes wall-clock only.
     workers: int = 1
+    #: The enclave's load-time configuration, kept so the deployment can
+    #: survive a full enclave restart (:meth:`restart_enclave`).
+    enclave_config: Optional[Dict[str, Any]] = None
     _user_keys: Dict[str, object] = field(default_factory=dict)
     _clients: List[GroupClient] = field(default_factory=list)
 
@@ -154,6 +157,36 @@ class System:
         count = self.enclave.call("set_workers", workers)
         self.workers = count
         return count
+
+    def restart_enclave(self) -> None:
+        """Full enclave restart: destroy → fresh load → unseal → reload.
+
+        Models the recovery a real deployment runs after an enclave
+        crash, host reboot, or migration (the seamless-restart story of
+        ReplicaTEE): the running enclave is torn down, a new one is
+        loaded with the *same measured configuration*, the sealed MSK is
+        unsealed back into it, and the administrator's cached group
+        state is rebuilt from cloud metadata.  Sealing and the attested
+        identity key are bound to the measurement, not the instance, so
+        the existing certificate remains valid and no re-attestation is
+        needed.
+        """
+        from repro.errors import EnclaveError
+
+        if self.enclave_config is None:
+            raise EnclaveError(
+                "this System does not carry its enclave configuration; "
+                "build it via quickstart_system() to enable restarts"
+            )
+        group_ids = self.admin.cache.group_ids()
+        self.enclave.destroy()
+        enclave = IbbeEnclave.load(self.device, self.enclave_config)
+        enclave.call("restore_system", self.sealed_msk, self.public_key)
+        self.enclave = enclave
+        self.admin.enclave = enclave
+        for group_id in group_ids:
+            self.admin.cache.drop(group_id)
+            self.admin.load_group_from_cloud(group_id)
 
     def close(self) -> None:
         """Tear the deployment down: destroys the enclave, which shuts
@@ -225,12 +258,13 @@ def quickstart_system(partition_capacity: int = 1000,
     # peers certified under this exact CA (see core.multiadmin).
     from repro.par import resolve_workers
     worker_count = resolve_workers(workers)
-    enclave = IbbeEnclave.load(device, {
+    enclave_config = {
         "pairing_group": pairing_group,
         "ca_public_key": auditor.ca_public_key.encode().hex(),
         "workers": worker_count,
         "precompute": precompute,
-    })
+    }
+    enclave = IbbeEnclave.load(device, enclave_config)
     auditor.approve_measurement(enclave.measurement)
     certificate = setup_trust(enclave, auditor)
     public_key, sealed_msk = enclave.call(
@@ -250,5 +284,5 @@ def quickstart_system(partition_capacity: int = 1000,
         group=pairing_group, device=device, enclave=enclave, ias=ias,
         auditor=auditor, cloud=cloud, admin=admin, certificate=certificate,
         public_key=public_key, sealed_msk=sealed_msk, rng=rng,
-        workers=worker_count,
+        workers=worker_count, enclave_config=enclave_config,
     )

@@ -22,6 +22,7 @@ Usage overview::
     python -m repro.cli replay       --state S --cloud C --trace F [--workers N]
                                      [--telemetry] [--trace-out F.json]
                                      [--profile [--profile-hz N]]
+                                     [--faults SEED]
     python -m repro.cli stats        --state S --cloud C
                                      [--format table|json|prom] [--out F]
 
@@ -366,6 +367,18 @@ def cmd_replay(args) -> int:
         obs.enable()
     deployment = Deployment(Path(args.state), Path(args.cloud),
                             workers=args.workers)
+    injector = None
+    if args.faults is not None:
+        # Seeded transient store faults (outages / read timeouts /
+        # latency spikes), absorbed by the retry layers; the same seed
+        # replays the identical fault schedule.  Crash/restart chaos
+        # needs the recovery driver: python -m repro.workloads.chaos.
+        from repro.faults import FaultInjector, FaultPlan, FaultyCloudStore
+
+        injector = FaultInjector(FaultPlan.store_faults(args.faults))
+        faulty = FaultyCloudStore(deployment.cloud, injector)
+        deployment.cloud = faulty
+        deployment.admin.cloud = faulty
     if deployment.workers > 1:
         deployment.admin.warm_enclave_workers()
     trace = load_trace(args.trace)
@@ -411,6 +424,13 @@ def cmd_replay(args) -> int:
     if report.decrypt_samples:
         print(f"mean client decrypt: "
               f"{format_seconds(report.mean_decrypt_seconds)}")
+    if injector is not None:
+        backoff_ms = deployment.admin.retry.slept_ms + sum(
+            client.retry.slept_ms for client in clients
+        )
+        print(f"faults: {len(injector.log)} injected "
+              f"(seed {args.faults!r}), "
+              f"retry backoff {backoff_ms:.1f}ms accounted")
     if args.telemetry:
         spans = obs.tracer().spans()
         sources = deployment.metric_sources() + [engine.registry]
@@ -587,6 +607,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "replay and print a span-attributed report")
     p.add_argument("--profile-hz", type=int, default=97,
                    help="profiler sampling rate (default: 97 Hz)")
+    p.add_argument("--faults", default=None, metavar="SEED",
+                   help="inject seeded transient store faults during the "
+                        "replay (outages, read timeouts, latency spikes); "
+                        "the retry layers absorb them and the same seed "
+                        "reproduces the identical fault schedule")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("stats",

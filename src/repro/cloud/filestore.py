@@ -11,14 +11,29 @@ daemons) share one storage substrate:
 Concurrency model: single-writer-at-a-time per object (the paper's single
 administrator; the multi-admin extension layers optimistic concurrency on
 top via conditional puts, which this store honours).
+
+Crash consistency: every mutation — single put/delete or batch commit —
+is first recorded in a ``commit.journal`` written with temp-file +
+``os.replace``, then applied (each data/meta file itself replaced
+atomically), then logged to the event file, then the journal is removed.
+A process killed anywhere in that sequence leaves either no journal (the
+mutation never happened) or a complete journal that the next
+:class:`FileCloudStore` opened on the directory rolls *forward*: event
+lines at or past the journal's first sequence number are truncated, the
+journalled ops are re-applied with their recorded versions (idempotent),
+and the journal's event lines are appended.  A corrupt ``.meta`` sidecar
+or a torn final event-log line is likewise repaired from the log instead
+of raising ``StorageError``.  Recovery increments ``cloud.recoveries``
+and ``cloud.meta_rebuilds``.
 """
 
 from __future__ import annotations
 
 import base64
 import json
+import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cloud.latency import LatencyModel
 from repro.cloud.store import (
@@ -31,6 +46,7 @@ from repro.cloud.store import (
     _normalize,
 )
 from repro.errors import ConflictError, NotFoundError, StorageError
+from repro.faults.plan import crash_point
 from repro.obs.spans import span as _span
 
 
@@ -50,11 +66,16 @@ class FileCloudStore:
         self.root = Path(root)
         self._objects_dir = self.root / "objects"
         self._events_path = self.root / "events.jsonl"
+        self._journal_path = self.root / "commit.journal"
         self._objects_dir.mkdir(parents=True, exist_ok=True)
         if not self._events_path.exists():
             self._events_path.write_text("", encoding="utf-8")
         self._latency = latency or LatencyModel.disabled()
         self.metrics = CloudMetrics()
+        self._recoveries = self.metrics.registry.counter("cloud.recoveries")
+        self._meta_rebuilds = self.metrics.registry.counter(
+            "cloud.meta_rebuilds")
+        self._recover()
 
     # -- object API -----------------------------------------------------------
 
@@ -70,7 +91,7 @@ class FileCloudStore:
                     f"expected {expected_version}"
                 )
             version = current + 1
-            self._apply_put(path, data, version)
+            self._journaled_apply([("put", path, data, version)])
             return version
 
     def get(self, path: str) -> CloudObject:
@@ -114,15 +135,16 @@ class FileCloudStore:
             raise NotFoundError(f"no object at {path}")
         version = self._read_version(object_path.with_suffix(".meta"))
         self._account()
-        self._apply_delete(path, version)
+        self._journaled_apply([("delete", path, None, version)])
 
     def commit(self, batch: CloudBatch) -> Dict[str, int]:
         """Atomic multi-object write; see :meth:`CloudStore.commit`.
 
-        Atomicity here means all-or-nothing with respect to this process's
-        validation (no partial application on a version conflict); the
-        individual file writes are not crash-atomic, matching the rest of
-        this store's single-writer model.
+        All-or-nothing with respect to validation (no partial application
+        on a version conflict) *and* crash-consistent: the whole batch is
+        journalled before the first file is touched, so a process killed
+        mid-apply rolls the batch forward on the next open (the module
+        docstring describes the journal protocol).
         """
         with _span("cloud.commit", ops=len(batch.ops),
                    bytes=batch.payload_bytes) as sp:
@@ -159,12 +181,14 @@ class FileCloudStore:
             sp.set(latency_ms=self._account(bytes_in=batch.payload_bytes))
             self.metrics.batch_commits += 1
             versions: Dict[str, int] = {}
+            ops = []
             for op, path, version in staged:
                 if isinstance(op, BatchPut):
-                    self._apply_put(path, op.data, version)
+                    ops.append(("put", path, op.data, version))
                     versions[path] = version
                 else:
-                    self._apply_delete(path, version)
+                    ops.append(("delete", path, None, version))
+            self._journaled_apply(ops)
             return versions
 
     def list_dir(self, directory: str) -> List[str]:
@@ -172,7 +196,7 @@ class FileCloudStore:
         self._account(0)
         children = set()
         for entry in self._objects_dir.iterdir():
-            if entry.suffix == ".meta":
+            if entry.suffix in (".meta", ".tmp"):
                 continue
             path = _unslug(entry.name)
             if path.startswith(directory):
@@ -202,7 +226,7 @@ class FileCloudStore:
 
     def adversary_view(self):
         for entry in sorted(self._objects_dir.iterdir()):
-            if entry.suffix == ".meta":
+            if entry.suffix in (".meta", ".tmp"):
                 continue
             path = _unslug(entry.name)
             yield CloudObject(
@@ -227,34 +251,154 @@ class FileCloudStore:
             return 0
         return self._read_version(object_path.with_suffix(".meta"))
 
-    def _apply_put(self, path: str, data: bytes, version: int) -> None:
-        object_path = self._objects_dir / _slug(path)
-        object_path.write_bytes(data)
-        object_path.with_suffix(".meta").write_text(
-            json.dumps({"version": version}), encoding="utf-8"
-        )
-        self._append_event(path, "put", version)
+    @staticmethod
+    def _write_atomic(target: Path, data: bytes) -> None:
+        """Temp-file + ``os.replace``: the target is always either the
+        old bytes or the new bytes, never a torn mix."""
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
 
-    def _apply_delete(self, path: str, version: int) -> None:
+    def _journaled_apply(self, ops: Sequence[Tuple]) -> None:
+        """Apply ``("put", path, data, version)`` / ``("delete", path,
+        None, version)`` ops under the journal protocol (see the module
+        docstring).  Versions are absolute, making roll-forward
+        idempotent."""
+        first_seq = self._last_sequence() + 1
+        records = []
+        events = []
+        for offset, (kind, path, data, version) in enumerate(ops):
+            record = {"kind": kind, "path": path, "version": version}
+            if kind == "put":
+                record["data"] = base64.b64encode(data).decode("ascii")
+            records.append(record)
+            events.append({"seq": first_seq + offset, "path": path,
+                           "kind": kind, "version": version})
+        journal = {"ops": records, "events": events}
+        self._write_atomic(self._journal_path,
+                           json.dumps(journal).encode("utf-8"))
+        crash_point("cloud.commit.journaled")
+        self._apply_records(records, inject=True)
+        self._append_event_lines(events)
+        self._journal_path.unlink()
+
+    def _apply_records(self, records: Sequence[Dict], inject: bool) -> None:
+        for index, record in enumerate(records):
+            if record["kind"] == "put":
+                data = base64.b64decode(record["data"].encode("ascii"))
+                self._apply_put(record["path"], data, record["version"],
+                                inject=inject)
+            else:
+                self._apply_delete(record["path"])
+            if inject and index + 1 < len(records):
+                crash_point("cloud.commit.apply")
+
+    def _apply_put(self, path: str, data: bytes, version: int,
+                   inject: bool = True) -> None:
+        object_path = self._objects_dir / _slug(path)
+        self._write_atomic(object_path, data)
+        if inject:
+            crash_point("store.put.data_written")
+        self._write_atomic(
+            object_path.with_suffix(".meta"),
+            json.dumps({"version": version}).encode("utf-8"),
+        )
+
+    def _apply_delete(self, path: str) -> None:
         object_path = self._objects_dir / _slug(path)
         object_path.unlink(missing_ok=True)
         object_path.with_suffix(".meta").unlink(missing_ok=True)
-        self._append_event(path, "delete", version)
+
+    def _append_event_lines(self, events: Sequence[Dict]) -> None:
+        with self._events_path.open("a", encoding="utf-8") as handle:
+            for record in events:
+                handle.write(json.dumps(record) + "\n")
+
+    def _recover(self) -> None:
+        """Roll an interrupted mutation forward from ``commit.journal``.
+
+        The journal itself is written atomically, so its presence means
+        a complete op list with pre-assigned event sequence numbers; any
+        subset of those file writes and event lines may have landed
+        before the crash.  Truncating the event log below the journal's
+        first sequence and re-applying everything makes the mutation
+        exactly-once regardless of where the process died.
+        """
+        for stray in self._objects_dir.glob("*.tmp"):
+            stray.unlink(missing_ok=True)
+        self._trim_torn_event_tail()
+        if not self._journal_path.exists():
+            return
+        journal = json.loads(self._journal_path.read_text("utf-8"))
+        events = journal["events"]
+        if events:
+            first_seq = events[0]["seq"]
+            kept = [e for e in self._read_events() if e.sequence < first_seq]
+            lines = "".join(
+                json.dumps({"seq": e.sequence, "path": e.path,
+                            "kind": e.kind, "version": e.version}) + "\n"
+                for e in kept
+            )
+            self._write_atomic(self._events_path, lines.encode("utf-8"))
+        self._apply_records(journal["ops"], inject=False)
+        self._append_event_lines(events)
+        self._journal_path.unlink()
+        self._recoveries.add()
+
+    def _trim_torn_event_tail(self) -> None:
+        """Drop a torn final event line left by a crash mid-append.
+
+        Skipping it on read is not enough: an unterminated tail would
+        corrupt the *next* appended line, and a terminated-but-corrupt
+        tail would turn into a mid-file parse error once more events
+        follow it.  The dropped line's mutation is re-applied by the
+        journal roll-forward (events are only appended while the journal
+        exists on disk).
+        """
+        raw = self._events_path.read_bytes()
+        if not raw:
+            return
+        body, _, tail = raw.rpartition(b"\n")
+        if tail:
+            # No trailing newline: the tail is a torn partial line.
+            self._write_atomic(self._events_path,
+                               body + b"\n" if body else b"")
+            return
+        last_line = body[body.rfind(b"\n") + 1:]
+        if not last_line.strip():
+            return
+        try:
+            record = json.loads(last_line.decode("utf-8"))
+            int(record["seq"])
+            record["path"], record["kind"], int(record["version"])
+        except (ValueError, KeyError, UnicodeDecodeError):
+            self._write_atomic(self._events_path,
+                               raw[:body.rfind(b"\n") + 1])
 
     def _read_version(self, meta_path: Path) -> int:
         if not meta_path.exists():
-            return 0
+            return self._rebuild_version(meta_path)
         try:
             return int(json.loads(meta_path.read_text("utf-8"))["version"])
-        except (ValueError, KeyError) as exc:
-            raise StorageError(f"corrupt metadata at {meta_path}") from exc
+        except (ValueError, KeyError):
+            return self._rebuild_version(meta_path)
 
-    def _append_event(self, path: str, kind: str, version: int) -> None:
-        sequence = self._last_sequence() + 1
-        record = {"seq": sequence, "path": path, "kind": kind,
-                  "version": version}
-        with self._events_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record) + "\n")
+    def _rebuild_version(self, meta_path: Path) -> int:
+        """Repair a missing/corrupt ``.meta`` sidecar from the event log
+        (the data file exists, so the object is live; its last ``put``
+        event carries the version).  Falls back to 1 for an object whose
+        event line was also lost to the crash."""
+        path = _unslug(meta_path.stem)
+        version = 0
+        for event in self._read_events():
+            if event.path == path:
+                version = event.version if event.kind == "put" else 0
+        if version == 0:
+            version = 1
+        self._write_atomic(
+            meta_path, json.dumps({"version": version}).encode("utf-8"))
+        self._meta_rebuilds.add()
+        return version
 
     def _last_sequence(self) -> int:
         last = 0
@@ -263,8 +407,9 @@ class FileCloudStore:
         return last
 
     def _read_events(self) -> List[DirectoryEvent]:
+        lines = self._events_path.read_text("utf-8").splitlines()
         events = []
-        for line in self._events_path.read_text("utf-8").splitlines():
+        for index, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
@@ -274,6 +419,10 @@ class FileCloudStore:
                     kind=record["kind"], version=int(record["version"]),
                 ))
             except (ValueError, KeyError) as exc:
+                if index == len(lines) - 1:
+                    # Torn tail from a crash mid-append; the journal
+                    # roll-forward rewrites this line.
+                    continue
                 raise StorageError("corrupt event log") from exc
         return events
 

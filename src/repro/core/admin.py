@@ -45,6 +45,8 @@ from repro.crypto import ecdsa
 from repro.crypto.rng import Rng, SystemRng
 from repro.enclave_app.ibbe_enclave import IbbeEnclave, PartitionBlob
 from repro.errors import AccessControlError, MembershipError, SealingError
+from repro.faults.plan import crash_point
+from repro.faults.retry import RetryPolicy
 from repro.obs.metrics import CounterField, MetricRegistry
 from repro.obs.spans import span as _span
 from repro.sgx.enclave import ResultRef, resolve_batch_args
@@ -103,7 +105,8 @@ class GroupAdministrator:
                  partition_capacity: int,
                  rng: Optional[Rng] = None,
                  auto_repartition: bool = True,
-                 pipeline: bool = True) -> None:
+                 pipeline: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if partition_capacity < 1:
             raise AccessControlError("partition capacity must be >= 1")
         self.enclave = enclave
@@ -114,6 +117,11 @@ class GroupAdministrator:
         self._signing_key = signing_key
         self._rng = rng or SystemRng()
         self.metrics = AdminMetrics()
+        # Transient-outage retries (UnavailableError only — requests that
+        # never reached the store); version conflicts are the multi-admin
+        # layer's business and pass straight through.
+        self.retry = retry_policy or RetryPolicy(
+            seed="admin-retry", registry=self.metrics.registry)
         # One registry per administrator: operation counters and cache
         # hit/miss accounting share the admin.* namespace.
         self.cache = AdminCache(registry=self.metrics.registry)
@@ -325,6 +333,7 @@ class GroupAdministrator:
             partition_capacity=state.table.capacity,
             user_to_partition={},
             epoch=state.epoch + 1,
+            next_partition_id=state.table.next_partition_id,
         ).signed(self._signing_key)
         if self.pipeline:
             batch = CloudBatch()
@@ -335,17 +344,27 @@ class GroupAdministrator:
                              ignore_missing=True)
             batch.delete(spath, ignore_missing=True)
             batch.delete(dpath)
-            self.cloud.commit(batch)
+            self.retry.run(lambda: self.cloud.commit(batch),
+                           label="admin.delete_group")
         else:
-            self.cloud.put(dpath, tombstone,
-                           expected_version=state.descriptor_version)
+            self.retry.run(
+                lambda: self.cloud.put(
+                    dpath, tombstone,
+                    expected_version=state.descriptor_version),
+                label="admin.delete_group.tombstone",
+            )
             for pid in pids:
                 path = partition_path(group_id, pid)
-                if self.cloud.exists(path):
-                    self.cloud.delete(path)
-            if self.cloud.exists(spath):
-                self.cloud.delete(spath)
-            self.cloud.delete(dpath)
+                if self.retry.run(lambda p=path: self.cloud.exists(p),
+                                  label="admin.exists"):
+                    self.retry.run(lambda p=path: self.cloud.delete(p),
+                                   label="admin.delete")
+            if self.retry.run(lambda: self.cloud.exists(spath),
+                              label="admin.exists"):
+                self.retry.run(lambda: self.cloud.delete(spath),
+                               label="admin.delete")
+            self.retry.run(lambda: self.cloud.delete(dpath),
+                           label="admin.delete")
         self.cache.drop(group_id)
 
     # -- Algorithm 3: remove user --------------------------------------------------------
@@ -514,6 +533,7 @@ class GroupAdministrator:
         start = time.perf_counter()
         with _span("admin.plan", group=state.group_id,
                    op=plan.describe()):
+            crash_point("admin.plan.pre_ecalls")
             try:
                 results = self._run_ecalls(plan.ecalls)
             except SealingError:
@@ -525,7 +545,9 @@ class GroupAdministrator:
                 state.sealed_group_key = effects.sealed_gk
             if plan.bump_epoch:
                 state.epoch += 1
+            crash_point("admin.plan.pre_commit")
             self._commit_effects(state, effects)
+            crash_point("admin.plan.post_commit")
             self.metrics.plans_committed += 1
         self.metrics.op_seconds.observe(time.perf_counter() - start)
 
@@ -593,18 +615,25 @@ class GroupAdministrator:
                     batch.put(*payload)
                 else:
                     batch.delete(payload, ignore_missing=True)
-            versions = self.cloud.commit(batch)
+            versions = self.retry.run(lambda: self.cloud.commit(batch),
+                                      label="admin.commit")
             state.descriptor_version = versions[dpath]
         else:
-            state.descriptor_version = self.cloud.put(
-                dpath, descriptor_data,
-                expected_version=state.descriptor_version,
+            state.descriptor_version = self.retry.run(
+                lambda: self.cloud.put(
+                    dpath, descriptor_data,
+                    expected_version=state.descriptor_version,
+                ),
+                label="admin.put.descriptor",
             )
             for kind, payload in staged:
                 if kind == "put":
-                    self.cloud.put(*payload)
-                elif self.cloud.exists(payload):
-                    self.cloud.delete(payload)
+                    self.retry.run(lambda p=payload: self.cloud.put(*p),
+                                   label="admin.put")
+                elif self.retry.run(lambda p=payload: self.cloud.exists(p),
+                                    label="admin.exists"):
+                    self.retry.run(lambda p=payload: self.cloud.delete(p),
+                                   label="admin.delete")
 
         # Bookkeeping + metrics (identical in both modes).
         for pid, record in installed.items():
@@ -626,6 +655,7 @@ class GroupAdministrator:
                 for user in state.table.all_members()
             },
             epoch=state.epoch,
+            next_partition_id=state.table.next_partition_id,
         ).signed(self._signing_key)
 
     # -- persistence / recovery ------------------------------------------------
@@ -641,7 +671,10 @@ class GroupAdministrator:
         In pipeline mode the partition records and the sealed key arrive
         in one ``get_many`` round trip.
         """
-        descriptor_obj = self.cloud.get(descriptor_path(group_id))
+        descriptor_obj = self.retry.run(
+            lambda: self.cloud.get(descriptor_path(group_id)),
+            label="admin.load.descriptor",
+        )
         descriptor = GroupDescriptor.verify_and_decode(
             descriptor_obj.data, self.verification_key
         )
@@ -656,15 +689,19 @@ class GroupAdministrator:
         record_paths = {pid: partition_path(group_id, pid) for pid in pids}
         skey_path = sealed_key_path(group_id)
         if self.pipeline:
-            objects = self.cloud.get_many(
-                list(record_paths.values()) + [skey_path]
+            objects = self.retry.run(
+                lambda: self.cloud.get_many(
+                    list(record_paths.values()) + [skey_path]
+                ),
+                label="admin.load.get_many",
             )
             fetch = objects.get
         else:
             def fetch(path: str):
                 from repro.errors import NotFoundError
                 try:
-                    return self.cloud.get(path)
+                    return self.retry.run(lambda: self.cloud.get(path),
+                                          label="admin.load.get")
                 except NotFoundError:
                     return None
         for pid in pids:
@@ -685,6 +722,10 @@ class GroupAdministrator:
                     table._user_to_partition[user] = pid
                 table._next_id = max(table._next_id, pid + 1)
             state.records[pid] = record
+        # Restore the allocation cursor from the descriptor: surviving
+        # partitions alone under-estimate it when the top partition was
+        # deleted, and ids must never be reused.
+        table._next_id = max(table._next_id, descriptor.next_partition_id)
         sealed_obj = fetch(skey_path)
         if sealed_obj is not None:
             state.sealed_group_key = sealed_obj.data

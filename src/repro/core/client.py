@@ -33,6 +33,7 @@ from repro.errors import (
     RevokedError,
     StaleMetadataError,
 )
+from repro.faults.retry import RetryPolicy
 from repro.obs.metrics import CounterField, MetricRegistry
 from repro.obs.spans import span as _span
 from repro.pairing.group import PairingGroup
@@ -57,7 +58,8 @@ class GroupClient:
                  cloud: CloudStore,
                  admin_verification_key: ecdsa.EcdsaPublicKey,
                  enforce_freshness: bool = True,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if user_key.identity != identity:
             raise AccessControlError("user key does not match the identity")
         self.group_id = group_id
@@ -69,6 +71,11 @@ class GroupClient:
         self._admin_key = admin_verification_key
         self.state = ClientGroupState(group_id=group_id)
         self.registry = MetricRegistry()
+        # Long-poll rounds retry through the shared policy: both the poll
+        # and the snapshot fetch are reads, so UnavailableError *and*
+        # injected read timeouts are safe to reissue.
+        self.retry = retry_policy or RetryPolicy(
+            seed=f"client-retry:{identity}", registry=self.registry)
         self.decrypt_count = 0
         #: Expansions actually computed (cache misses) — the hint cache
         #: keeps this far below :attr:`decrypt_count` under re-key churn.
@@ -109,8 +116,11 @@ class GroupClient:
             return self._sync()
 
     def _sync(self) -> bool:
-        events, cursor = self._cloud.poll_dir(
-            group_dir(self.group_id), self.state.poll_cursor
+        events, cursor = self.retry.run(
+            lambda: self._cloud.poll_dir(
+                group_dir(self.group_id), self.state.poll_cursor
+            ),
+            label="client.poll",
         )
         self.state.poll_cursor = cursor
         fetch_paths = list(dict.fromkeys(
@@ -118,7 +128,10 @@ class GroupClient:
             if event.kind != "delete"
             and not event.path.endswith("/sealed-gk")
         ))
-        objects = self._cloud.get_many(fetch_paths) if fetch_paths else {}
+        objects = self.retry.run(
+            lambda: self._cloud.get_many(fetch_paths),
+            label="client.fetch",
+        ) if fetch_paths else {}
         changed = False
         for event in events:
             if event.kind == "delete":

@@ -90,6 +90,11 @@ class GroupDescriptor:
     partition_capacity: int
     user_to_partition: Dict[str, int]
     epoch: int    # bumped on every membership operation
+    #: Partition-id allocation cursor.  Ids are never reused, so the
+    #: cursor must survive an administrator rebuilding its state from
+    #: the cloud — deriving it from the *surviving* partitions would
+    #: re-issue the id of a deleted top partition after a crash.
+    next_partition_id: int = 0
 
     def payload(self) -> bytes:
         writer = Writer()
@@ -97,6 +102,7 @@ class GroupDescriptor:
         writer.str_field(self.group_id)
         writer.u32(self.partition_capacity)
         writer.u64(self.epoch)
+        writer.u32(self.next_partition_id)
         writer.u32(len(self.user_to_partition))
         for user in sorted(self.user_to_partition):
             writer.str_field(user)
@@ -124,6 +130,7 @@ class GroupDescriptor:
         group_id = reader.str_field()
         capacity = reader.u32()
         epoch = reader.u64()
+        next_pid = reader.u32()
         count = reader.u32()
         mapping = {}
         for _ in range(count):
@@ -133,6 +140,7 @@ class GroupDescriptor:
         return cls(
             group_id=group_id, partition_capacity=capacity,
             user_to_partition=mapping, epoch=epoch,
+            next_partition_id=next_pid,
         )
 
 

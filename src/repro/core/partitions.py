@@ -59,6 +59,14 @@ class PartitionTable:
     def partition_ids(self) -> List[int]:
         return sorted(self._partitions)
 
+    @property
+    def next_partition_id(self) -> int:
+        """The allocation cursor: the id the next new partition will get.
+        Ids are never reused (deleting the top partition does not rewind
+        it), and it is persisted in the group descriptor so a state
+        reload allocates exactly as the in-memory table would have."""
+        return self._next_id
+
     def members_of(self, partition_id: int) -> List[str]:
         if partition_id not in self._partitions:
             raise MembershipError(f"unknown partition {partition_id}")

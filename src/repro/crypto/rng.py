@@ -68,6 +68,15 @@ class DeterministicRng:
         """Derive an independent stream, e.g. one per simulated user."""
         return DeterministicRng(self._key + label.encode("utf-8"))
 
+    def getstate(self) -> tuple:
+        """Opaque snapshot of the stream position (for crash-recovery
+        replay: a redone operation can consume the exact same bytes)."""
+        return (self._key, self._counter, self._buffer)
+
+    def setstate(self, state: tuple) -> None:
+        """Rewind/advance the stream to a :meth:`getstate` snapshot."""
+        self._key, self._counter, self._buffer = state
+
 
 def _uniform_below(bound: int, random_bytes) -> int:
     """Rejection-sample a uniform integer in ``[0, bound)``."""

@@ -112,7 +112,12 @@ class IbbeEnclave(Enclave):
             "big",
         ) % (P256.order - 1)
         self._identity_key = ecies.EciesPrivateKey(scalar)
-        self._counters = MonotonicCounterService()
+        # Monotonic counters are a *platform* service: use the device's
+        # registry (when present) so sealed-blob versions keep advancing
+        # across enclave restarts — a restarted enclave must still detect
+        # a replayed old sealed group key.
+        self._counters = getattr(device, "counters", None) \
+            or MonotonicCounterService()
         self._seal_counters: Dict[str, int] = {}
         # Parallel engine configuration (repro.par).  The pool itself is
         # created lazily on first use (it needs the public key) and its
@@ -539,9 +544,8 @@ class IbbeEnclave(Enclave):
     def _seal_group_key(self, group_id: str, gk: bytes) -> bytes:
         """Seal gk with a monotonic version for rollback protection."""
         counter_id = f"gk:{group_id}"
-        if group_id not in self._seal_counters:
+        if not self._counters.exists(counter_id):
             self._counters.create(counter_id)
-            self._seal_counters[group_id] = 0
         version = self._counters.increment(counter_id)
         self._seal_counters[group_id] = version
         payload = version.to_bytes(8, "big") + gk
@@ -552,6 +556,13 @@ class IbbeEnclave(Enclave):
                                    aad=b"gk:" + group_id.encode("utf-8"))
         version = int.from_bytes(payload[:8], "big")
         current = self._seal_counters.get(group_id)
+        if current is None:
+            # Fresh enclave instance (e.g. after a restart): fall back to
+            # the platform counter, which outlives the enclave.
+            counter_id = f"gk:{group_id}"
+            if self._counters.exists(counter_id):
+                current = self._counters.read(counter_id)
+                self._seal_counters[group_id] = current
         if current is not None and version < current:
             raise EnclaveError(
                 f"rollback detected: sealed group key version {version} is "

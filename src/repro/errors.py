@@ -64,6 +64,19 @@ class NotFoundError(StorageError):
     """Requested object or directory does not exist."""
 
 
+class UnavailableError(StorageError):
+    """Transient storage outage: the request never reached the store and
+    is safe to retry (the class :class:`~repro.faults.RetryPolicy`
+    retries by default)."""
+
+
+class StoreTimeoutError(UnavailableError):
+    """A storage round trip timed out before completing.
+
+    Injected only on *read* operations, where a retry is always safe; a
+    timed-out write would leave the outcome ambiguous."""
+
+
 class ConflictError(StorageError):
     """Optimistic-concurrency version conflict on a storage object."""
 
@@ -88,3 +101,17 @@ class StaleMetadataError(AccessControlError):
 class ParallelError(ReproError):
     """Misconfiguration or failure of the parallel execution engine
     (:mod:`repro.par`): invalid worker counts, dead worker pools."""
+
+
+class CrashError(ReproError):
+    """Simulated process death at a named crash point (:mod:`repro.faults`).
+
+    Raised by :func:`repro.faults.crash_point` when the active
+    :class:`~repro.faults.FaultInjector` schedules a crash.  Nothing in
+    the library catches it: it must unwind to the chaos driver, which
+    models the recovery a freshly restarted process would run.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point

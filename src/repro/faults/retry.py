@@ -1,0 +1,102 @@
+"""Shared retry policy: capped exponential backoff with deterministic jitter.
+
+Every layer that talks to the (possibly flaky) cloud — client sync, the
+admin's plan commits, :class:`~repro.core.multiadmin.ConcurrentAdministrator`
+conflict resolution — retries through one :class:`RetryPolicy` instead of
+ad-hoc hot loops.  Backoff follows the usual capped-exponential shape
+
+    ``delay(n) = min(cap_ms, base_ms * multiplier**(n-1)) * jitter_factor``
+
+with the jitter factor drawn from a seeded
+:class:`~repro.crypto.rng.DeterministicRng`, and — like
+:class:`~repro.cloud.latency.LatencyModel` — the delay is *accounted,
+not slept*: it accumulates in :attr:`RetryPolicy.slept_ms` and the
+``retry.backoff_ms`` counter, so chaotic runs finish at memory speed
+while still reporting how long a real deployment would have waited.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import UnavailableError
+from repro.obs import span
+from repro.obs.metrics import MetricRegistry
+
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Bounded retry with capped exponential backoff.
+
+    ``run(operation)`` invokes the zero-argument callable up to
+    ``max_attempts`` times, retrying on the ``retry_on`` exception tuple
+    (by default :class:`~repro.errors.UnavailableError`, which covers
+    injected outages and read timeouts — requests that never changed
+    store state and are therefore always safe to reissue).  On
+    exhaustion the last exception is re-raised unchanged.
+
+    Counters (in ``registry``): ``retry.attempts`` (extra attempts past
+    the first), ``retry.exhausted``, ``retry.backoff_ms``.  Each retried
+    attempt opens a ``retry.backoff`` span tagged with the operation
+    label and computed delay.
+    """
+
+    def __init__(self, max_attempts: int = 5, base_ms: float = 10.0,
+                 cap_ms: float = 2000.0, multiplier: float = 2.0,
+                 jitter: float = 0.5, seed: str = "retry",
+                 registry: Optional[MetricRegistry] = None) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self.base_ms = base_ms
+        self.cap_ms = cap_ms
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._rng = DeterministicRng(f"retry:{seed}")
+        #: Total accounted (never slept) backoff, in milliseconds.
+        self.slept_ms = 0.0
+        self._attempts = self.registry.counter("retry.attempts")
+        self._exhausted = self.registry.counter("retry.exhausted")
+        self._backoff_ms = self.registry.counter("retry.backoff_ms")
+
+    def delay_ms(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered
+        deterministically in ``[1 - jitter/2, 1 + jitter/2]``."""
+        raw = min(self.cap_ms, self.base_ms * self.multiplier ** (attempt - 1))
+        if self.jitter <= 0.0:
+            return raw
+        u = self._rng.randint_below(1_000_000) / 1_000_000.0
+        return raw * (1.0 + self.jitter * (u - 0.5))
+
+    def run(self, operation: Callable[[], T], *,
+            retry_on: Tuple[Type[BaseException], ...] = (UnavailableError,),
+            label: str = "op",
+            on_retry: Optional[Callable[[BaseException, int], None]] = None
+            ) -> T:
+        """Run ``operation`` under this policy.
+
+        ``on_retry(exc, attempt)`` is called before each re-attempt —
+        :class:`ConcurrentAdministrator` uses it to reload group state
+        after a version conflict.
+        """
+        attempt = 1
+        while True:
+            try:
+                return operation()
+            except retry_on as exc:
+                if attempt >= self.max_attempts:
+                    self._exhausted.add()
+                    raise
+                delay = self.delay_ms(attempt)
+                self.slept_ms += delay
+                self._attempts.add()
+                self._backoff_ms.add(delay)
+                with span("retry.backoff", "faults", label=label,
+                          attempt=attempt, delay_ms=round(delay, 3),
+                          error=type(exc).__name__):
+                    if on_retry is not None:
+                        on_retry(exc, attempt)
+                attempt += 1

@@ -1,0 +1,98 @@
+"""``FaultyCloudStore`` — a chaos decorator over the ``CloudStore`` contract.
+
+Wraps any store (in-memory :class:`~repro.cloud.CloudStore`,
+:class:`~repro.cloud.FileCloudStore`, or another decorator) and consults
+a :class:`~repro.faults.FaultInjector` *before* delegating each call.
+Injected faults therefore model requests that never reached the store:
+an :class:`~repro.errors.UnavailableError` on a write guarantees the
+write did not happen, which is exactly the property that makes blanket
+retries in :class:`~repro.faults.RetryPolicy` safe.  Read timeouts
+(:class:`~repro.errors.StoreTimeoutError`) are additionally injected on
+``get``/``get_many``/``exists``/``list_dir``/``poll_dir``.
+
+Latency spikes returned by the injector are accounted on the span, never
+slept.  ``adversary_view`` and ``total_stored_bytes`` are inspection
+interfaces, not round trips, and pass through unguarded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.faults.plan import FaultInjector
+from repro.obs import span
+
+
+class FaultyCloudStore:
+    """Duck-typed ``CloudStore`` decorator injecting scheduled faults.
+
+    Anything not explicitly guarded (e.g. ``FileCloudStore.root``) is
+    forwarded to the wrapped store via ``__getattr__``, so the decorator
+    can stand in for its inner store anywhere in the system.
+    """
+
+    def __init__(self, inner: Any, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+
+    def _guard(self, op: str, path: str = "") -> None:
+        extra_ms = self.injector.store_fault(op, path)
+        if extra_ms:
+            with span("faults.latency_spike", "faults", op=op,
+                      path=path, latency_ms=extra_ms):
+                pass
+
+    # -- guarded round trips ---------------------------------------------------
+
+    def put(self, path: str, data: bytes,
+            expected_version: Optional[int] = None) -> int:
+        self._guard("put", path)
+        return self.inner.put(path, data, expected_version)
+
+    def get(self, path: str):
+        self._guard("get", path)
+        return self.inner.get(path)
+
+    def get_many(self, paths: Iterable[str]) -> Dict[str, Any]:
+        paths = list(paths)
+        self._guard("get_many")
+        return self.inner.get_many(paths)
+
+    def exists(self, path: str) -> bool:
+        self._guard("exists", path)
+        return self.inner.exists(path)
+
+    def delete(self, path: str) -> None:
+        self._guard("delete", path)
+        return self.inner.delete(path)
+
+    def commit(self, batch) -> Dict[str, int]:
+        self._guard("commit")
+        return self.inner.commit(batch)
+
+    def list_dir(self, directory: str) -> List[str]:
+        self._guard("list_dir", directory)
+        return self.inner.list_dir(directory)
+
+    def poll_dir(self, directory: str, after_sequence: int = 0,
+                 ) -> Tuple[List[Any], int]:
+        self._guard("poll_dir", directory)
+        return self.inner.poll_dir(directory, after_sequence)
+
+    # -- unguarded inspection --------------------------------------------------
+
+    def adversary_view(self) -> Iterator[Any]:
+        return self.inner.adversary_view()
+
+    def total_stored_bytes(self, prefix: str = "/") -> int:
+        return self.inner.total_stored_bytes(prefix)
+
+    @property
+    def metrics(self):
+        return self.inner.metrics
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return f"FaultyCloudStore({self.inner!r})"

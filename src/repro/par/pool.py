@@ -20,9 +20,11 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelError
+from repro.faults import plan as _faults
 from repro.obs import collect as obs_collect
 from repro.obs.metrics import MetricRegistry
 from repro.obs.spans import span as _span, tracer as _tracer
@@ -58,19 +60,24 @@ def _warm_task(delay: float) -> int:
     return os.getpid()
 
 
-def _run_instrumented(shipment: Tuple[Callable[[Any], Any], Any, bool]
+def _run_instrumented(shipment: Tuple[Callable[[Any], Any], Any, bool, bool]
                       ) -> Tuple[Any, float, Optional[dict]]:
     """Worker-side task shell: run one kernel, time it, capture telemetry.
 
-    ``shipment = (fn, task, collect)``.  The shell is what the executor
-    actually maps: it measures the task's wall time in the *worker* (so
-    ``par.task.seconds`` reflects kernel cost, not IPC), and when the
-    parent dispatched with tracing enabled it records the task under a
-    fresh child tracer whose spans and counter deltas ride back in the
-    third tuple slot (see :mod:`repro.obs.collect`).  Results are passed
-    through untouched — the byte-equivalence contract is unaffected.
+    ``shipment = (fn, task, collect, kill)``.  The shell is what the
+    executor actually maps: it measures the task's wall time in the
+    *worker* (so ``par.task.seconds`` reflects kernel cost, not IPC), and
+    when the parent dispatched with tracing enabled it records the task
+    under a fresh child tracer whose spans and counter deltas ride back
+    in the third tuple slot (see :mod:`repro.obs.collect`).  Results are
+    passed through untouched — the byte-equivalence contract is
+    unaffected.  A ``kill`` shipment (scheduled by the fault injector)
+    dies with ``os._exit`` before running the kernel, exactly like an
+    OOM-killed or segfaulted worker process.
     """
-    fn, task, collect = shipment
+    fn, task, collect, kill = shipment
+    if kill:
+        os._exit(113)
     if not collect:
         start = time.perf_counter()
         result = fn(task)
@@ -86,7 +93,9 @@ class WorkerPool:
 
     Metrics (``par.*`` namespace on ``registry``): ``par.workers`` (the
     configured count), ``par.dispatches`` (``run`` calls), ``par.tasks``
-    (tasks executed), ``par.failures`` (dispatches that raised), the
+    (tasks executed), ``par.failures`` (dispatches that raised),
+    ``par.respawns`` (pools rebuilt after a worker death — the dispatch
+    is re-run once on the fresh pool before a failure poisons it), the
     ``par.task.seconds`` per-task latency histogram (measured inside the
     worker, so IPC and queueing are excluded), and the live-dispatch
     gauges ``par.queue.depth`` (tasks submitted but not yet holding a
@@ -113,6 +122,7 @@ class WorkerPool:
         self._tasks = self.registry.counter("par.tasks")
         self._dispatches = self.registry.counter("par.dispatches")
         self._failures = self.registry.counter("par.failures")
+        self._respawns = self.registry.counter("par.respawns")
         self._task_seconds = self.registry.histogram("par.task.seconds")
         self._pending = 0
         self.registry.gauge("par.workers", lambda: self.workers)
@@ -158,16 +168,29 @@ class WorkerPool:
                 raise
             finally:
                 self._pending = 0
-        executor = self._ensure_executor()
         collect = _tracer().enabled
-        self._pending = len(tasks)
-        results = []
+        injector = _faults.active()
+        kill_index = (injector.take_worker_kill(len(tasks))
+                      if injector is not None else None)
         try:
-            for result, seconds, payload in executor.map(
-                    _run_instrumented,
-                    [(fn, task, collect) for task in tasks],
-                    chunksize=self._chunksize(len(tasks))):
-                self._pending -= 1
+            try:
+                gathered = self._gather(fn, tasks, collect, kill_index)
+            except BrokenProcessPool:
+                # A worker died mid-dispatch.  Kernels are deterministic,
+                # side-effect-free functions of their task (the byte-
+                # identity contract), so the whole dispatch is re-run
+                # once on a fresh pool; telemetry from the partial run is
+                # discarded to keep counters single-counted.
+                self.close()
+                self._respawns.add()
+                try:
+                    gathered = self._gather(fn, tasks, collect, None)
+                except BrokenProcessPool as exc:
+                    raise ParallelError(
+                        "worker pool kept dying after one respawn"
+                    ) from exc
+            results = []
+            for result, seconds, payload in gathered:
                 self._task_seconds.observe(seconds)
                 if payload is not None:
                     obs_collect.merge_task_telemetry(payload)
@@ -179,6 +202,24 @@ class WorkerPool:
             raise
         finally:
             self._pending = 0
+
+    def _gather(self, fn: Callable[[Any], Any], tasks: List[Any],
+                collect: bool, kill_index: Optional[int]
+                ) -> List[Tuple[Any, float, Optional[dict]]]:
+        """One parallel dispatch, buffered: per-task accounting happens
+        only after every result is back, so a dispatch that dies halfway
+        (and is retried) never double-counts telemetry."""
+        executor = self._ensure_executor()
+        self._pending = len(tasks)
+        gathered = []
+        for triple in executor.map(
+                _run_instrumented,
+                [(fn, task, collect, index == kill_index)
+                 for index, task in enumerate(tasks)],
+                chunksize=self._chunksize(len(tasks))):
+            self._pending -= 1
+            gathered.append(triple)
+        return gathered
 
     def warm(self) -> int:
         """Start every worker (and run its initializer) ahead of real

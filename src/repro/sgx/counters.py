@@ -24,6 +24,9 @@ class MonotonicCounterService:
         self._counters[counter_id] = 0
         return 0
 
+    def exists(self, counter_id: str) -> bool:
+        return counter_id in self._counters
+
     def increment(self, counter_id: str) -> int:
         if counter_id not in self._counters:
             raise EnclaveError(f"unknown counter {counter_id!r}")

@@ -20,6 +20,7 @@ from repro.crypto import ecdsa
 from repro.crypto.kdf import hkdf
 from repro.crypto.rng import Rng, SystemRng
 from repro.ec.p256 import P256
+from repro.sgx.counters import MonotonicCounterService
 from repro.sgx.epc import EpcModel
 from repro.sgx.quote import Quote, quote_payload
 
@@ -42,6 +43,11 @@ class SgxDevice:
                  device_secret: Optional[bytes] = None) -> None:
         self._rng = rng or SystemRng()
         self.epc = epc or EpcModel()
+        #: Platform monotonic-counter service.  Hosted on the *device*
+        #: (as on real SGX hardware) so counter state — and with it the
+        #: rollback protection of sealed blobs — survives enclave
+        #: restarts on the same platform.
+        self.counters = MonotonicCounterService()
         if device_secret is not None:
             digest = hashlib.sha256(device_secret).hexdigest()[:16]
             self.device_id = device_id or f"sgx-device-{digest}"

@@ -1,4 +1,5 @@
-"""Workload generation and replay for the macrobenchmarks (paper §VI-B)."""
+"""Workload generation and replay for the macrobenchmarks (paper §VI-B),
+plus the chaos harness that replays a workload under injected faults."""
 
 from repro.workloads.kernel_trace import KernelTraceConfig, synthesize_kernel_trace
 from repro.workloads.replay import (
@@ -22,4 +23,23 @@ __all__ = [
     "HybridReplayAdapter",
     "save_trace",
     "load_trace",
+    "ChaosReport",
+    "run_chaos",
+    "cloud_digest",
+    "make_membership_trace",
 ]
+
+# The chaos harness is imported lazily so ``python -m
+# repro.workloads.chaos`` (the CI smoke entry point) does not import
+# the module twice.
+_CHAOS_EXPORTS = frozenset(
+    {"ChaosReport", "run_chaos", "cloud_digest", "make_membership_trace"}
+)
+
+
+def __getattr__(name):
+    if name in _CHAOS_EXPORTS:
+        from repro.workloads import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

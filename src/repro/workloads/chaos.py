@@ -1,0 +1,406 @@
+"""Chaos harness: replay a membership workload under injected faults.
+
+The robustness counterpart of :mod:`repro.workloads.replay` and the
+executable form of the chaos-equivalence contract:
+
+    *a retried, recovered run converges to the byte-identical final
+    cloud state of the fault-free run.*
+
+:func:`run_chaos` builds two independent deployments seeded identically
+(each with its own :class:`~repro.crypto.rng.DeterministicRng` and its
+own :class:`~repro.cloud.FileCloudStore` directory), drives both through
+the same deterministic membership trace, and injects a seeded
+:class:`~repro.faults.FaultPlan` into one of them: transient store
+outages and read timeouts (absorbed by the :class:`RetryPolicy` layers),
+latency spikes (accounted), crashes at the named crash points, and full
+enclave restarts.  After every applied revocation both runs verify the
+revoked user is locked out; at the end the two stores' content digests
+are compared.
+
+**The crash-recovery driver.**  A :class:`~repro.errors.CrashError`
+models process death, so nothing in the library catches it.  The driver
+plays the part of the freshly restarted process:
+
+1. re-open the :class:`FileCloudStore` on the same directory — its
+   journal roll-forward resolves any torn commit to "applied" or "never
+   happened";
+2. drop and reload the group's administrative state from the cloud;
+3. decide whether the crashed operation *landed* (for an add: the user
+   is in the reloaded table; for a remove: absent) — a crash after the
+   commit point must not be redone;
+4. if it did not land, rewind the deployment RNG to the snapshot taken
+   at the operation boundary and redo it, consuming the exact same
+   random bytes the fault-free run consumed.
+
+Step 4 is why byte-identity survives recovery: an operation either runs
+to completion exactly once on the advanced stream, or is replayed from
+the snapshot until it does.
+
+Content digests deliberately exclude object *versions*: a redone
+conditional put consumes extra version numbers, and versions are
+transport-layer concurrency tokens, not group state (what an adversary
+or a client derives keys from is the bytes).  They also exclude the
+``sealed-gk`` blob: it is opaque to everyone but the enclave, and the
+monotonic seal counter encrypted inside it counts every seal the
+*platform* performed — including attempts a crash aborted before their
+cloud commit — so no faithful recovery can reproduce its exact bytes.
+The group key it protects is compared directly instead: both runs must
+yield the byte-identical group key at a surviving member's client,
+which is the stronger, semantic form of the check.
+
+Run from the command line (the CI chaos-smoke job)::
+
+    python -m repro.workloads.chaos --profile store --seed 7
+    python -m repro.workloads.chaos --profile full  --seed 7
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import CrashError, NotFoundError, RevokedError, UnavailableError
+from repro.faults import FaultInjector, FaultPlan, FaultyCloudStore, install
+from repro.workloads.synthetic import OP_ADD, OP_REMOVE, Operation
+
+
+def cloud_digest(store) -> str:
+    """Content digest of a store: SHA-256 over the sorted ``(path,
+    data)`` pairs.  Versions and sealed-key blobs are excluded (see the
+    module docstring); the group key sealed inside the latter is checked
+    directly via :meth:`_ChaosRun.group_key_hash`."""
+    digest = hashlib.sha256()
+    for obj in sorted(store.adversary_view(), key=lambda o: o.path):
+        if obj.path.endswith("/sealed-gk"):
+            continue
+        digest.update(obj.path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(hashlib.sha256(obj.data).digest())
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one :func:`run_chaos` comparison."""
+
+    seed: str
+    plan: FaultPlan
+    ops_total: int = 0
+    ops_applied: int = 0
+    crashes_recovered: int = 0
+    enclave_restarts: int = 0
+    revocation_checks: int = 0
+    revocation_failures: int = 0
+    reference_digest: str = ""
+    chaos_digest: str = ""
+    reference_key_hash: str = ""
+    chaos_key_hash: str = ""
+    fault_history: List[Tuple[str, str]] = field(default_factory=list)
+    retry_backoff_ms: float = 0.0
+
+    @property
+    def converged(self) -> bool:
+        """Byte-identical final cloud state, the byte-identical group key
+        at a surviving member, and every revoked user locked out
+        whenever checked."""
+        return (self.reference_digest == self.chaos_digest
+                and self.reference_key_hash == self.chaos_key_hash
+                and self.revocation_failures == 0)
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ops_total": self.ops_total,
+            "ops_applied": self.ops_applied,
+            "faults_injected": len(self.fault_history),
+            "crashes_recovered": self.crashes_recovered,
+            "enclave_restarts": self.enclave_restarts,
+            "revocation_checks": self.revocation_checks,
+            "revocation_failures": self.revocation_failures,
+            "retry_backoff_ms": round(self.retry_backoff_ms, 3),
+            "reference_digest": self.reference_digest,
+            "chaos_digest": self.chaos_digest,
+            "reference_key_hash": self.reference_key_hash,
+            "chaos_key_hash": self.chaos_key_hash,
+            "converged": self.converged,
+        }
+
+
+def make_membership_trace(ops: int, pool: int, initial: int,
+                          seed: str) -> Tuple[List[str], List[Operation]]:
+    """Deterministic membership trace over a ``u0..u{pool-1}`` user pool.
+
+    Returns ``(initial_members, operations)``; every operation is valid
+    against the membership state it will find (no skipped ops, so the
+    applied-op count is itself deterministic).  The group never drains
+    below one member.
+    """
+    rng = DeterministicRng(f"chaos-trace:{seed}")
+    users = [f"u{i}" for i in range(pool)]
+    members = set(users[:initial])
+    trace: List[Operation] = []
+    for index in range(ops):
+        absent = sorted(set(users) - members)
+        present = sorted(members)
+        # ~60/40 add/remove mix, constrained by what's possible.
+        want_add = rng.randint_below(10) < 6
+        if (want_add or len(present) <= 1) and absent:
+            user = absent[rng.randint_below(len(absent))]
+            members.add(user)
+            trace.append(Operation(OP_ADD, user, float(index)))
+        else:
+            user = present[rng.randint_below(len(present))]
+            members.remove(user)
+            trace.append(Operation(OP_REMOVE, user, float(index)))
+    return users[:initial], trace
+
+
+class _ChaosRun:
+    """One deployment (reference or faulty) driven through a trace."""
+
+    GROUP = "chaos"
+
+    def __init__(self, root: str, seed: str, capacity: int, pool: int,
+                 injector: Optional[FaultInjector],
+                 workers: Optional[int] = 1) -> None:
+        from repro import quickstart_system
+        from repro.cloud import FileCloudStore
+
+        self.root = root
+        self.injector = injector
+        self.rng = DeterministicRng(f"chaos-system:{seed}")
+        # auto_repartition stays off so a crashed remove never nests a
+        # second (repartition) plan inside its own recovery window.
+        self.system = quickstart_system(
+            partition_capacity=capacity, params="toy64", rng=self.rng,
+            auto_repartition=False, workers=workers,
+        )
+        self._store_cls = FileCloudStore
+        self.inner = FileCloudStore(root)
+        self._wire()
+        self.clients = {}
+        self.crashes_recovered = 0
+        self.enclave_restarts = 0
+        self.revocation_checks = 0
+        self.revocation_failures = 0
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _wire(self) -> None:
+        store = (FaultyCloudStore(self.inner, self.injector)
+                 if self.injector is not None else self.inner)
+        self.system.cloud = store
+        self.system.admin.cloud = store
+        for client in self.system._clients:
+            client._cloud = store
+
+    def _reopen_store(self) -> None:
+        """The restarted process re-opens the store directory: the
+        journal roll-forward runs here."""
+        self.inner = self._store_cls(self.root)
+        self._wire()
+
+    # -- the crash-recovery driver --------------------------------------------
+
+    def _recover(self) -> None:
+        self._reopen_store()
+        admin = self.system.admin
+        admin.cache.drop(self.GROUP)
+        try:
+            admin.load_group_from_cloud(self.GROUP)
+        except NotFoundError:
+            pass  # the crashed op was the group creation; nothing landed
+
+    def _applied(self, op: Operation) -> bool:
+        state = self.system.admin.cache.get(self.GROUP)
+        if state is None:
+            return False
+        if op.kind == OP_ADD:
+            return op.user in state.table
+        return op.user not in state.table
+
+    def _drive(self, action, applied_check) -> bool:
+        """Run one mutation to completion across crashes.  Returns True
+        if it was redone at least once after landing-free crashes."""
+        snapshot = self.rng.getstate()
+        while True:
+            try:
+                action()
+                return True
+            except CrashError:
+                self.crashes_recovered += 1
+                self._recover()
+                if applied_check():
+                    # Landed before the crash: the RNG stream advanced
+                    # exactly once, same as the fault-free run — do not
+                    # rewind, do not redo.
+                    return True
+                self.rng.setstate(snapshot)
+            except UnavailableError:
+                # Retry budget exhausted mid-plan (rare with default
+                # policies): treat like a crash — reload and, if the op
+                # did not land, rewind and redo.
+                self._recover()
+                if applied_check():
+                    return True
+                self.rng.setstate(snapshot)
+
+    # -- workload --------------------------------------------------------------
+
+    def bootstrap(self, initial_members: List[str], pool: int) -> None:
+        admin = self.system.admin
+
+        def create() -> None:
+            if admin.cache.get(self.GROUP) is None:
+                admin.create_group(self.GROUP, initial_members)
+
+        def created() -> bool:
+            return admin.cache.get(self.GROUP) is not None
+
+        self._drive(create, created)
+        # Provision every pool user's key and client up front, in both
+        # runs identically: provisioning draws from the deployment RNG,
+        # so doing it lazily (e.g. only when a revocation check needs a
+        # client) would desynchronise the reference and chaos streams.
+        for i in range(pool):
+            user = f"u{i}"
+            self.clients[user] = self.system.make_client(self.GROUP, user)
+
+    def maybe_restart_enclave(self) -> None:
+        if self.injector is None:
+            return
+        if self.injector.take_enclave_restart():
+            self.system.restart_enclave()
+            self.enclave_restarts += 1
+
+    def apply(self, op: Operation) -> None:
+        admin = self.system.admin
+        if op.kind == OP_ADD:
+            self._drive(lambda: admin.add_user(self.GROUP, op.user),
+                        lambda: self._applied(op))
+        else:
+            self._drive(lambda: admin.remove_user(self.GROUP, op.user),
+                        lambda: self._applied(op))
+            self.check_revoked(op.user)
+
+    def check_revoked(self, user: str) -> None:
+        """The revocation invariant: after a remove (and whatever crash
+        recovery it took), the revoked user's client must not reach a
+        group key."""
+        client = self.clients[user]
+        self.revocation_checks += 1
+        client.sync()
+        try:
+            client.current_group_key()
+        except RevokedError:
+            return
+        self.revocation_failures += 1
+
+    def group_key_hash(self) -> str:
+        """Hash of the group key a (deterministically chosen) surviving
+        member derives — the semantic stand-in for comparing sealed-gk
+        bytes (see :func:`cloud_digest`)."""
+        state = self.system.admin.cache.get(self.GROUP)
+        member = sorted(state.table.all_members())[0]
+        client = self.clients[member]
+        client.sync()
+        return hashlib.sha256(client.current_group_key()).hexdigest()
+
+    def finish(self) -> str:
+        self.system.close()
+        return cloud_digest(self.inner)
+
+
+def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
+              pool: int = 12, initial: int = 5, capacity: int = 4,
+              seed: str = "chaos", workers: Optional[int] = 1,
+              ) -> ChaosReport:
+    """Replay one deterministic membership trace twice — fault-free and
+    under ``plan`` — and compare the final cloud bytes.
+
+    ``seed`` derives everything: the trace, both deployments' RNG
+    streams, and (by default) the fault schedule, so the entire
+    comparison is replayable from one value.
+    """
+    if plan is None:
+        plan = FaultPlan.store_faults(seed)
+    initial_members, trace = make_membership_trace(ops, pool, initial, seed)
+    report = ChaosReport(seed=seed, plan=plan, ops_total=len(trace))
+
+    with tempfile.TemporaryDirectory(prefix="chaos-ref-") as ref_root, \
+            tempfile.TemporaryDirectory(prefix="chaos-run-") as chaos_root:
+        # Reference: same trace, no injector.
+        install(None)
+        reference = _ChaosRun(ref_root, seed, capacity, pool, None,
+                              workers=workers)
+        reference.bootstrap(initial_members, pool)
+        for op in trace:
+            reference.apply(op)
+        report.reference_key_hash = reference.group_key_hash()
+        report.reference_digest = reference.finish()
+        report.revocation_checks += reference.revocation_checks
+        report.revocation_failures += reference.revocation_failures
+
+        # Chaos: identical seeds, faults on.
+        injector = FaultInjector(plan)
+        install(injector)
+        try:
+            chaos = _ChaosRun(chaos_root, seed, capacity, pool, injector,
+                              workers=workers)
+            chaos.bootstrap(initial_members, pool)
+            for op in trace:
+                chaos.maybe_restart_enclave()
+                chaos.apply(op)
+                report.ops_applied += 1
+        finally:
+            # The trace is done: the final state checks below verify
+            # convergence and should not themselves be perturbed.
+            install(None)
+        report.chaos_key_hash = chaos.group_key_hash()
+        report.chaos_digest = chaos.finish()
+        report.crashes_recovered = chaos.crashes_recovered
+        report.enclave_restarts = chaos.enclave_restarts
+        report.revocation_checks += chaos.revocation_checks
+        report.revocation_failures += chaos.revocation_failures
+        report.fault_history = injector.history()
+        report.retry_backoff_ms = (
+            chaos.system.admin.retry.slept_ms
+            + sum(c.retry.slept_ms for c in chaos.clients.values())
+        )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.chaos",
+        description="Chaos-equivalence smoke: replay a workload under a "
+                    "seeded fault schedule and diff the final cloud bytes "
+                    "against a fault-free run.",
+    )
+    parser.add_argument("--profile", choices=("store", "full"),
+                        default="store",
+                        help="store: transient store faults only; "
+                             "full: adds crashes and enclave restarts")
+    parser.add_argument("--seed", default="chaos-ci")
+    parser.add_argument("--ops", type=int, default=30)
+    parser.add_argument("--pool", type=int, default=12)
+    parser.add_argument("--capacity", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    plan = (FaultPlan.store_faults(args.seed) if args.profile == "store"
+            else FaultPlan.full_chaos(args.seed))
+    report = run_chaos(plan, ops=args.ops, pool=args.pool,
+                       capacity=args.capacity, seed=args.seed)
+    print(json.dumps(report.summary(), indent=2))
+    return 0 if report.converged else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

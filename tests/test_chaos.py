@@ -1,0 +1,155 @@
+"""Chaos-equivalence tests: the executable form of the fault-model
+contract in DESIGN.md — a retried, recovered, restarted run converges to
+the same final state as the fault-free run."""
+
+import pytest
+
+from repro import quickstart_system
+from repro.cloud import CloudStore
+from repro.crypto import DeterministicRng
+from repro.errors import EnclaveError
+from repro.faults import FaultPlan
+from repro.workloads.chaos import (
+    cloud_digest,
+    make_membership_trace,
+    run_chaos,
+)
+
+
+class TestCloudDigest:
+    def test_versions_excluded(self):
+        a, b = CloudStore(), CloudStore()
+        a.put("/g/p0", b"data")
+        b.put("/g/p0", b"old")
+        b.put("/g/p0", b"data")  # same bytes, higher version
+        assert cloud_digest(a) == cloud_digest(b)
+
+    def test_sealed_gk_excluded(self):
+        a, b = CloudStore(), CloudStore()
+        for store, blob in ((a, b"sealed-one"), (b, b"sealed-two")):
+            store.put("/g/p0", b"data")
+            store.put("/g/sealed-gk", blob)
+        assert cloud_digest(a) == cloud_digest(b)
+
+    def test_content_differences_detected(self):
+        a, b = CloudStore(), CloudStore()
+        a.put("/g/p0", b"data")
+        b.put("/g/p0", b"tampered")
+        assert cloud_digest(a) != cloud_digest(b)
+
+
+class TestMembershipTrace:
+    def test_deterministic_per_seed(self):
+        assert make_membership_trace(20, 10, 4, "t") == \
+            make_membership_trace(20, 10, 4, "t")
+        assert make_membership_trace(20, 10, 4, "t") != \
+            make_membership_trace(20, 10, 4, "u")
+
+    def test_trace_is_always_valid(self):
+        initial, trace = make_membership_trace(40, 10, 4, "valid")
+        members = set(initial)
+        for op in trace:
+            if op.kind == "add":
+                assert op.user not in members
+                members.add(op.user)
+            else:
+                assert op.user in members
+                members.remove(op.user)
+            assert members  # never empties the group
+
+
+class TestChaosEquivalence:
+    def test_store_faults_converge(self):
+        report = run_chaos(FaultPlan.store_faults("ci-store"),
+                           ops=12, pool=8, initial=4, seed="ci-store")
+        assert report.fault_history  # faults actually fired
+        assert report.retry_backoff_ms > 0.0
+        assert report.revocation_checks > 0
+        assert report.revocation_failures == 0
+        assert report.reference_digest == report.chaos_digest
+        assert report.reference_key_hash == report.chaos_key_hash
+        assert report.converged
+
+    def test_full_chaos_with_crashes_converges(self):
+        report = run_chaos(FaultPlan.full_chaos("ci-full"),
+                           ops=12, pool=8, initial=4, seed="ci-full")
+        assert report.converged
+        assert report.crashes_recovered >= 1
+        kinds = {kind for kind, _ in report.fault_history}
+        assert "crash" in kinds
+
+    def test_enclave_restart_resumes_administration(self):
+        """An injected full enclave restart (seal → fresh load → unseal)
+        must leave subsequent operations byte-equivalent and every
+        later revocation enforced."""
+        plan = FaultPlan(seed="ci-restart", store_error_rate=0.05,
+                         crash_rate=0.08, max_crashes=2,
+                         enclave_restart_rate=0.5, max_enclave_restarts=1)
+        report = run_chaos(plan, ops=12, pool=8, initial=4,
+                           seed="ci-restart")
+        assert report.enclave_restarts == 1
+        assert report.converged
+        assert report.revocation_failures == 0
+
+    def test_same_seed_reproduces_identical_fault_sequence(self):
+        plan = FaultPlan.full_chaos("ci-replay")
+        first = run_chaos(plan, ops=10, pool=8, initial=4, seed="ci-replay")
+        second = run_chaos(plan, ops=10, pool=8, initial=4, seed="ci-replay")
+        assert first.fault_history == second.fault_history
+        assert first.chaos_digest == second.chaos_digest
+        assert first.summary() == second.summary()
+
+
+class TestEnclaveRestart:
+    """System.restart_enclave in isolation (no fault injector)."""
+
+    def make_system(self):
+        return quickstart_system(
+            partition_capacity=4, params="toy64",
+            rng=DeterministicRng("restart-test"), auto_repartition=False,
+        )
+
+    def test_restart_unseals_and_resumes(self):
+        system = self.make_system()
+        try:
+            system.admin.create_group("g", ["a", "b", "c"])
+            client = system.make_client("g", "a")
+            client.sync()
+            key_before = client.current_group_key()
+            old_enclave = system.enclave
+            system.restart_enclave()
+            assert system.enclave is not old_enclave
+            assert system.admin.enclave is system.enclave
+            # The restarted enclave administers the group: a removal
+            # re-keys, and the surviving member derives the new key.
+            system.admin.remove_user("g", "b")
+            client.sync()
+            key_after = client.current_group_key()
+            assert key_after != key_before
+        finally:
+            system.close()
+
+    def test_seal_versions_survive_restart(self):
+        """Monotonic counters are a platform service: a restarted
+        enclave must keep advancing the seal version, not reset it (a
+        reset would let the host replay pre-restart sealed blobs)."""
+        system = self.make_system()
+        try:
+            system.admin.create_group("g", ["a", "b"])
+            counter = system.device.counters
+            version_before = counter.read("gk:g")
+            system.restart_enclave()
+            # Only revocation re-keys (hence reseals) in IBBE-SGX.
+            system.admin.remove_user("g", "b")
+            assert counter.read("gk:g") > version_before
+        finally:
+            system.close()
+
+    def test_restart_requires_carried_config(self):
+        system = self.make_system()
+        try:
+            system.enclave_config = None
+            with pytest.raises(EnclaveError, match="enclave configuration"):
+                system.restart_enclave()
+        finally:
+            system.close()

@@ -104,6 +104,23 @@ class TestLongPolling:
         events, _ = store.poll_dir("/g")
         assert [e.kind for e in events] == ["put", "delete"]
 
+    def test_after_sequence_past_end(self, store):
+        store.put("/g/p0", b"a")
+        events, cursor = store.poll_dir("/g", after_sequence=999)
+        assert events == []
+        assert cursor == 999  # the cursor never moves backwards
+
+    def test_resubscribe_replays_history(self, store):
+        """Delivery is at-least-once: a watcher that lost its cursor
+        polls from zero and receives the full history again, with the
+        same sequence numbers (dedup is the subscriber's job)."""
+        store.put("/g/p0", b"a")
+        store.put("/g/p1", b"b")
+        first, _ = store.poll_dir("/g")
+        replay, _ = store.poll_dir("/g", after_sequence=0)
+        assert [(e.kind, e.path, e.sequence) for e in replay] == \
+            [(e.kind, e.path, e.sequence) for e in first]
+
 
 class TestAdversaryView:
     def test_sees_everything(self, store):

@@ -84,6 +84,23 @@ class TestCliTraceFlow:
         assert "replayed 20 operations" in out
         assert "mean client decrypt" in out
 
+    def test_replay_with_injected_faults(self, tmp_path, capsys):
+        """--faults SEED injects transient store faults that the retry
+        layers absorb: the replay still applies every operation."""
+        state, cloud = str(tmp_path / "st"), str(tmp_path / "cl")
+        assert main(["init", "--state", state, "--cloud", cloud,
+                     "--params", "toy64", "--capacity", "4",
+                     "--bound", "8"]) == 0
+        trace_path = str(tmp_path / "trace.jsonl")
+        assert main(["gen-trace", "--ops", "12", "--rate", "0.2",
+                     "--out", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["replay", "--state", state, "--cloud", cloud,
+                     "--trace", trace_path, "--faults", "cli-chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 12 operations" in out
+        assert "injected (seed 'cli-chaos')" in out
+
     def test_gen_kernel_trace(self, tmp_path, capsys):
         trace_path = str(tmp_path / "k.jsonl")
         assert main(["gen-trace", "--kind", "kernel", "--scale", "0.001",
