@@ -144,12 +144,134 @@ def _op_fig7_remove_user(scale: float) -> Tuple[float, float, float]:
         system.close()
 
 
+def _op_fig8_decrypt(scale: float) -> Tuple[float, float, float]:
+    """Client-side partition decryption (Fig. 8 kernel): IBBE decrypt
+    plus envelope unwrap at a synced member."""
+    n = max(8, int(32 * scale))
+    system = _bench_system("fig8", capacity=8)
+    try:
+        system.admin.create_group("g", [f"u{i}" for i in range(n)])
+        client = system.make_client("g", "u0")
+        client.sync()
+        state = system.admin.group_state("g")
+        record = next(r for r in state.records.values()
+                      if "u0" in r.members)
+        start = time.perf_counter()
+        client.decrypt_partition(record)
+        elapsed = time.perf_counter() - start
+        return elapsed, float(record.crypto_bytes()), 0.0
+    finally:
+        system.close()
+
+
+def _op_client_sync(scale: float) -> Tuple[float, float, float]:
+    """Fresh-client bootstrap against a churned group: the download +
+    verify cost of joining late (the client path of Fig. 5)."""
+    n = max(8, int(32 * scale))
+    system = _bench_system("sync", capacity=8)
+    try:
+        system.admin.create_group("g", [f"u{i}" for i in range(n)])
+        for i in range(4):
+            system.admin.remove_user("g", f"u{i}")
+            system.admin.add_user("g", f"w{i}")
+        client = system.make_client("g", f"u{n - 1}")
+        before = system.cloud.metrics.bytes_out
+        start = time.perf_counter()
+        client.sync()
+        elapsed = time.perf_counter() - start
+        return elapsed, float(system.cloud.metrics.bytes_out - before), 0.0
+    finally:
+        system.close()
+
+
+#: (scale, compacted) -> TemporaryDirectory holding a prebuilt history
+#: store.  The cold-start ops only *read* the store (compaction happens
+#: at build time), so one build serves every repeat.
+_COLD_STORES: Dict[Tuple[float, bool], Any] = {}
+
+
+def _cold_start_store(scale: float, compacted: bool):
+    """A FileCloudStore carrying one live group plus a long mutation
+    history (~``10000·scale`` filler events over 50 rotating paths), so
+    history length dwarfs live object count — the regime where snapshot
+    bootstrap pays off."""
+    import tempfile
+
+    from repro.cloud import CloudBatch, FileCloudStore
+
+    key = (scale, compacted)
+    if key not in _COLD_STORES:
+        tmp = tempfile.TemporaryDirectory(prefix="gate-cold-")
+        store = FileCloudStore(tmp.name)
+        system = _bench_system("cold", capacity=8)
+        try:
+            system.cloud = store
+            system.admin.cloud = store
+            n = max(8, int(32 * scale))
+            system.admin.create_group("g", [f"u{i}" for i in range(n)])
+            events = max(200, int(10_000 * scale))
+            paths = [f"/history/h{i}" for i in range(50)]
+            written = 0
+            while written < events:
+                batch = CloudBatch()
+                for _ in range(min(200, events - written)):
+                    batch.put(paths[written % len(paths)],
+                              written.to_bytes(4, "big") * 8)
+                    written += 1
+                store.commit(batch)
+            if compacted:
+                store.compact()
+        finally:
+            system.close()
+        _COLD_STORES[key] = tmp
+    return _COLD_STORES[key].name
+
+
+def _op_cold_start(scale: float, compacted: bool
+                   ) -> Tuple[float, float, float]:
+    """Cold start: reopen the store, reload the group's administrative
+    state, and sync a brand-new client from sequence zero.  The
+    ``replay`` variant scans the full event history; the ``snapshot``
+    variant bootstraps from the compacted manifest — the O(changes)
+    claim under test."""
+    from repro.cloud import FileCloudStore
+
+    root = _cold_start_store(scale, compacted)
+    system = _bench_system("cold", capacity=8)
+    try:
+        system.user_key("u0")   # provision outside the timer
+        start = time.perf_counter()
+        store = FileCloudStore(root)
+        system.cloud = store
+        system.admin.cloud = store
+        system.admin.load_group_from_cloud("g")
+        client = system.make_client("g", "u0")
+        client.sync()
+        elapsed = time.perf_counter() - start
+        client.current_group_key()   # sanity: the key must be reachable
+        return elapsed, float(store.metrics.bytes_out), 0.0
+    finally:
+        system.close()
+
+
+def _op_cold_start_replay(scale: float) -> Tuple[float, float, float]:
+    return _op_cold_start(scale, compacted=False)
+
+
+def _op_cold_start_snapshot(scale: float) -> Tuple[float, float, float]:
+    return _op_cold_start(scale, compacted=True)
+
+
 #: name -> callable(scale) -> (seconds, bytes, crossings)
 OPS: Dict[str, Callable[[float], Tuple[float, float, float]]] = {
     "fig2.encrypt": _op_fig2_encrypt,
     "fig6.create_group": _op_fig6_create_group,
     "fig7.add_user": _op_fig7_add_user,
     "fig7.remove_user": _op_fig7_remove_user,
+    "fig8.decrypt": _op_fig8_decrypt,
+    "client.sync": _op_client_sync,
+    "cold_start.replay": _op_cold_start_replay,
+    "cold_start.snapshot": _op_cold_start_snapshot,
 }
 
 

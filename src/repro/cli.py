@@ -22,9 +22,17 @@ Usage overview::
     python -m repro.cli replay       --state S --cloud C --trace F [--workers N]
                                      [--telemetry] [--trace-out F.json]
                                      [--profile [--profile-hz N]]
-                                     [--faults SEED]
+                                     [--faults SEED] [--compact N]
+    python -m repro.cli compact      --cloud C
     python -m repro.cli stats        --state S --cloud C
                                      [--format table|json|prom] [--out F]
+
+``compact`` folds the store's event history into a snapshot manifest and
+truncates the event log (crash-safe; see ``repro.cloud.filestore``), so
+late-joining clients and restarted administrators bootstrap in
+O(current state + changes since) instead of replaying every event ever
+written.  ``replay --compact N`` runs the same compaction automatically
+every ``N`` mutations during the replay.
 
 ``provision`` runs the Fig. 3 flow (attestation + encrypted channel) and
 writes the user's IBBE secret key to a file; ``client-key`` then acts as
@@ -82,7 +90,8 @@ class Deployment:
     """
 
     def __init__(self, state_dir: Path, cloud_dir: Path,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 compact_every: Optional[int] = None) -> None:
         from repro.par import resolve_workers
 
         self.state_dir = state_dir
@@ -120,7 +129,7 @@ class Deployment:
             self.public_key,
         )
 
-        self.cloud = FileCloudStore(cloud_dir)
+        self.cloud = FileCloudStore(cloud_dir, compact_every=compact_every)
         self.admin = GroupAdministrator(
             enclave=self.enclave,
             cloud=self.cloud,
@@ -366,7 +375,8 @@ def cmd_replay(args) -> int:
     if args.telemetry or args.trace_out:
         obs.enable()
     deployment = Deployment(Path(args.state), Path(args.cloud),
-                            workers=args.workers)
+                            workers=args.workers,
+                            compact_every=args.compact)
     injector = None
     if args.faults is not None:
         # Seeded transient store faults (outages / read timeouts /
@@ -457,6 +467,18 @@ def cmd_replay(args) -> int:
         else:
             written = obs.write_jsonl(recorded, args.trace_out)
             print(f"wrote {written} spans -> {args.trace_out}")
+    return 0
+
+
+def cmd_compact(args) -> int:
+    """Compact the file-backed store: fold history into the snapshot
+    manifest and truncate the event log.  A store-level operation — no
+    enclave or admin state is needed, so only ``--cloud`` is taken."""
+    store = FileCloudStore(Path(args.cloud))
+    truncated = store.compact()
+    print(f"compacted {args.cloud}: {truncated} events folded into the "
+          f"snapshot (horizon {store.snapshot_horizon()}, "
+          f"{len(list(store.adversary_view()))} live objects)")
     return 0
 
 
@@ -612,7 +634,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "replay (outages, read timeouts, latency spikes); "
                         "the retry layers absorb them and the same seed "
                         "reproduces the identical fault schedule")
+    p.add_argument("--compact", type=int, default=None, metavar="N",
+                   help="automatically compact the store every N "
+                        "mutations during the replay (snapshot + event-"
+                        "log truncation)")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("compact",
+                       help="fold store history into a snapshot and "
+                            "truncate the event log")
+    p.add_argument("--cloud", required=True,
+                   help="cloud directory (file-backed store)")
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser("stats",
                        help="dump the deployment's merged metric snapshot")

@@ -15,6 +15,8 @@ from repro.cloud.store import (
     CloudObject,
     CloudStore,
     DirectoryEvent,
+    SnapshotEntry,
+    StoreSnapshot,
 )
 
 __all__ = [
@@ -22,6 +24,8 @@ __all__ = [
     "FileCloudStore",
     "CloudObject",
     "DirectoryEvent",
+    "SnapshotEntry",
+    "StoreSnapshot",
     "LatencyModel",
     "CloudBatch",
     "BatchPut",

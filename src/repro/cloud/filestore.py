@@ -25,6 +25,20 @@ and the journal's event lines are appended.  A corrupt ``.meta`` sidecar
 or a torn final event-log line is likewise repaired from the log instead
 of raising ``StorageError``.  Recovery increments ``cloud.recoveries``
 and ``cloud.meta_rebuilds``.
+
+Snapshot compaction reuses the same journal machinery under a second
+journal file: :meth:`FileCloudStore.compact` folds ``events.jsonl`` into
+``snapshot.json`` (the serialized :class:`~repro.cloud.store
+.StoreSnapshot` manifest) by writing the folded manifest to
+``compact.journal`` first, then atomically replacing ``snapshot.json``,
+then rewriting the event file with only the suffix past the snapshot
+horizon, then unlinking the journal.  Every step is idempotent, so a
+crash anywhere rolls the compaction *forward* on the next open — the
+store never has to undo a half-written snapshot, and mutations are
+strictly serialized with compactions so at most one journal kind exists
+at any crash.  ``poll_dir`` merges synthetic snapshot events ahead of
+the surviving suffix (see :mod:`repro.cloud.store`), keeping stale
+cursors exact across truncations.
 """
 
 from __future__ import annotations
@@ -43,11 +57,26 @@ from repro.cloud.store import (
     CloudMetrics,
     CloudObject,
     DirectoryEvent,
+    SnapshotEntry,
+    StoreSnapshot,
     _normalize,
+    fold_snapshot,
+    snapshot_events,
 )
 from repro.errors import ConflictError, NotFoundError, StorageError
 from repro.faults.plan import crash_point
 from repro.obs.spans import span as _span
+
+
+def _encode_snapshot(snapshot: StoreSnapshot) -> bytes:
+    return json.dumps({
+        "horizon": snapshot.horizon,
+        "entries": [
+            {"path": e.path, "kind": e.kind, "version": e.version,
+             "seq": e.sequence}
+            for e in snapshot.entries
+        ],
+    }).encode("utf-8")
 
 
 def _slug(path: str) -> str:
@@ -62,20 +91,38 @@ class FileCloudStore:
     """Drop-in replacement for :class:`CloudStore` backed by a directory."""
 
     def __init__(self, root: str | Path,
-                 latency: Optional[LatencyModel] = None) -> None:
+                 latency: Optional[LatencyModel] = None,
+                 compact_every: Optional[int] = None) -> None:
+        if compact_every is not None and compact_every < 1:
+            raise StorageError("compact_every must be a positive interval")
         self.root = Path(root)
         self._objects_dir = self.root / "objects"
         self._events_path = self.root / "events.jsonl"
         self._journal_path = self.root / "commit.journal"
+        self._snapshot_path = self.root / "snapshot.json"
+        self._compact_journal_path = self.root / "compact.journal"
         self._objects_dir.mkdir(parents=True, exist_ok=True)
         if not self._events_path.exists():
             self._events_path.write_text("", encoding="utf-8")
         self._latency = latency or LatencyModel.disabled()
+        self._compact_every = compact_every
+        self._mutations_since_compact = 0
         self.metrics = CloudMetrics()
         self._recoveries = self.metrics.registry.counter("cloud.recoveries")
         self._meta_rebuilds = self.metrics.registry.counter(
             "cloud.meta_rebuilds")
+        self._compactions = self.metrics.registry.counter("cloud.compactions")
+        self._events_truncated = self.metrics.registry.counter(
+            "cloud.events_truncated")
+        self._snapshot: Optional[StoreSnapshot] = None
+        self._last_seq = 0
         self._recover()
+        self._snapshot = self._load_snapshot()
+        # Cached so mutations stop paying an O(history) scan per call.
+        self._last_seq = max(
+            [self.snapshot_horizon()]
+            + [event.sequence for event in self._read_events()]
+        )
 
     # -- object API -----------------------------------------------------------
 
@@ -92,6 +139,7 @@ class FileCloudStore:
                 )
             version = current + 1
             self._journaled_apply([("put", path, data, version)])
+            self._note_mutation()
             return version
 
     def get(self, path: str) -> CloudObject:
@@ -136,6 +184,7 @@ class FileCloudStore:
         version = self._read_version(object_path.with_suffix(".meta"))
         self._account()
         self._journaled_apply([("delete", path, None, version)])
+        self._note_mutation()
 
     def commit(self, batch: CloudBatch) -> Dict[str, int]:
         """Atomic multi-object write; see :meth:`CloudStore.commit`.
@@ -189,6 +238,7 @@ class FileCloudStore:
                 else:
                     ops.append(("delete", path, None, version))
             self._journaled_apply(ops)
+            self._note_mutation(len(ops))
             return versions
 
     def list_dir(self, directory: str) -> List[str]:
@@ -211,8 +261,9 @@ class FileCloudStore:
         directory = _normalize(directory).rstrip("/") + "/"
         with _span("cloud.poll_dir", dir=directory) as sp:
             sp.set(latency_ms=self._account(0))
-            events = []
-            cursor = after_sequence
+            events = snapshot_events(self._snapshot, directory,
+                                     after_sequence)
+            cursor = max(after_sequence, self.snapshot_horizon())
             for event in self._read_events():
                 cursor = max(cursor, event.sequence)
                 if event.sequence <= after_sequence:
@@ -221,6 +272,80 @@ class FileCloudStore:
                     events.append(event)
             sp.set(events=len(events))
             return events, cursor
+
+    # -- snapshot compaction -----------------------------------------------------
+
+    def compact(self) -> int:
+        """Fold ``events.jsonl`` into ``snapshot.json`` and truncate it.
+
+        Crash-consistent via ``compact.journal`` (module docstring);
+        counts one request.  Returns the number of event records
+        truncated (0 when the log is already empty, making repeated
+        compaction idempotent).
+        """
+        with _span("cloud.compact") as sp:
+            self._account()
+            events = self._read_events()
+            if not events:
+                sp.set(truncated=0, horizon=self.snapshot_horizon())
+                return 0
+            snapshot = fold_snapshot(self._snapshot, events)
+            payload = _encode_snapshot(snapshot)
+            self._write_atomic(self._compact_journal_path, payload)
+            crash_point("cloud.compact.journaled")
+            self._apply_compaction(payload, inject=True)
+            self._compact_journal_path.unlink()
+            self._snapshot = snapshot
+            self._last_seq = max(self._last_seq, snapshot.horizon)
+            self._compactions.add()
+            self._events_truncated.add(len(events))
+            sp.set(truncated=len(events), horizon=snapshot.horizon)
+            return len(events)
+
+    def snapshot_horizon(self) -> int:
+        """Highest sequence folded into the snapshot (0 = never compacted).
+        Inspection only — no round trip is charged."""
+        return self._snapshot.horizon if self._snapshot is not None else 0
+
+    def head_sequence(self) -> int:
+        """Sequence of the newest committed mutation (inspection only)."""
+        return self._last_seq
+
+    def _apply_compaction(self, payload: bytes, inject: bool) -> None:
+        """Execute (or re-execute, during recovery) a journalled
+        compaction: install the snapshot manifest, then drop every event
+        line at or below its horizon.  Both steps replace whole files
+        atomically and converge to the same state when repeated."""
+        self._write_atomic(self._snapshot_path, payload)
+        if inject:
+            crash_point("cloud.compact.snapshot_written")
+        horizon = json.loads(payload.decode("utf-8"))["horizon"]
+        kept = [e for e in self._read_events() if e.sequence > horizon]
+        lines = "".join(
+            json.dumps({"seq": e.sequence, "path": e.path,
+                        "kind": e.kind, "version": e.version}) + "\n"
+            for e in kept
+        )
+        self._write_atomic(self._events_path, lines.encode("utf-8"))
+
+    def _load_snapshot(self) -> Optional[StoreSnapshot]:
+        if not self._snapshot_path.exists():
+            return None
+        try:
+            record = json.loads(self._snapshot_path.read_text("utf-8"))
+            return StoreSnapshot(
+                horizon=int(record["horizon"]),
+                entries=tuple(
+                    SnapshotEntry(path=e["path"], kind=e["kind"],
+                                  version=int(e["version"]),
+                                  sequence=int(e["seq"]))
+                    for e in record["entries"]
+                ),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            # snapshot.json is only ever installed via os.replace, so a
+            # parse failure means tampering, not a crash artifact.
+            raise StorageError("corrupt snapshot manifest") from exc
 
     # -- adversary interface -------------------------------------------------------
 
@@ -313,6 +438,9 @@ class FileCloudStore:
         with self._events_path.open("a", encoding="utf-8") as handle:
             for record in events:
                 handle.write(json.dumps(record) + "\n")
+        if events:
+            self._last_seq = max(self._last_seq,
+                                 max(e["seq"] for e in events))
 
     def _recover(self) -> None:
         """Roll an interrupted mutation forward from ``commit.journal``.
@@ -326,7 +454,18 @@ class FileCloudStore:
         """
         for stray in self._objects_dir.glob("*.tmp"):
             stray.unlink(missing_ok=True)
+        for stray in self.root.glob("*.tmp"):
+            stray.unlink(missing_ok=True)
         self._trim_torn_event_tail()
+        if self._compact_journal_path.exists():
+            # Mutations and compactions are strictly serialized, so a
+            # compact journal excludes a commit journal; roll the
+            # compaction forward (idempotent, see _apply_compaction).
+            payload = self._compact_journal_path.read_bytes()
+            self._apply_compaction(payload, inject=False)
+            self._compact_journal_path.unlink()
+            self._recoveries.add()
+            return
         if not self._journal_path.exists():
             return
         journal = json.loads(self._journal_path.read_text("utf-8"))
@@ -386,10 +525,16 @@ class FileCloudStore:
     def _rebuild_version(self, meta_path: Path) -> int:
         """Repair a missing/corrupt ``.meta`` sidecar from the event log
         (the data file exists, so the object is live; its last ``put``
-        event carries the version).  Falls back to 1 for an object whose
-        event line was also lost to the crash."""
+        event carries the version).  After a compaction the object's put
+        may live in the snapshot manifest rather than the log, so the
+        snapshot entry seeds the scan.  Falls back to 1 for an object
+        whose event line was also lost to the crash."""
         path = _unslug(meta_path.stem)
         version = 0
+        if self._snapshot is not None:
+            entry = self._snapshot.entry_for(path)
+            if entry is not None and entry.kind == "put":
+                version = entry.version
         for event in self._read_events():
             if event.path == path:
                 version = event.version if event.kind == "put" else 0
@@ -401,10 +546,17 @@ class FileCloudStore:
         return version
 
     def _last_sequence(self) -> int:
-        last = 0
-        for event in self._read_events():
-            last = max(last, event.sequence)
-        return last
+        return self._last_seq
+
+    def _note_mutation(self, count: int = 1) -> None:
+        """Advance the auto-compaction policy by ``count`` committed
+        mutations, compacting when the interval elapses."""
+        if self._compact_every is None:
+            return
+        self._mutations_since_compact += count
+        if self._mutations_since_compact >= self._compact_every:
+            self._mutations_since_compact = 0
+            self.compact()
 
     def _read_events(self) -> List[DirectoryEvent]:
         lines = self._events_path.read_text("utf-8").splitlines()

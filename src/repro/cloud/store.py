@@ -24,6 +24,20 @@ Metrics: each API call counts one request; ``bytes_in`` is upload volume
 (put payloads), ``bytes_out`` is download volume (get payloads).  A batch
 commit counts one request (that is the point) and increments
 ``batch_commits`` so benchmarks can report round-trip savings.
+
+Snapshot compaction: the event log is the cold-start replay source, so an
+append-only log makes reconnect O(history).  :meth:`CloudStore.compact`
+folds the current log into a :class:`StoreSnapshot` — one
+:class:`SnapshotEntry` per distinct path recording the *last* event that
+touched it (puts for live objects, delete tombstones for dead ones) — and
+truncates the log.  ``poll_dir`` then serves a stale cursor by merging
+synthetic events reconstructed from the snapshot (each carrying its real
+last-writer sequence number, so arbitrary mid-prefix cursors stay exact)
+ahead of the surviving suffix events.  Tombstones are retained so a
+client that slept through its own revocation still sees the delete; the
+snapshot is bounded by the number of distinct paths ever written, i.e.
+O(state), not O(history).  Pass ``compact_every=K`` to compact
+automatically after every K committed mutations.
 """
 
 from __future__ import annotations
@@ -53,6 +67,77 @@ class DirectoryEvent:
     path: str
     kind: str        # "put" | "delete"
     version: int
+
+
+@dataclass(frozen=True)
+class SnapshotEntry:
+    """Per-path outcome of a compacted event-log prefix.
+
+    ``kind == "put"`` records a live object; ``kind == "delete"`` is a
+    tombstone kept so stale watchers still learn about the removal.
+    ``sequence`` is the sequence number of the last prefix event that
+    touched the path, which is what keeps mid-prefix poll cursors exact
+    across a truncation.
+    """
+
+    path: str
+    kind: str        # "put" | "delete"
+    version: int
+    sequence: int
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """Materialized state of every event at or below ``horizon``."""
+
+    horizon: int
+    entries: Tuple[SnapshotEntry, ...]   # ordered by sequence
+
+    def entry_for(self, path: str) -> Optional[SnapshotEntry]:
+        for entry in self.entries:
+            if entry.path == path:
+                return entry
+        return None
+
+
+def fold_snapshot(previous: Optional[StoreSnapshot],
+                  events: Sequence[DirectoryEvent]) -> StoreSnapshot:
+    """Fold ``events`` (the log being truncated) into ``previous``.
+
+    Folding is associative — compacting twice is the same as compacting
+    once over the concatenation — which is what makes double compaction
+    idempotent and incremental compaction correct.
+    """
+    by_path: Dict[str, SnapshotEntry] = (
+        {entry.path: entry for entry in previous.entries}
+        if previous is not None else {}
+    )
+    horizon = previous.horizon if previous is not None else 0
+    for event in events:
+        horizon = max(horizon, event.sequence)
+        by_path[event.path] = SnapshotEntry(
+            path=event.path, kind=event.kind,
+            version=event.version, sequence=event.sequence,
+        )
+    entries = tuple(sorted(by_path.values(), key=lambda e: e.sequence))
+    return StoreSnapshot(horizon=horizon, entries=entries)
+
+
+def snapshot_events(snapshot: Optional[StoreSnapshot], directory: str,
+                    after_sequence: int) -> List[DirectoryEvent]:
+    """Synthetic events a watcher at ``after_sequence`` would have seen
+    from the compacted prefix.  ``directory`` must already be normalized
+    with a trailing slash (the ``poll_dir`` convention)."""
+    if snapshot is None:
+        return []
+    return [
+        DirectoryEvent(sequence=entry.sequence, path=entry.path,
+                       kind=entry.kind, version=entry.version)
+        for entry in snapshot.entries
+        if entry.sequence > after_sequence
+        and (entry.path.startswith(directory)
+             or entry.path == directory[:-1])
+    ]
 
 
 class CloudMetrics:
@@ -155,12 +240,21 @@ class CloudBatch:
 class CloudStore:
     """The storage + broadcast substrate."""
 
-    def __init__(self, latency: Optional[LatencyModel] = None) -> None:
+    def __init__(self, latency: Optional[LatencyModel] = None,
+                 compact_every: Optional[int] = None) -> None:
+        if compact_every is not None and compact_every < 1:
+            raise StorageError("compact_every must be a positive interval")
         self._objects: Dict[str, CloudObject] = {}
         self._latency = latency or LatencyModel.disabled()
         self._event_log: List[DirectoryEvent] = []
         self._sequence = itertools.count(1)
+        self._snapshot: Optional[StoreSnapshot] = None
+        self._compact_every = compact_every
+        self._mutations_since_compact = 0
         self.metrics = CloudMetrics()
+        self._compactions = self.metrics.registry.counter("cloud.compactions")
+        self._events_truncated = self.metrics.registry.counter(
+            "cloud.events_truncated")
 
     # -- object API -----------------------------------------------------------
 
@@ -183,6 +277,7 @@ class CloudStore:
                     )
             version = (current.version if current else 0) + 1
             self._apply_put(path, data, version)
+            self._note_mutation()
             return version
 
     def get(self, path: str) -> CloudObject:
@@ -224,6 +319,7 @@ class CloudStore:
             raise NotFoundError(f"no object at {path}")
         self._account()
         self._apply_delete(path, obj.version)
+        self._note_mutation()
 
     def commit(self, batch: CloudBatch) -> Dict[str, int]:
         """Apply a :class:`CloudBatch` atomically, charged as ONE request.
@@ -280,6 +376,7 @@ class CloudStore:
                     versions[path] = version
                 else:
                     self._apply_delete(path, version)
+            self._note_mutation(len(staged))
             return versions
 
     def list_dir(self, directory: str) -> List[str]:
@@ -306,14 +403,47 @@ class CloudStore:
         directory = _normalize(directory).rstrip("/") + "/"
         with _span("cloud.poll_dir", dir=directory) as sp:
             sp.set(latency_ms=self._account())
-            events = [
+            events = snapshot_events(self._snapshot, directory,
+                                     after_sequence)
+            events += [
                 ev for ev in self._event_log
                 if ev.sequence > after_sequence
                 and (ev.path.startswith(directory) or ev.path == directory[:-1])
             ]
             sp.set(events=len(events))
-            cursor = self._event_log[-1].sequence if self._event_log else after_sequence
-            return events, max(after_sequence, cursor)
+            return events, max(after_sequence, self.head_sequence())
+
+    # -- snapshot compaction -----------------------------------------------------
+
+    def compact(self) -> int:
+        """Fold the event log into the snapshot and truncate it.
+
+        Counts one (server-side) request.  Returns the number of event
+        records truncated; compacting an already-empty log is a no-op
+        (which is what makes back-to-back compactions idempotent).
+        """
+        with _span("cloud.compact") as sp:
+            self._account()
+            truncated = len(self._event_log)
+            if truncated:
+                self._snapshot = fold_snapshot(self._snapshot,
+                                               self._event_log)
+                self._event_log.clear()
+                self._compactions.add()
+                self._events_truncated.add(truncated)
+            sp.set(truncated=truncated, horizon=self.snapshot_horizon())
+            return truncated
+
+    def snapshot_horizon(self) -> int:
+        """Highest sequence folded into the snapshot (0 = never compacted).
+        Inspection only — no round trip is charged."""
+        return self._snapshot.horizon if self._snapshot is not None else 0
+
+    def head_sequence(self) -> int:
+        """Sequence of the newest committed mutation (inspection only)."""
+        if self._event_log:
+            return self._event_log[-1].sequence
+        return self.snapshot_horizon()
 
     # -- adversary interface -------------------------------------------------------
 
@@ -343,6 +473,16 @@ class CloudStore:
             sequence=next(self._sequence), path=path, kind="delete",
             version=version,
         ))
+
+    def _note_mutation(self, count: int = 1) -> None:
+        """Advance the auto-compaction policy by ``count`` committed
+        mutations, compacting when the interval elapses."""
+        if self._compact_every is None:
+            return
+        self._mutations_since_compact += count
+        if self._mutations_since_compact >= self._compact_every:
+            self._mutations_since_compact = 0
+            self.compact()
 
     def _account(self, bytes_in: int = 0, bytes_out: int = 0) -> float:
         latency_ms = self._latency.sample(bytes_in + bytes_out)

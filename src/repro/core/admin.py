@@ -29,6 +29,7 @@ from repro.core.metadata import (
     GroupDescriptor,
     PartitionRecord,
     descriptor_path,
+    group_dir,
     partition_path,
     sealed_key_path,
 )
@@ -645,6 +646,13 @@ class GroupAdministrator:
             if kind == "put":
                 self.metrics.bytes_pushed += len(payload[1])
         self.metrics.partitions_written += len(installed)
+        # Our own writes are already reflected in the cached state; move
+        # the sync cursor past them so the next sync_group polls only
+        # changes made by *other* administrators.  (Reading the head here
+        # is race-free in this in-process simulation — commits are
+        # synchronous; a distributed store would need the commit call to
+        # return its own event sequences instead.)
+        state.sync_cursor = max(state.sync_cursor, self._head_sequence())
 
     def _encode_descriptor(self, state: AdminGroupState) -> bytes:
         return GroupDescriptor(
@@ -670,23 +678,116 @@ class GroupAdministrator:
         signature-checked against this administrator's verification key.
         In pipeline mode the partition records and the sealed key arrive
         in one ``get_many`` round trip.
+
+        The load reads *objects*, never the event log, so its cost is
+        O(state) regardless of how much history the store has compacted
+        away; :meth:`sync_group` then keeps the loaded state current for
+        O(changes) per refresh.
         """
-        descriptor_obj = self.retry.run(
-            lambda: self.cloud.get(descriptor_path(group_id)),
-            label="admin.load.descriptor",
-        )
-        descriptor = GroupDescriptor.verify_and_decode(
-            descriptor_obj.data, self.verification_key
-        )
+        with _span("admin.load_group", group=group_id):
+            # Read the head first: anything committed after this point
+            # will be re-observed by the next sync_group poll, which is
+            # idempotent; anything at or below it is covered by the
+            # object reads that follow.
+            sync_cursor = self._head_sequence()
+            descriptor_obj = self.retry.run(
+                lambda: self.cloud.get(descriptor_path(group_id)),
+                label="admin.load.descriptor",
+            )
+            descriptor = GroupDescriptor.verify_and_decode(
+                descriptor_obj.data, self.verification_key
+            )
+            state = self._assemble_state(
+                group_id, descriptor, descriptor_obj.version,
+                cached_records={}, sync_cursor=sync_cursor,
+            )
+            self.cache.put(state)
+            return state
+
+    def sync_group(self, group_id: str) -> bool:
+        """Incrementally refresh an already-loaded group: one poll from
+        the state's cursor, then refetch only what changed (unchanged
+        partition records are reused from the cache, so the cost is
+        O(changes since the last load/sync), not O(group)).
+
+        The sealed group key is always refetched when anything changed:
+        the cached copy may be a *locally staged* value from an operation
+        that lost an optimistic-concurrency race and never committed.
+
+        Returns True when the state changed.  Raises
+        :class:`~repro.errors.NotFoundError` (after dropping the cached
+        state) when the group's descriptor was deleted — the same outcome
+        a full reload of a deleted group produces.
+        """
+        state = self._require_group(group_id)
+        with _span("admin.sync_group", group=group_id) as sp:
+            events, cursor = self.retry.run(
+                lambda: self.cloud.poll_dir(group_dir(group_id),
+                                            state.sync_cursor),
+                label="admin.sync.poll",
+            )
+            sp.set(events=len(events))
+            if not events:
+                state.sync_cursor = cursor
+                return False
+            # Last event per path decides the outcome; intermediate
+            # states within the window are dead.
+            final = {event.path: event for event in events}
+            dpath = descriptor_path(group_id)
+            descriptor_event = final.get(dpath)
+            if (descriptor_event is not None
+                    and descriptor_event.kind == "delete"):
+                self.cache.drop(group_id)
+                from repro.errors import NotFoundError
+                raise NotFoundError(f"no object at {dpath}")
+            descriptor_obj = self.retry.run(
+                lambda: self.cloud.get(dpath),
+                label="admin.load.descriptor",
+            )
+            descriptor = GroupDescriptor.verify_and_decode(
+                descriptor_obj.data, self.verification_key
+            )
+            cached = {
+                pid: record for pid, record in state.records.items()
+                if partition_path(group_id, pid) not in final
+            }
+            sp.set(reused=len(cached))
+            fresh = self._assemble_state(
+                group_id, descriptor, descriptor_obj.version,
+                cached_records=cached, sync_cursor=cursor,
+            )
+            self.cache.put(fresh)
+            return True
+
+    def _head_sequence(self) -> int:
+        """The store's newest committed sequence (0 for stores without
+        the inspection accessor)."""
+        accessor = getattr(self.cloud, "head_sequence", None)
+        return accessor() if callable(accessor) else 0
+
+    def _assemble_state(self, group_id: str, descriptor: GroupDescriptor,
+                        descriptor_version: int,
+                        cached_records: Dict[int, PartitionRecord],
+                        sync_cursor: int) -> AdminGroupState:
+        """Materialize an :class:`AdminGroupState` from a verified
+        descriptor, fetching every partition record not supplied in
+        ``cached_records`` (plus, always, the sealed group key).  The
+        partition table is rebuilt from the authoritative record member
+        order, so assembly from any mix of cached and fetched records is
+        byte-identical to a full replay of the event history."""
         table = PartitionTable(capacity=descriptor.partition_capacity)
         by_partition: Dict[int, List[str]] = {}
         for user, pid in descriptor.user_to_partition.items():
             by_partition.setdefault(pid, []).append(user)
         state = AdminGroupState(group_id=group_id, table=table,
                                 epoch=descriptor.epoch,
-                                descriptor_version=descriptor_obj.version)
+                                descriptor_version=descriptor_version,
+                                sync_cursor=sync_cursor)
         pids = sorted(by_partition)
-        record_paths = {pid: partition_path(group_id, pid) for pid in pids}
+        record_paths = {
+            pid: partition_path(group_id, pid)
+            for pid in pids if pid not in cached_records
+        }
         skey_path = sealed_key_path(group_id)
         if self.pipeline:
             objects = self.retry.run(
@@ -705,13 +806,17 @@ class GroupAdministrator:
                 except NotFoundError:
                     return None
         for pid in pids:
-            record_obj = fetch(record_paths[pid])
-            if record_obj is None:
-                from repro.errors import NotFoundError
-                raise NotFoundError(f"no object at {record_paths[pid]}")
-            record = PartitionRecord.verify_and_decode(
-                record_obj.data, self.verification_key
-            )
+            if pid in cached_records:
+                record = cached_records[pid]
+            else:
+                record_obj = fetch(record_paths[pid])
+                if record_obj is None:
+                    from repro.errors import NotFoundError
+                    raise NotFoundError(
+                        f"no object at {record_paths[pid]}")
+                record = PartitionRecord.verify_and_decode(
+                    record_obj.data, self.verification_key
+                )
             # Rebuild bookkeeping from the authoritative record order.
             created = table._create_partition(list(record.members))
             if created != pid:
@@ -729,7 +834,6 @@ class GroupAdministrator:
         sealed_obj = fetch(skey_path)
         if sealed_obj is not None:
             state.sealed_group_key = sealed_obj.data
-        self.cache.put(state)
         return state
 
     def _recover_sealed_gk(self, state: AdminGroupState) -> bytes:

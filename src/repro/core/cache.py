@@ -28,6 +28,10 @@ class AdminGroupState:
     #: Cloud version of the group descriptor — the optimistic-concurrency
     #: token for multi-administrator deployments (conditional puts).
     descriptor_version: int = 0
+    #: Store sequence this state is current through — the cursor
+    #: :meth:`~repro.core.admin.GroupAdministrator.sync_group` polls
+    #: from, making a refresh O(changes) instead of a full reload.
+    sync_cursor: int = 0
 
     def crypto_footprint(self) -> int:
         """Cryptographic metadata bytes across partitions (Fig. 7 metric)."""
@@ -84,6 +88,11 @@ class ClientGroupState:
     group_id: str
     partition_id: Optional[int] = None
     record: Optional[PartitionRecord] = None
+    #: The record as received from the cloud (signed payload) — kept so
+    #: the resume file can persist a blob the next process can
+    #: re-*verify*, since the decoded record no longer carries its
+    #: signature.
+    record_signed: Optional[bytes] = None
     record_version: int = 0
     group_key: Optional[bytes] = None
     poll_cursor: int = 0

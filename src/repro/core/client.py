@@ -15,21 +15,48 @@ Two hardening extensions beyond the paper:
   has observed (from the signed descriptor); a cloud serving older
   metadata raises :class:`~repro.errors.StaleMetadataError` instead of
   silently rolling the client back to a pre-revocation key.
+
+Two scaling extensions ride on the store's snapshot compaction:
+
+* **Snapshot bootstrap** — when the poll cursor predates the store's
+  snapshot horizon (first connect, or a reconnect after the history the
+  client missed was compacted away), :meth:`GroupClient.sync` skips the
+  per-event replay entirely: it fetches the signed descriptor, looks up
+  its *own* partition in the user→partition map, and fetches only that
+  partition's record — O(1) round trips and O(|p|) bytes instead of
+  O(history) — then resumes normal suffix polling from the horizon.
+* **Persistent resume cursor** — pass ``resume_path`` and the client
+  saves ``(cursor, epoch, partition record)`` after every sync and
+  reloads it on construction, so a restarted client process replays only
+  the changes since its last sync.  The saved record is re-verified
+  against the pinned administrator key on load; a corrupt or foreign
+  file is ignored (cold start).
 """
 
 from __future__ import annotations
 
+import base64
+import json
+import os
 import time
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 from repro import ibbe
 from repro.cloud.store import CloudStore
 from repro.core.cache import ClientGroupState
 from repro.core.envelope import unwrap_group_key
-from repro.core.metadata import GroupDescriptor, PartitionRecord, group_dir
+from repro.core.metadata import (
+    GroupDescriptor,
+    PartitionRecord,
+    descriptor_path,
+    group_dir,
+    partition_path,
+)
 from repro.crypto import ecdsa
 from repro.errors import (
     AccessControlError,
+    NotFoundError,
     RevokedError,
     StaleMetadataError,
 )
@@ -59,7 +86,8 @@ class GroupClient:
                  admin_verification_key: ecdsa.EcdsaPublicKey,
                  enforce_freshness: bool = True,
                  workers: Optional[int] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 resume_path: Optional[Union[str, Path]] = None) -> None:
         if user_key.identity != identity:
             raise AccessControlError("user key does not match the identity")
         self.group_id = group_id
@@ -95,6 +123,12 @@ class GroupClient:
         # untrusted worker processes; 1 keeps everything in-process.
         self.workers = workers
         self._pool = None
+        self._bootstraps = self.registry.counter(
+            "client.snapshot_bootstraps")
+        self._resume_loads = self.registry.counter("client.resume_loads")
+        self.resume_path = Path(resume_path) if resume_path else None
+        if self.resume_path is not None:
+            self._load_resume()
 
     @property
     def group(self) -> PairingGroup:
@@ -113,9 +147,19 @@ class GroupClient:
         """
         with _span("client.sync", group=self.group_id,
                    identity=self.identity):
-            return self._sync()
+            changed = self._sync()
+            if self.resume_path is not None:
+                self._save_resume()
+            return changed
 
     def _sync(self) -> bool:
+        bootstrapped = False
+        horizon = self._snapshot_horizon()
+        if self.state.poll_cursor < horizon:
+            # Our cursor points into a compacted (truncated) prefix; the
+            # per-event history it references no longer exists.  Load the
+            # materialized state directly instead of replaying.
+            bootstrapped = self._bootstrap_from_snapshot(horizon)
         events, cursor = self.retry.run(
             lambda: self._cloud.poll_dir(
                 group_dir(self.group_id), self.state.poll_cursor
@@ -136,9 +180,7 @@ class GroupClient:
         for event in events:
             if event.kind == "delete":
                 if self._is_our_partition_path(event.path):
-                    self.state.record = None
-                    self.state.partition_id = None
-                    self.state.group_key = None
+                    self._clear_membership()
                     changed = True
                 continue
             if event.path.endswith("/sealed-gk"):
@@ -157,6 +199,7 @@ class GroupClient:
             )
             if self.identity in record.members:
                 self.state.record = record
+                self.state.record_signed = obj.data
                 self.state.partition_id = record.partition_id
                 self.state.record_version = obj.version
                 self.state.group_key = None  # force re-derivation
@@ -165,13 +208,83 @@ class GroupClient:
                   and self.state.record is not None):
                 # Our old partition no longer lists us: revoked (or moved —
                 # a later event will bring the new partition if moved).
-                self.state.record = None
-                self.state.partition_id = None
-                self.state.group_key = None
+                self._clear_membership()
                 changed = True
-        return changed
+        return changed or bootstrapped
 
-    def _ingest_descriptor(self, data: bytes) -> None:
+    def _snapshot_horizon(self) -> int:
+        """The store's compaction horizon (0 for stores without one)."""
+        accessor = getattr(self._cloud, "snapshot_horizon", None)
+        return accessor() if callable(accessor) else 0
+
+    def _bootstrap_from_snapshot(self, horizon: int) -> bool:
+        """O(changes) cold start: materialize our view at ``horizon``
+        from the descriptor plus *our own* partition record only, instead
+        of replaying the compacted event prefix.  Returns True when our
+        membership state changed."""
+        with _span("client.snapshot_bootstrap", group=self.group_id,
+                   identity=self.identity, horizon=horizon):
+            self._bootstraps.add()
+            try:
+                obj = self.retry.run(
+                    lambda: self._cloud.get(descriptor_path(self.group_id)),
+                    label="client.bootstrap",
+                )
+            except NotFoundError:
+                # The group does not exist at the horizon (deleted, or
+                # never created); any membership we remember is stale.
+                changed = self.state.record is not None
+                self._clear_membership()
+                self.state.poll_cursor = max(self.state.poll_cursor,
+                                             horizon)
+                return changed
+            descriptor = self._ingest_descriptor(obj.data)
+            pid = descriptor.user_to_partition.get(self.identity)
+            if pid is None:
+                changed = self.state.record is not None
+                self._clear_membership()
+                self.state.poll_cursor = max(self.state.poll_cursor,
+                                             horizon)
+                return changed
+            changed = self._install_partition(pid)
+            self.state.poll_cursor = max(self.state.poll_cursor, horizon)
+            return changed
+
+    def _install_partition(self, pid: int) -> bool:
+        """Fetch and install the record for partition ``pid``; a no-op
+        when the stored record is byte-identical to the cached one (the
+        derived group key then stays valid)."""
+        try:
+            obj = self.retry.run(
+                lambda: self._cloud.get(partition_path(self.group_id, pid)),
+                label="client.bootstrap",
+            )
+        except NotFoundError:
+            # Raced with a concurrent commit; its events are past the
+            # horizon and the regular poll that follows will catch up.
+            return False
+        record = PartitionRecord.verify_and_decode(obj.data, self._admin_key)
+        if self.identity not in record.members:
+            return False
+        if (self.state.record is not None
+                and self.state.record.payload() == record.payload()):
+            self.state.record_version = obj.version
+            self.state.record_signed = obj.data
+            return False
+        self.state.record = record
+        self.state.record_signed = obj.data
+        self.state.partition_id = record.partition_id
+        self.state.record_version = obj.version
+        self.state.group_key = None  # force re-derivation
+        return True
+
+    def _clear_membership(self) -> None:
+        self.state.record = None
+        self.state.record_signed = None
+        self.state.partition_id = None
+        self.state.group_key = None
+
+    def _ingest_descriptor(self, data: bytes) -> GroupDescriptor:
         """Track the signed group epoch for rollback detection."""
         descriptor = GroupDescriptor.verify_and_decode(data, self._admin_key)
         if descriptor.group_id != self.group_id:
@@ -183,6 +296,7 @@ class GroupClient:
                 f"{self._highest_epoch} was observed — possible rollback"
             )
         self._highest_epoch = max(self._highest_epoch, descriptor.epoch)
+        return descriptor
 
     # -- key derivation ------------------------------------------------------------
 
@@ -293,6 +407,63 @@ class GroupClient:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+
+    # -- resume persistence --------------------------------------------------------
+
+    def _save_resume(self) -> None:
+        """Persist the sync position atomically (temp + ``os.replace``),
+        so a restarted client process resumes in O(changes since last
+        sync) instead of replaying from sequence zero."""
+        state = self.state
+        payload = {
+            "group_id": self.group_id,
+            "identity": self.identity,
+            "poll_cursor": state.poll_cursor,
+            "highest_epoch": self._highest_epoch,
+            "partition_id": state.partition_id,
+            "record_version": state.record_version,
+            "record": (
+                base64.b64encode(state.record_signed).decode("ascii")
+                if state.record_signed is not None else None
+            ),
+        }
+        tmp = self.resume_path.with_name(self.resume_path.name + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, self.resume_path)
+
+    def _load_resume(self) -> None:
+        """Restore a saved sync position.  The record is re-verified
+        against the pinned administrator key, so the resume file is a
+        cache, never a trust root; anything malformed, mis-signed or
+        belonging to another (group, identity) is discarded and the
+        client cold-starts."""
+        try:
+            payload = json.loads(self.resume_path.read_text("utf-8"))
+            if (payload["group_id"] != self.group_id
+                    or payload["identity"] != self.identity):
+                return
+            cursor = int(payload["poll_cursor"])
+            epoch = int(payload["highest_epoch"])
+            record = None
+            version = 0
+            if payload.get("record") is not None:
+                blob = base64.b64decode(payload["record"].encode("ascii"))
+                record = PartitionRecord.verify_and_decode(
+                    blob, self._admin_key)
+                if (record.group_id != self.group_id
+                        or self.identity not in record.members):
+                    return
+                version = int(payload["record_version"])
+        except Exception:
+            return
+        self.state.poll_cursor = cursor
+        self._highest_epoch = max(self._highest_epoch, epoch)
+        if record is not None:
+            self.state.record = record
+            self.state.record_signed = blob
+            self.state.partition_id = record.partition_id
+            self.state.record_version = version
+        self._resume_loads.add()
 
     # -- internals -------------------------------------------------------------------
 

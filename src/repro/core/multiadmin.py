@@ -9,9 +9,12 @@ realizes that with optimistic concurrency control:
   administrator pushes it with a conditional PUT carrying the version it
   last observed;
 * a lost race raises :class:`~repro.errors.ConflictError`, upon which the
-  losing administrator refreshes its state from the cloud
-  (:meth:`GroupAdministrator.load_group_from_cloud`) and re-applies the
-  operation — the classic lock-free retry loop;
+  losing administrator refreshes its state from the cloud — incrementally
+  via :meth:`GroupAdministrator.sync_group` (one poll from its cursor plus
+  refetches of only the objects the winner changed), falling back to
+  :meth:`GroupAdministrator.load_group_from_cloud` for a group it has
+  never loaded — and re-applies the operation — the classic lock-free
+  retry loop;
 * administrators share the IBBE master secret by *attested migration*
   between their enclaves (see
   :meth:`repro.enclave_app.IbbeEnclave.export_master_secret`) and sign
@@ -83,17 +86,27 @@ class ConcurrentAdministrator:
         self._with_retry(group_id, lambda: self.admin.rekey(group_id))
 
     def refresh(self, group_id: str) -> None:
-        """Explicitly resynchronize from the cloud."""
-        self.admin.load_group_from_cloud(group_id)
+        """Explicitly resynchronize from the cloud — incrementally when
+        the group is already loaded (O(changes)), with a full object load
+        otherwise."""
+        self._resync(group_id)
 
     # -- the lock-free loop --------------------------------------------------------
+
+    def _resync(self, group_id: str) -> None:
+        if group_id in self.admin.cache:
+            self.admin.sync_group(group_id)
+        else:
+            self.admin.load_group_from_cloud(group_id)
 
     def _with_retry(self, group_id: str, operation: Callable[[], T]) -> T:
         def on_conflict(exc: BaseException, attempt: int) -> None:
             # Lost the race: adopt the winner's state and re-apply.
+            # sync_group polls from the state's cursor, so adopting the
+            # winner's changes costs O(their changes), not O(group).
             self.conflicts_resolved += 1
             self._conflict_retries.add()
-            self.admin.load_group_from_cloud(group_id)
+            self._resync(group_id)
 
         try:
             return self.retry.run(operation, retry_on=(ConflictError,),

@@ -11,7 +11,14 @@ simplified realization provides the auditability core:
 * periodic *checkpoints* sign the chain head, certifying the whole prefix
   (the "block certification" of the paper's suggestion);
 * :func:`verify_chain` detects any splice, reorder, retro-edit or foreign
-  signature.
+  signature;
+* a certified prefix can be *compacted* away
+  (:meth:`OperationLog.compact`): the checkpoint becomes the chain's new
+  *base* — audits then verify the suffix against the signed base hash
+  instead of replaying from genesis, the oplog counterpart of the store's
+  snapshot compaction.  The certifying checkpoint is retained so a
+  decoded compacted log is still anchored in an administrator signature,
+  never in bare bytes.
 
 The log is public metadata — it reveals operations and identities, which
 the model already concedes to the cloud (§II).
@@ -26,9 +33,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.serialize import Reader, Writer
 from repro.crypto import ecdsa
 from repro.crypto.kdf import sha256
-from repro.errors import AccessControlError, AuthenticationError
+from repro.errors import AccessControlError, AuthenticationError, StorageError
 
 GENESIS_HASH = bytes(32)
+
+_OPLOG_MAGIC = b"OLOG1"
 
 
 @dataclass(frozen=True)
@@ -97,6 +106,26 @@ class Checkpoint:
         writer.str_field(self.admin_id)
         return writer.getvalue()
 
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.bytes_field(self.unsigned_payload())
+        writer.bytes_field(self.signature)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Checkpoint":
+        outer = Reader(data)
+        payload = outer.bytes_field()
+        signature = outer.bytes_field()
+        outer.expect_end()
+        reader = Reader(payload)
+        return cls(
+            up_to_index=reader.u64(),
+            head_hash=reader.bytes_field(),
+            admin_id=reader.str_field(),
+            signature=signature,
+        )
+
 
 class OperationLog:
     """Append-only, hash-chained, multi-admin operation log."""
@@ -108,6 +137,25 @@ class OperationLog:
         self._admin_keys = dict(admin_keys)
         self._entries: List[OpLogEntry] = []
         self._checkpoints: List[Checkpoint] = []
+        # Compaction base: the chain's verified starting point.  (-1,
+        # GENESIS_HASH) means "from genesis"; after compact() it is the
+        # certified checkpoint the truncated prefix folded into.
+        self._base_index = -1
+        self._base_hash = GENESIS_HASH
+
+    @property
+    def base_index(self) -> int:
+        """Index of the last compacted-away entry (-1 = none)."""
+        return self._base_index
+
+    @property
+    def base_hash(self) -> bytes:
+        return self._base_hash
+
+    @property
+    def next_index(self) -> int:
+        return (self._entries[-1].index + 1 if self._entries
+                else self._base_index + 1)
 
     # -- appending ------------------------------------------------------------------
 
@@ -117,11 +165,12 @@ class OperationLog:
         if admin_id not in self._admin_keys:
             raise AccessControlError(f"unknown administrator {admin_id!r}")
         prev_hash = (
-            self._entries[-1].entry_hash() if self._entries else GENESIS_HASH
+            self._entries[-1].entry_hash() if self._entries
+            else self._base_hash
         )
         raw_ts = timestamp if timestamp is not None else time.time()
         unsigned = OpLogEntry(
-            index=len(self._entries), prev_hash=prev_hash,
+            index=self.next_index, prev_hash=prev_hash,
             group_id=group_id, kind=kind, user=user, admin_id=admin_id,
             # Quantized to microseconds so encode/decode round-trips exactly.
             timestamp=round(raw_ts * 1_000_000) / 1_000_000,
@@ -163,12 +212,20 @@ class OperationLog:
 
     def verify_chain(self, entries: Optional[Sequence[OpLogEntry]] = None,
                      ) -> None:
-        """Full-chain audit; raises :class:`AuthenticationError` on any
-        break (splice, reorder, retro-edit, unknown admin, bad signature)."""
+        """Chain audit; raises :class:`AuthenticationError` on any break
+        (splice, reorder, retro-edit, unknown admin, bad signature).
+
+        The log's own entries (and any explicit sequence that starts past
+        the base) verify against the compaction base; an explicit
+        sequence starting at index 0 verifies from genesis, so exported
+        full histories remain independently auditable."""
         entries = self._entries if entries is None else list(entries)
-        prev_hash = GENESIS_HASH
+        if entries and entries[0].index == 0:
+            prev_hash, start = GENESIS_HASH, 0
+        else:
+            prev_hash, start = self._base_hash, self._base_index + 1
         for position, entry in enumerate(entries):
-            if entry.index != position:
+            if entry.index != start + position:
                 raise AuthenticationError(
                     f"log index gap at position {position}"
                 )
@@ -187,11 +244,101 @@ class OperationLog:
             admin_id=checkpoint.admin_id, signature=b"",
         )
         key.verify(unsigned.unsigned_payload(), checkpoint.signature)
-        if checkpoint.up_to_index >= len(self._entries):
+        if checkpoint.up_to_index == self._base_index:
+            # Certifies exactly the compacted prefix; check against the
+            # retained base hash (the entry itself is gone).
+            if checkpoint.head_hash != self._base_hash:
+                raise AuthenticationError(
+                    "checkpoint hash does not match the compaction base"
+                )
+            return
+        if checkpoint.up_to_index < self._base_index:
+            raise AuthenticationError(
+                "checkpoint inside the compacted prefix"
+            )
+        if checkpoint.up_to_index >= self.next_index:
             raise AuthenticationError("checkpoint beyond the log head")
-        actual = self._entries[checkpoint.up_to_index].entry_hash()
+        position = checkpoint.up_to_index - self._base_index - 1
+        actual = self._entries[position].entry_hash()
         if actual != checkpoint.head_hash:
             raise AuthenticationError("checkpoint hash does not match log")
+
+    # -- compaction ---------------------------------------------------------------
+
+    def compact(self, checkpoint: Checkpoint) -> int:
+        """Drop every entry the (verified) ``checkpoint`` certifies.
+
+        The checkpoint becomes the new chain base; audits then start from
+        its signed head hash.  Compacting at or below the current base is
+        a no-op returning 0, so repeated compaction with the same
+        checkpoint is idempotent.  Returns the number of entries dropped.
+        """
+        self.verify_checkpoint(checkpoint)
+        if checkpoint.up_to_index <= self._base_index:
+            return 0
+        dropped = checkpoint.up_to_index - self._base_index
+        self._entries = self._entries[dropped:]
+        self._base_index = checkpoint.up_to_index
+        self._base_hash = checkpoint.head_hash
+        # Checkpoints inside the dropped prefix can no longer be checked
+        # against anything; the certifying one is retained as the trust
+        # anchor for the new base.
+        self._checkpoints = [
+            c for c in self._checkpoints
+            if c.up_to_index >= self._base_index
+        ]
+        if checkpoint not in self._checkpoints:
+            self._checkpoints.insert(0, checkpoint)
+        return dropped
+
+    # -- serialization ------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize base, live entries and retained checkpoints (the
+        suspend/resume companion of :meth:`compact`: an audit log survives
+        administrator restarts without replaying compacted history)."""
+        writer = Writer()
+        writer.bytes_field(_OPLOG_MAGIC)
+        writer.u64(self._base_index + 1)   # +1 keeps the genesis base
+        writer.bytes_field(self._base_hash)   # unsigned-representable
+        writer.bytes_list([entry.encode() for entry in self._entries])
+        writer.bytes_list([cp.encode() for cp in self._checkpoints])
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes,
+               admin_keys: Dict[str, ecdsa.EcdsaPublicKey],
+               ) -> "OperationLog":
+        """Decode and fully re-verify a serialized log.
+
+        A non-genesis base is only accepted when a retained checkpoint
+        (signed by a known administrator) certifies it — the bytes of the
+        base hash alone are never trusted."""
+        reader = Reader(data)
+        if reader.bytes_field() != _OPLOG_MAGIC:
+            raise StorageError("not an operation log")
+        base_index = reader.u64() - 1
+        base_hash = reader.bytes_field()
+        entry_blobs = reader.bytes_list()
+        checkpoint_blobs = reader.bytes_list()
+        reader.expect_end()
+        log = cls(admin_keys)
+        log._base_index = base_index
+        log._base_hash = base_hash
+        log._entries = [OpLogEntry.decode(blob) for blob in entry_blobs]
+        log._checkpoints = [Checkpoint.decode(blob)
+                            for blob in checkpoint_blobs]
+        log.verify_chain()
+        for checkpoint in log._checkpoints:
+            log.verify_checkpoint(checkpoint)
+        if base_index >= 0 and not any(
+            c.up_to_index == base_index and c.head_hash == base_hash
+            for c in log._checkpoints
+        ):
+            raise AuthenticationError(
+                "compacted log without a certifying checkpoint"
+            )
+        return log
 
     def _verify_entry(self, entry: OpLogEntry, prev_hash: bytes) -> None:
         if entry.prev_hash != prev_hash:
@@ -224,31 +371,55 @@ class OperationLog:
 
 
 class LoggedAdministrator:
-    """A :class:`GroupAdministrator` decorated with op-log appends."""
+    """A :class:`GroupAdministrator` decorated with op-log appends.
+
+    With ``checkpoint_every=N`` the decorator certifies the chain head
+    after every N logged operations; ``compact_on_checkpoint=True``
+    additionally folds the certified prefix into the base, bounding the
+    live log at N entries — the audit-log analogue of the store's
+    ``compact_every`` policy.
+    """
 
     def __init__(self, admin, log: OperationLog, admin_id: str,
-                 signing_key: ecdsa.EcdsaPrivateKey) -> None:
+                 signing_key: ecdsa.EcdsaPrivateKey,
+                 checkpoint_every: Optional[int] = None,
+                 compact_on_checkpoint: bool = False) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise AccessControlError(
+                "checkpoint_every must be a positive interval")
         self.admin = admin
         self.log = log
         self.admin_id = admin_id
         self._signing_key = signing_key
+        self.checkpoint_every = checkpoint_every
+        self.compact_on_checkpoint = compact_on_checkpoint
+        self._since_checkpoint = 0
+
+    def _record(self, group_id: str, kind: str, user: str) -> None:
+        self.log.append(group_id, kind, user, self.admin_id,
+                        self._signing_key)
+        if self.checkpoint_every is None:
+            return
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_every:
+            self._since_checkpoint = 0
+            checkpoint = self.log.checkpoint(self.admin_id,
+                                             self._signing_key)
+            if self.compact_on_checkpoint:
+                self.log.compact(checkpoint)
 
     def create_group(self, group_id: str, members) -> None:
         self.admin.create_group(group_id, members)
-        self.log.append(group_id, "create", "", self.admin_id,
-                        self._signing_key)
+        self._record(group_id, "create", "")
 
     def add_user(self, group_id: str, user: str) -> None:
         self.admin.add_user(group_id, user)
-        self.log.append(group_id, "add", user, self.admin_id,
-                        self._signing_key)
+        self._record(group_id, "add", user)
 
     def remove_user(self, group_id: str, user: str) -> None:
         self.admin.remove_user(group_id, user)
-        self.log.append(group_id, "remove", user, self.admin_id,
-                        self._signing_key)
+        self._record(group_id, "remove", user)
 
     def rekey(self, group_id: str) -> None:
         self.admin.rekey(group_id)
-        self.log.append(group_id, "rekey", "", self.admin_id,
-                        self._signing_key)
+        self._record(group_id, "rekey", "")

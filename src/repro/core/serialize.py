@@ -46,6 +46,13 @@ class Writer:
             self.str_field(value)
         return self
 
+    def bytes_list(self, values) -> "Writer":
+        values = list(values)
+        self.u32(len(values))
+        for value in values:
+            self.bytes_field(value)
+        return self
+
     def getvalue(self) -> bytes:
         return b"".join(self._chunks)
 
@@ -82,6 +89,9 @@ class Reader:
 
     def str_list(self) -> List[str]:
         return [self.str_field() for _ in range(self.u32())]
+
+    def bytes_list(self) -> List[bytes]:
+        return [self.bytes_field() for _ in range(self.u32())]
 
     def expect_end(self) -> None:
         if self._offset != len(self._data):

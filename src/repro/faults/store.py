@@ -79,7 +79,13 @@ class FaultyCloudStore:
         self._guard("poll_dir", directory)
         return self.inner.poll_dir(directory, after_sequence)
 
+    def compact(self) -> int:
+        self._guard("compact")
+        return self.inner.compact()
+
     # -- unguarded inspection --------------------------------------------------
+    # (snapshot_horizon / head_sequence are inspection accessors and fall
+    # through __getattr__ unguarded, like adversary_view.)
 
     def adversary_view(self) -> Iterator[Any]:
         return self.inner.adversary_view()

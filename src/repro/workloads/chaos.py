@@ -48,10 +48,26 @@ The group key it protects is compared directly instead: both runs must
 yield the byte-identical group key at a surviving member's client,
 which is the stronger, semantic form of the check.
 
-Run from the command line (the CI chaos-smoke job)::
+**Compaction under chaos.**  With ``compact_every=K`` both deployments
+run their :class:`FileCloudStore` with automatic snapshot compaction
+every ``K`` mutations, so compactions land at whatever points the trace
+dictates — including inside an operation that a fault plan then crashes.
+A crash at ``cloud.compact.journaled`` or
+``cloud.compact.snapshot_written`` leaves a compaction journal behind;
+the reopen in step 1 rolls it forward.  After the trace, both runs
+perform a *cold start*: reopen the store (faults off), rebuild the
+administrator's group state from whatever snapshot + event suffix
+survived, and sync a brand-new client from sequence zero.  The rebuilt
+state digests and the cold clients' group keys must match across the
+reference and chaos runs, extending byte-for-byte convergence to the
+compacted bootstrap path.
+
+Run from the command line (the CI chaos-smoke and compaction-smoke
+jobs)::
 
     python -m repro.workloads.chaos --profile store --seed 7
-    python -m repro.workloads.chaos --profile full  --seed 7
+    python -m repro.workloads.chaos --profile full  --seed 7 \
+        --compact-every 3
 """
 
 from __future__ import annotations
@@ -99,16 +115,27 @@ class ChaosReport:
     chaos_digest: str = ""
     reference_key_hash: str = ""
     chaos_key_hash: str = ""
+    reference_cold_digest: str = ""
+    chaos_cold_digest: str = ""
+    reference_cold_key_hash: str = ""
+    chaos_cold_key_hash: str = ""
+    reference_horizon: int = 0
+    chaos_horizon: int = 0
     fault_history: List[Tuple[str, str]] = field(default_factory=list)
     retry_backoff_ms: float = 0.0
 
     @property
     def converged(self) -> bool:
         """Byte-identical final cloud state, the byte-identical group key
-        at a surviving member, and every revoked user locked out
-        whenever checked."""
+        at a surviving member (live and after a cold start from whatever
+        snapshot survived), identical cold-started administrative state,
+        and every revoked user locked out whenever checked."""
+        key_hashes = {self.reference_key_hash, self.chaos_key_hash,
+                      self.reference_cold_key_hash,
+                      self.chaos_cold_key_hash}
         return (self.reference_digest == self.chaos_digest
-                and self.reference_key_hash == self.chaos_key_hash
+                and self.reference_cold_digest == self.chaos_cold_digest
+                and len(key_hashes) == 1
                 and self.revocation_failures == 0)
 
     def summary(self) -> dict:
@@ -126,6 +153,12 @@ class ChaosReport:
             "chaos_digest": self.chaos_digest,
             "reference_key_hash": self.reference_key_hash,
             "chaos_key_hash": self.chaos_key_hash,
+            "reference_cold_digest": self.reference_cold_digest,
+            "chaos_cold_digest": self.chaos_cold_digest,
+            "reference_cold_key_hash": self.reference_cold_key_hash,
+            "chaos_cold_key_hash": self.chaos_cold_key_hash,
+            "reference_horizon": self.reference_horizon,
+            "chaos_horizon": self.chaos_horizon,
             "converged": self.converged,
         }
 
@@ -166,12 +199,14 @@ class _ChaosRun:
 
     def __init__(self, root: str, seed: str, capacity: int, pool: int,
                  injector: Optional[FaultInjector],
-                 workers: Optional[int] = 1) -> None:
+                 workers: Optional[int] = 1,
+                 compact_every: Optional[int] = None) -> None:
         from repro import quickstart_system
         from repro.cloud import FileCloudStore
 
         self.root = root
         self.injector = injector
+        self.compact_every = compact_every
         self.rng = DeterministicRng(f"chaos-system:{seed}")
         # auto_repartition stays off so a crashed remove never nests a
         # second (repartition) plan inside its own recovery window.
@@ -180,7 +215,7 @@ class _ChaosRun:
             auto_repartition=False, workers=workers,
         )
         self._store_cls = FileCloudStore
-        self.inner = FileCloudStore(root)
+        self.inner = FileCloudStore(root, compact_every=compact_every)
         self._wire()
         self.clients = {}
         self.crashes_recovered = 0
@@ -201,7 +236,8 @@ class _ChaosRun:
     def _reopen_store(self) -> None:
         """The restarted process re-opens the store directory: the
         journal roll-forward runs here."""
-        self.inner = self._store_cls(self.root)
+        self.inner = self._store_cls(self.root,
+                                     compact_every=self.compact_every)
         self._wire()
 
     # -- the crash-recovery driver --------------------------------------------
@@ -310,6 +346,39 @@ class _ChaosRun:
         client.sync()
         return hashlib.sha256(client.current_group_key()).hexdigest()
 
+    def cold_start(self) -> Tuple[str, str]:
+        """Cold-start equivalence probe (faults off): reopen the store —
+        rolling forward any surviving journal — rebuild the
+        administrator's group state from whatever snapshot + event
+        suffix compaction left behind, and sync a brand-new client from
+        sequence zero.  Returns ``(state_digest, key_hash)``.
+
+        The state digest covers the epoch, the partition-id cursor and
+        every partition record's signed payload bytes, so it pins
+        exactly what a restarted administrator reconstructs.  The fresh
+        client reuses the cached provisioned user key (``make_client``
+        draws no deployment randomness for an already-provisioned user),
+        keeping the reference and chaos RNG streams aligned.
+        """
+        self.injector = None
+        self._reopen_store()
+        admin = self.system.admin
+        admin.cache.drop(self.GROUP)
+        state = admin.load_group_from_cloud(self.GROUP)
+        digest = hashlib.sha256()
+        digest.update(f"epoch:{state.epoch}\x00".encode("utf-8"))
+        digest.update(f"next:{state.table.next_partition_id}\x00"
+                      .encode("utf-8"))
+        for pid in sorted(state.records):
+            digest.update(f"p{pid}\x00".encode("utf-8"))
+            digest.update(hashlib.sha256(
+                state.records[pid].payload()).digest())
+        member = sorted(state.table.all_members())[0]
+        client = self.system.make_client(self.GROUP, member)
+        client.sync()
+        key_hash = hashlib.sha256(client.current_group_key()).hexdigest()
+        return digest.hexdigest(), key_hash
+
     def finish(self) -> str:
         self.system.close()
         return cloud_digest(self.inner)
@@ -318,6 +387,7 @@ class _ChaosRun:
 def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
               pool: int = 12, initial: int = 5, capacity: int = 4,
               seed: str = "chaos", workers: Optional[int] = 1,
+              compact_every: Optional[int] = None,
               ) -> ChaosReport:
     """Replay one deterministic membership trace twice — fault-free and
     under ``plan`` — and compare the final cloud bytes.
@@ -325,6 +395,12 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
     ``seed`` derives everything: the trace, both deployments' RNG
     streams, and (by default) the fault schedule, so the entire
     comparison is replayable from one value.
+
+    ``compact_every`` (when set) enables automatic snapshot compaction
+    on both stores every that-many mutations, and the convergence
+    verdict additionally requires cold starts from the two (differently)
+    compacted stores to reconstruct identical state (see the module
+    docstring).
     """
     if plan is None:
         plan = FaultPlan.store_faults(seed)
@@ -336,11 +412,14 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
         # Reference: same trace, no injector.
         install(None)
         reference = _ChaosRun(ref_root, seed, capacity, pool, None,
-                              workers=workers)
+                              workers=workers, compact_every=compact_every)
         reference.bootstrap(initial_members, pool)
         for op in trace:
             reference.apply(op)
         report.reference_key_hash = reference.group_key_hash()
+        (report.reference_cold_digest,
+         report.reference_cold_key_hash) = reference.cold_start()
+        report.reference_horizon = reference.inner.snapshot_horizon()
         report.reference_digest = reference.finish()
         report.revocation_checks += reference.revocation_checks
         report.revocation_failures += reference.revocation_failures
@@ -350,7 +429,7 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
         install(injector)
         try:
             chaos = _ChaosRun(chaos_root, seed, capacity, pool, injector,
-                              workers=workers)
+                              workers=workers, compact_every=compact_every)
             chaos.bootstrap(initial_members, pool)
             for op in trace:
                 chaos.maybe_restart_enclave()
@@ -361,6 +440,9 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
             # convergence and should not themselves be perturbed.
             install(None)
         report.chaos_key_hash = chaos.group_key_hash()
+        (report.chaos_cold_digest,
+         report.chaos_cold_key_hash) = chaos.cold_start()
+        report.chaos_horizon = chaos.inner.snapshot_horizon()
         report.chaos_digest = chaos.finish()
         report.crashes_recovered = chaos.crashes_recovered
         report.enclave_restarts = chaos.enclave_restarts
@@ -392,12 +474,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--ops", type=int, default=30)
     parser.add_argument("--pool", type=int, default=12)
     parser.add_argument("--capacity", type=int, default=4)
+    parser.add_argument("--compact-every", type=int, default=None,
+                        help="enable automatic snapshot compaction every "
+                             "N mutations on both stores and verify "
+                             "cold-start equivalence across them")
     args = parser.parse_args(argv)
 
     plan = (FaultPlan.store_faults(args.seed) if args.profile == "store"
             else FaultPlan.full_chaos(args.seed))
     report = run_chaos(plan, ops=args.ops, pool=args.pool,
-                       capacity=args.capacity, seed=args.seed)
+                       capacity=args.capacity, seed=args.seed,
+                       compact_every=args.compact_every)
     print(json.dumps(report.summary(), indent=2))
     return 0 if report.converged else 1
 

@@ -112,6 +112,81 @@ class TestCheckpoints:
             log.verify_checkpoint(forged)
 
 
+class TestCompaction:
+    def _filled(self, admins, count=5):
+        log, keys = admins
+        for i in range(count):
+            log.append("g", "add", f"u{i}", "admin1", keys["admin1"])
+        return log, keys
+
+    def test_compact_drops_certified_prefix(self, admins):
+        log, keys = self._filled(admins)
+        checkpoint = log.checkpoint("admin2", keys["admin2"])
+        log.append("g", "add", "late", "admin1", keys["admin1"])
+        assert log.compact(checkpoint) == 5
+        assert log.base_index == 4
+        assert [e.user for e in log.entries()] == ["late"]
+        log.verify_chain()
+        log.verify_checkpoint(checkpoint)   # retained base anchor
+
+    def test_compact_is_idempotent(self, admins):
+        log, keys = self._filled(admins)
+        checkpoint = log.checkpoint("admin1", keys["admin1"])
+        assert log.compact(checkpoint) == 5
+        assert log.compact(checkpoint) == 0
+        assert log.base_index == 4
+
+    def test_append_continues_from_base(self, admins):
+        log, keys = self._filled(admins, count=3)
+        checkpoint = log.checkpoint("admin1", keys["admin1"])
+        log.compact(checkpoint)
+        entry = log.append("g", "add", "next", "admin1", keys["admin1"])
+        assert entry.index == 3
+        assert entry.prev_hash == log.base_hash
+        log.verify_chain()
+
+    def test_checkpoint_inside_compacted_prefix_rejected(self, admins):
+        log, keys = self._filled(admins, count=2)
+        early = log.checkpoint("admin1", keys["admin1"])
+        log.append("g", "add", "u2", "admin1", keys["admin1"])
+        late = log.checkpoint("admin1", keys["admin1"])
+        log.compact(late)
+        with pytest.raises(AuthenticationError, match="compacted prefix"):
+            log.verify_checkpoint(early)
+
+    def test_encode_decode_roundtrips_compacted_log(self, admins):
+        log, keys = self._filled(admins)
+        checkpoint = log.checkpoint("admin2", keys["admin2"])
+        log.compact(checkpoint)
+        log.append("g", "remove", "u0", "admin1", keys["admin1"])
+
+        public = {name: key.public_key() for name, key in keys.items()}
+        decoded = OperationLog.decode(log.encode(), public)
+        assert decoded.base_index == log.base_index
+        assert decoded.base_hash == log.base_hash
+        assert decoded.entries() == log.entries()
+        decoded.verify_chain()
+
+    def test_decode_requires_certifying_checkpoint(self, admins):
+        log, keys = self._filled(admins)
+        checkpoint = log.checkpoint("admin1", keys["admin1"])
+        log.compact(checkpoint)
+        log._checkpoints = []   # strip the trust anchor
+        public = {name: key.public_key() for name, key in keys.items()}
+        with pytest.raises(AuthenticationError,
+                           match="certifying checkpoint"):
+            OperationLog.decode(log.encode(), public)
+
+    def test_full_history_export_still_verifies_from_genesis(self, admins):
+        log, keys = self._filled(admins, count=4)
+        exported = log.entries()          # snapshot before compaction
+        checkpoint = log.checkpoint("admin1", keys["admin1"])
+        log.compact(checkpoint)
+        # An explicitly supplied full history (index 0 …) is audited
+        # from genesis even though the live log is based elsewhere.
+        log.verify_chain(exported)
+
+
 class TestLoggedAdministrator:
     def test_operations_logged(self, admins):
         log, keys = admins
@@ -128,3 +203,25 @@ class TestLoggedAdministrator:
         # Operations really happened.
         assert "d" in system.admin.group_state("g").table
         assert "b" not in system.admin.group_state("g").table
+
+    def test_checkpoint_every_bounds_live_log(self, admins):
+        log, keys = admins
+        system = make_system("oplog-cp", capacity=4)
+        logged = LoggedAdministrator(system.admin, log, "admin1",
+                                     keys["admin1"], checkpoint_every=2,
+                                     compact_on_checkpoint=True)
+        logged.create_group("g", ["a", "b", "c"])
+        for user in ["d", "e", "f", "g2"]:
+            logged.add_user("g", user)
+        # Every second operation certifies + folds: at most 2 live
+        # entries ever accumulate, yet the chain stays auditable.
+        assert len(log) <= 2
+        assert log.base_index >= 3
+        log.verify_chain()
+
+    def test_checkpoint_every_validated(self, admins):
+        log, keys = admins
+        system = make_system("oplog-bad", capacity=4)
+        with pytest.raises(AccessControlError):
+            LoggedAdministrator(system.admin, log, "admin1",
+                                keys["admin1"], checkpoint_every=0)

@@ -207,18 +207,19 @@ class TestConcurrentAdministration:
         admin.create_group("g", ["a", "b"])
 
         # An adversarial interleaving: something bumps the descriptor
-        # version between every reload and retry.
-        original_load = system.admin.load_group_from_cloud
+        # version between every resync and retry (the conflict loop
+        # refreshes cached groups through sync_group).
+        original_sync = system.admin.sync_group
 
-        def load_and_race(group_id):
-            state = original_load(group_id)
+        def sync_and_race(group_id):
+            changed = original_sync(group_id)
             # Simulate a competing admin racing ahead again.
             from repro.core.metadata import descriptor_path
             obj = system.cloud.get(descriptor_path(group_id))
             system.cloud.put(descriptor_path(group_id), obj.data)
-            return state
+            return changed
 
-        system.admin.load_group_from_cloud = load_and_race
+        system.admin.sync_group = sync_and_race
         # Make the cached view stale before the first attempt, too.
         from repro.core.metadata import descriptor_path
         obj = system.cloud.get(descriptor_path("g"))
