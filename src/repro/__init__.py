@@ -23,12 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.cloud import CloudStore, LatencyModel
+from repro.cloud import CloudStore, CloudStoreProtocol, LatencyModel
 from repro.core import GroupAdministrator, GroupClient
 from repro.crypto import DeterministicRng, Rng, SystemRng
 from repro.crypto import ecdsa
 from repro.enclave_app import IbbeEnclave
 from repro.errors import ReproError
+from repro.net import RemoteCloudStore, StoreServer, connect_store
 from repro.obs import (
     MetricRegistry,
     MetricSource,
@@ -52,6 +53,10 @@ __version__ = "1.0.0"
 __all__ = [
     "ReproError",
     "CloudStore",
+    "CloudStoreProtocol",
+    "RemoteCloudStore",
+    "StoreServer",
+    "connect_store",
     "LatencyModel",
     "GroupAdministrator",
     "GroupClient",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
+from repro.errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -40,12 +41,12 @@ def fit_power_law(points: Sequence[Tuple[float, float]]) -> FitResult:
     log-log image).
     """
     if len(points) < 2:
-        raise ValueError("power-law fit needs at least two points")
+        raise ValidationError("power-law fit needs at least two points")
     xs: List[float] = []
     ys: List[float] = []
     for n, t in points:
         if n <= 0 or t <= 0:
-            raise ValueError(f"power-law fit needs positive points, got {(n, t)}")
+            raise ValidationError(f"power-law fit needs positive points, got {(n, t)}")
         xs.append(math.log(n))
         ys.append(math.log(t))
     count = len(xs)
@@ -54,7 +55,7 @@ def fit_power_law(points: Sequence[Tuple[float, float]]) -> FitResult:
     sxx = sum((x - mean_x) ** 2 for x in xs)
     sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
     if sxx == 0:
-        raise ValueError("all sweep points share one n; cannot fit")
+        raise ValidationError("all sweep points share one n; cannot fit")
     slope = sxy / sxx
     intercept = mean_y - slope * mean_x
     # R² in log space.
@@ -83,6 +84,6 @@ def extrapolate(points: Sequence[Tuple[float, float]], target_n: float,
         for n, t in points if n > 0 and t > 0
     ]
     if not log_as:
-        raise ValueError("no usable points for anchored extrapolation")
+        raise ValidationError("no usable points for anchored extrapolation")
     coefficient = math.exp(sum(log_as) / len(log_as))
     return coefficient * (target_n ** exponent)

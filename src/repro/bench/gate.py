@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import quantile_from_samples
+from repro.errors import ValidationError
 
 SCHEMA_VERSION = 1
 
@@ -262,6 +263,71 @@ def _op_cold_start_snapshot(scale: float) -> Tuple[float, float, float]:
     return _op_cold_start(scale, compacted=True)
 
 
+def _net_rpc_harness():
+    """A live :class:`~repro.net.StoreServer` over the in-memory store
+    plus a connected client, torn down by the caller."""
+    from repro.cloud import CloudStore
+    from repro.net import RemoteCloudStore, ServerThread
+
+    server = ServerThread(CloudStore())
+    store = RemoteCloudStore(server.start())
+    return server, store
+
+
+def _wire_bytes(store) -> float:
+    counters = store.metrics.registry.counters_snapshot()
+    return (counters.get("net.rpc.bytes_sent", 0.0)
+            + counters.get("net.rpc.bytes_received", 0.0))
+
+
+def _op_net_rpc_get(scale: float) -> Tuple[float, float, float]:
+    """Per-RPC ``store.get`` round trip over a real TCP connection: the
+    framing + JSON + syscall overhead the network layer adds to a read.
+    Bytes is the wire volume of one round trip (request and response),
+    which is deterministic for a fixed payload."""
+    n = max(16, int(64 * scale))
+    server, store = _net_rpc_harness()
+    try:
+        store.put("/bench/obj", b"\x5a" * 4096)
+        store.get("/bench/obj")          # warm: connection + handshake
+        before = _wire_bytes(store)
+        start = time.perf_counter()
+        for _ in range(n):
+            store.get("/bench/obj")
+        elapsed = time.perf_counter() - start
+        wire = _wire_bytes(store) - before
+        return elapsed / n, wire / n, 0.0
+    finally:
+        store.close()
+        server.stop()
+
+
+def _op_net_rpc_commit(scale: float) -> Tuple[float, float, float]:
+    """Per-RPC atomic batch commit (8 puts of 1 KiB) over TCP — the
+    mutation path every admin operation rides.  Fresh fixed-width paths
+    each round keep versions at 1, so the wire volume per commit is
+    deterministic."""
+    from repro.cloud import CloudBatch
+
+    n = max(16, int(64 * scale))
+    server, store = _net_rpc_harness()
+    try:
+        store.head_sequence()            # warm: connection + handshake
+        before = _wire_bytes(store)
+        start = time.perf_counter()
+        for i in range(n):
+            batch = CloudBatch()
+            for j in range(8):
+                batch.put(f"/bench/{i:05d}/{j}", b"\xa5" * 1024)
+            store.commit(batch)
+        elapsed = time.perf_counter() - start
+        wire = _wire_bytes(store) - before
+        return elapsed / n, wire / n, 0.0
+    finally:
+        store.close()
+        server.stop()
+
+
 #: name -> callable(scale) -> (seconds, bytes, crossings)
 OPS: Dict[str, Callable[[float], Tuple[float, float, float]]] = {
     "fig2.encrypt": _op_fig2_encrypt,
@@ -272,6 +338,8 @@ OPS: Dict[str, Callable[[float], Tuple[float, float, float]]] = {
     "client.sync": _op_client_sync,
     "cold_start.replay": _op_cold_start_replay,
     "cold_start.snapshot": _op_cold_start_snapshot,
+    "net.rpc.get": _op_net_rpc_get,
+    "net.rpc.commit": _op_net_rpc_commit,
 }
 
 
@@ -341,7 +409,7 @@ def write_snapshot(snapshot: Dict[str, Any], path) -> None:
 def load_snapshot(path) -> Dict[str, Any]:
     snapshot = json.loads(Path(path).read_text("utf-8"))
     if snapshot.get("schema") != SCHEMA_VERSION:
-        raise ValueError(
+        raise ValidationError(
             f"{path}: unsupported bench snapshot schema "
             f"{snapshot.get('schema')!r} (expected {SCHEMA_VERSION})"
         )

@@ -26,6 +26,16 @@ Usage overview::
     python -m repro.cli compact      --cloud C
     python -m repro.cli stats        --state S --cloud C
                                      [--format table|json|prom] [--out F]
+    python -m repro.cli serve        --cloud C [--state S] [--host H]
+                                     [--port P] [--compact-every N]
+
+``serve`` exposes the file-backed store over TCP (``repro.net``
+protocol); every command that takes ``--cloud`` alternatively accepts
+``--store-url tcp://host:port`` and then operates through a
+:class:`~repro.net.RemoteCloudStore` against the running server.  With
+``--state``, the server also hosts the deployment's administrator and
+forwards the whitelisted group-management operations
+(:data:`repro.net.ADMIN_OPS`) to it.
 
 ``compact`` folds the store's event history into a snapshot manifest and
 truncates the event log (crash-safe; see ``repro.cloud.filestore``), so
@@ -89,9 +99,10 @@ class Deployment:
     deployment's master secret.
     """
 
-    def __init__(self, state_dir: Path, cloud_dir: Path,
+    def __init__(self, state_dir: Path, cloud_dir: Optional[Path] = None,
                  workers: Optional[int] = None,
-                 compact_every: Optional[int] = None) -> None:
+                 compact_every: Optional[int] = None,
+                 store=None) -> None:
         from repro.par import resolve_workers
 
         self.state_dir = state_dir
@@ -129,7 +140,12 @@ class Deployment:
             self.public_key,
         )
 
-        self.cloud = FileCloudStore(cloud_dir, compact_every=compact_every)
+        if store is not None:
+            self.cloud = store
+        else:
+            assert cloud_dir is not None
+            self.cloud = FileCloudStore(cloud_dir,
+                                        compact_every=compact_every)
         self.admin = GroupAdministrator(
             enclave=self.enclave,
             cloud=self.cloud,
@@ -155,6 +171,30 @@ class Deployment:
             self.admin.metrics.registry,
             precomp_registry,
         ]
+
+
+def _open_store(args, compact_every: Optional[int] = None):
+    """The store an invocation operates on: the file-backed directory
+    behind ``--cloud``, or — with ``--store-url`` — a
+    :class:`~repro.net.RemoteCloudStore` talking to a ``repro serve``
+    instance.  Both satisfy the same ``CloudStoreProtocol``, so every
+    command works identically against either."""
+    url = getattr(args, "store_url", None)
+    if url:
+        from repro.net import connect_store
+
+        return connect_store(url)
+    if not getattr(args, "cloud", None):
+        print("error: one of --cloud or --store-url is required",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return FileCloudStore(Path(args.cloud), compact_every=compact_every)
+
+
+def _open_deployment(args, workers: Optional[int] = None,
+                     compact_every: Optional[int] = None) -> Deployment:
+    return Deployment(Path(args.state), workers=workers,
+                      store=_open_store(args, compact_every=compact_every))
 
 
 def _load_scalar(path: Path) -> ecdsa.EcdsaPrivateKey:
@@ -212,7 +252,7 @@ def cmd_init(args) -> int:
 
 
 def cmd_create_group(args) -> int:
-    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment = _open_deployment(args)
     deployment.admin.create_group(args.group, args.members)
     state = deployment.admin.group_state(args.group)
     print(f"group {args.group!r}: {len(args.members)} members in "
@@ -221,7 +261,7 @@ def cmd_create_group(args) -> int:
 
 
 def cmd_add_user(args) -> int:
-    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment = _open_deployment(args)
     deployment.load_group(args.group)
     deployment.admin.add_user(args.group, args.user)
     print(f"added {args.user!r} to {args.group!r}")
@@ -229,7 +269,7 @@ def cmd_add_user(args) -> int:
 
 
 def cmd_remove_user(args) -> int:
-    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment = _open_deployment(args)
     deployment.load_group(args.group)
     deployment.admin.remove_user(args.group, args.user)
     print(f"removed {args.user!r} from {args.group!r} (group key rotated)")
@@ -237,7 +277,7 @@ def cmd_remove_user(args) -> int:
 
 
 def cmd_delete_group(args) -> int:
-    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment = _open_deployment(args)
     deployment.load_group(args.group)
     deployment.admin.delete_group(args.group)
     print(f"deleted group {args.group!r} and its cloud metadata")
@@ -245,7 +285,7 @@ def cmd_delete_group(args) -> int:
 
 
 def cmd_rekey(args) -> int:
-    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment = _open_deployment(args)
     deployment.load_group(args.group)
     deployment.admin.rekey(args.group)
     print(f"re-keyed {args.group!r}")
@@ -253,7 +293,7 @@ def cmd_rekey(args) -> int:
 
 
 def cmd_show(args) -> int:
-    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment = _open_deployment(args)
     if args.group:
         deployment.load_group(args.group)
         state = deployment.admin.group_state(args.group)
@@ -282,7 +322,7 @@ def cmd_show(args) -> int:
 
 
 def cmd_provision(args) -> int:
-    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment = _open_deployment(args)
     raw = provision_user_key(
         deployment.enclave, deployment.certificate,
         deployment.auditor.ca_public_key, args.identity, deployment.rng,
@@ -329,7 +369,7 @@ def cmd_client_key(args) -> int:
         identity=args.identity,
         user_key=user_key,
         public_key=public_key,
-        cloud=FileCloudStore(Path(args.cloud)),
+        cloud=_open_store(args),
         admin_verification_key=ecdsa.EcdsaPublicKey.decode(
             bytes.fromhex(bundle["admin_verification_key"])
         ),
@@ -374,9 +414,8 @@ def cmd_replay(args) -> int:
 
     if args.telemetry or args.trace_out:
         obs.enable()
-    deployment = Deployment(Path(args.state), Path(args.cloud),
-                            workers=args.workers,
-                            compact_every=args.compact)
+    deployment = _open_deployment(args, workers=args.workers,
+                                  compact_every=args.compact)
     injector = None
     if args.faults is not None:
         # Seeded transient store faults (outages / read timeouts /
@@ -474,11 +513,89 @@ def cmd_compact(args) -> int:
     """Compact the file-backed store: fold history into the snapshot
     manifest and truncate the event log.  A store-level operation — no
     enclave or admin state is needed, so only ``--cloud`` is taken."""
-    store = FileCloudStore(Path(args.cloud))
+    store = _open_store(args)
     truncated = store.compact()
-    print(f"compacted {args.cloud}: {truncated} events folded into the "
+    where = args.cloud or args.store_url
+    print(f"compacted {where}: {truncated} events folded into the "
           f"snapshot (horizon {store.snapshot_horizon()}, "
           f"{len(list(store.adversary_view()))} live objects)")
+    return 0
+
+
+class _ServedAdmin:
+    """The administrator surface ``repro serve`` forwards: each
+    whitelisted operation loads the group's cached state on demand
+    (every CLI invocation starts cold) before delegating."""
+
+    def __init__(self, deployment: Deployment) -> None:
+        self._deployment = deployment
+
+    def create_group(self, group_id, members):
+        return self._deployment.admin.create_group(group_id, members)
+
+    def _loaded(self, group_id):
+        self._deployment.load_group(group_id)
+        return self._deployment.admin
+
+    def add_user(self, group_id, user):
+        return self._loaded(group_id).add_user(group_id, user)
+
+    def add_users(self, group_id, users):
+        return self._loaded(group_id).add_users(group_id, users)
+
+    def remove_user(self, group_id, user):
+        return self._loaded(group_id).remove_user(group_id, user)
+
+    def rekey(self, group_id):
+        return self._loaded(group_id).rekey(group_id)
+
+    def delete_group(self, group_id):
+        return self._loaded(group_id).delete_group(group_id)
+
+    def members(self, group_id):
+        return self._loaded(group_id).members(group_id)
+
+    def sync_group(self, group_id):
+        return self._loaded(group_id).sync_group(group_id)
+
+
+def cmd_serve(args) -> int:
+    """Serve the file-backed store (and optionally the admin) over TCP.
+
+    Prints the bound URL on the first line (``serving tcp://...``) so a
+    supervising process can parse it — an ephemeral ``--port 0`` is the
+    default.  With ``--state``, the deployment's administrator is also
+    hosted and the whitelisted admin operations become callable via
+    ``repro.net.RemoteAdmin``."""
+    import asyncio
+
+    from repro.net import AdminBridge, StoreServer
+
+    store = FileCloudStore(Path(args.cloud),
+                           compact_every=args.compact_every)
+    bridge = None
+    if args.state:
+        deployment = Deployment(Path(args.state), store=store)
+        bridge = AdminBridge(_ServedAdmin(deployment))
+
+    async def run() -> None:
+        server = StoreServer(store, host=args.host, port=args.port,
+                             admin=bridge)
+        await server.start()
+        print(f"serving {server.url}", flush=True)
+        print(f"admin endpoint: {'enabled' if bridge else 'disabled'}",
+              flush=True)
+        try:
+            await server.closed.wait()
+        finally:
+            await server.stop()
+        if server.crashed is not None:
+            raise server.crashed
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -487,7 +604,7 @@ def cmd_stats(args) -> int:
     snapshot in the requested format."""
     from repro import obs
 
-    deployment = Deployment(Path(args.state), Path(args.cloud))
+    deployment = _open_deployment(args)
     groups = sorted({
         path.strip("/").split("/")[0]
         for path in deployment.cloud.list_dir("/")
@@ -524,11 +641,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def store_options(p):
+        p.add_argument("--cloud", default=None,
+                       help="cloud directory (file-backed store)")
+        p.add_argument("--store-url", default=None, metavar="URL",
+                       help="tcp://host:port of a running `repro serve` "
+                            "instance (alternative to --cloud)")
+
     def common(p):
         p.add_argument("--state", required=True,
                        help="state directory (admin-side identities)")
-        p.add_argument("--cloud", required=True,
-                       help="cloud directory (file-backed store)")
+        store_options(p)
 
     def workers_option(p):
         p.add_argument("--workers", type=int, default=None,
@@ -538,7 +661,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "any value")
 
     p = sub.add_parser("init", help="set up a new deployment")
-    common(p)
+    p.add_argument("--state", required=True,
+                   help="state directory (admin-side identities)")
+    p.add_argument("--cloud", required=True,
+                   help="cloud directory (file-backed store)")
     p.add_argument("--params", default="toy64",
                    choices=["toy64", "std160"],
                    help="pairing preset (std160 = the paper's level)")
@@ -590,7 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("client-key",
                        help="derive a group key as a user")
-    p.add_argument("--cloud", required=True)
+    store_options(p)
     p.add_argument("--user-key", required=True)
     p.add_argument("group")
     p.add_argument("identity")
@@ -643,9 +769,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compact",
                        help="fold store history into a snapshot and "
                             "truncate the event log")
-    p.add_argument("--cloud", required=True,
-                   help="cloud directory (file-backed store)")
+    store_options(p)
     p.set_defaults(func=cmd_compact)
+
+    p = sub.add_parser("serve",
+                       help="serve the file-backed store (and optionally "
+                            "the admin) over TCP for --store-url clients")
+    p.add_argument("--cloud", required=True,
+                   help="cloud directory (file-backed store) to serve")
+    p.add_argument("--state", default=None,
+                   help="state directory; when given, the deployment's "
+                        "administrator is hosted too and remote "
+                        "`repro.net.RemoteAdmin` calls are accepted")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral; the bound URL "
+                        "is printed on startup)")
+    p.add_argument("--compact-every", type=int, default=None, metavar="N",
+                   help="compact the served store automatically every N "
+                        "mutations")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("stats",
                        help="dump the deployment's merged metric snapshot")

@@ -8,6 +8,12 @@ directory (Dropbox long polling works at directory level, paper §V-A).
 
 from repro.cloud.filestore import FileCloudStore
 from repro.cloud.latency import LatencyModel
+from repro.cloud.protocol import (
+    INSPECTION_METHODS,
+    MUTATING_METHODS,
+    ROUND_TRIP_METHODS,
+    CloudStoreProtocol,
+)
 from repro.cloud.store import (
     BatchDelete,
     BatchPut,
@@ -20,6 +26,10 @@ from repro.cloud.store import (
 )
 
 __all__ = [
+    "CloudStoreProtocol",
+    "ROUND_TRIP_METHODS",
+    "INSPECTION_METHODS",
+    "MUTATING_METHODS",
     "CloudStore",
     "FileCloudStore",
     "CloudObject",

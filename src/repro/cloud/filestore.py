@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cloud.latency import LatencyModel
+from repro.cloud.protocol import CloudStoreProtocol
 from repro.cloud.store import (
     BatchDelete,
     BatchPut,
@@ -87,7 +88,7 @@ def _unslug(name: str) -> str:
     return base64.urlsafe_b64decode(name.encode("ascii")).decode("utf-8")
 
 
-class FileCloudStore:
+class FileCloudStore(CloudStoreProtocol):
     """Drop-in replacement for :class:`CloudStore` backed by a directory."""
 
     def __init__(self, root: str | Path,

@@ -1,0 +1,157 @@
+"""The formal ``CloudStore`` contract.
+
+Every storage backend in the reproduction — the in-memory
+:class:`~repro.cloud.CloudStore`, the file-backed
+:class:`~repro.cloud.FileCloudStore`, the fault-injecting
+:class:`~repro.faults.FaultyCloudStore` decorator, and the network
+:class:`~repro.net.RemoteCloudStore` — implements this ABC instead of
+relying on duck typing.  ``tests/test_store_contract.py`` runs one shared
+conformance suite over all of them, and the wire schema in
+:mod:`repro.net.wire` maps the contract one method per RPC, so "what a
+store is" is checked in exactly one place.
+
+The contract splits into two method classes:
+
+* **round trips** (:data:`ROUND_TRIP_METHODS`) — operations a remote
+  store pays a network request for, and therefore the operations the
+  fault layer injects outages/timeouts into and the metrics layer counts
+  as requests;
+* **inspection** (:data:`INSPECTION_METHODS`) — local accessors
+  (`snapshot_horizon`, `head_sequence`) and test-only interfaces
+  (`adversary_view`, `total_stored_bytes`) that are *not* charged as
+  round trips by the in-process stores.  The remote store necessarily
+  pays a request for them too, but fault decorators leave them
+  unguarded so chaos schedules stay aligned with the in-process runs.
+
+``ROUND_TRIP_METHODS`` maps each method name to the index of its path
+(or directory) argument, ``None`` when the operation has no single path
+— this is what lets :class:`~repro.faults.FaultyCloudStore` *generate*
+its guarded delegations from the ABC instead of hand-writing
+pass-throughs that silently rot when the contract grows.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Round-trip method name -> index of the positional path/directory
+#: argument consulted by fault injection (``None``: no single path).
+ROUND_TRIP_METHODS: Dict[str, Optional[int]] = {
+    "put": 0,
+    "get": 0,
+    "get_many": None,
+    "exists": 0,
+    "delete": 0,
+    "commit": None,
+    "list_dir": 0,
+    "poll_dir": 0,
+    "compact": None,
+}
+
+#: Local accessors and test-only interfaces; never guarded, never charged
+#: as requests by in-process stores.
+INSPECTION_METHODS: Tuple[str, ...] = (
+    "snapshot_horizon",
+    "head_sequence",
+    "adversary_view",
+    "total_stored_bytes",
+)
+
+#: Round trips that mutate store state.  A request that fails *before*
+#: reaching the store (an injected outage) is safe to retry for every
+#: method; a mutating request whose *response* is lost is not.
+MUTATING_METHODS: Tuple[str, ...] = ("put", "delete", "commit", "compact")
+
+
+class CloudStoreProtocol(abc.ABC):
+    """Versioned object store + directory broadcast channel (paper §V-A).
+
+    Path convention: object paths look like ``/<group>/<name>``; they are
+    normalized (leading slash, no ``//`` or ``..``) by implementations,
+    which raise :class:`~repro.errors.StorageError` on invalid input.
+    Every mutation appends a :class:`~repro.cloud.DirectoryEvent` with a
+    monotonically increasing ``sequence``, which is what ``poll_dir``
+    cursors index.
+    """
+
+    # -- round trips --------------------------------------------------------
+
+    @abc.abstractmethod
+    def put(self, path: str, data: bytes,
+            expected_version: Optional[int] = None) -> int:
+        """Store an object, returning its new version (1 for a fresh
+        path).  With ``expected_version`` the put is conditional and
+        raises :class:`~repro.errors.ConflictError` on a version
+        mismatch (0 = "must not exist")."""
+
+    @abc.abstractmethod
+    def get(self, path: str) -> Any:
+        """Fetch one :class:`~repro.cloud.CloudObject`;
+        :class:`~repro.errors.NotFoundError` if absent."""
+
+    @abc.abstractmethod
+    def get_many(self, paths: Iterable[str]) -> Dict[str, Any]:
+        """Fetch several objects in one round trip; missing paths are
+        silently skipped.  Returns ``{normalized path: CloudObject}``."""
+
+    @abc.abstractmethod
+    def exists(self, path: str) -> bool:
+        """Whether a live object sits at ``path``."""
+
+    @abc.abstractmethod
+    def delete(self, path: str) -> None:
+        """Delete the object at ``path``;
+        :class:`~repro.errors.NotFoundError` if absent."""
+
+    @abc.abstractmethod
+    def commit(self, batch: Any) -> Dict[str, int]:
+        """Apply a :class:`~repro.cloud.CloudBatch` atomically as ONE
+        request: all operations validate against the projected state
+        before anything mutates.  Returns ``{path: new version}`` for
+        the puts."""
+
+    @abc.abstractmethod
+    def list_dir(self, directory: str) -> List[str]:
+        """Immediate children (paths) under a directory."""
+
+    @abc.abstractmethod
+    def poll_dir(self, directory: str, after_sequence: int = 0,
+                 ) -> Tuple[List[Any], int]:
+        """One long-poll round: ordered
+        :class:`~repro.cloud.DirectoryEvent` records under ``directory``
+        past the cursor, plus the new cursor.  In-process stores return
+        immediately; a network store may block server-side until events
+        arrive."""
+
+    @abc.abstractmethod
+    def compact(self) -> int:
+        """Fold the event log into the store snapshot and truncate it;
+        returns the number of event records truncated (idempotent: 0 on
+        an empty log)."""
+
+    # -- inspection ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def snapshot_horizon(self) -> int:
+        """Highest sequence folded into the snapshot (0 = never
+        compacted)."""
+
+    @abc.abstractmethod
+    def head_sequence(self) -> int:
+        """Sequence number of the newest committed mutation."""
+
+    @abc.abstractmethod
+    def adversary_view(self) -> Iterator[Any]:
+        """Everything the honest-but-curious provider can inspect (used
+        by the security tests and the chaos digests)."""
+
+    @abc.abstractmethod
+    def total_stored_bytes(self, prefix: str = "/") -> int:
+        """Total payload bytes stored under ``prefix``."""
+
+
+def contract_methods() -> Tuple[str, ...]:
+    """Every method of the contract, round trips first — the single
+    source the conformance suite and generated decorators iterate."""
+    return tuple(ROUND_TRIP_METHODS) + INSPECTION_METHODS

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.cloud.latency import LatencyModel
+from repro.cloud.protocol import CloudStoreProtocol
 from repro.errors import ConflictError, NotFoundError, StorageError
 from repro.obs.metrics import CounterField, MetricRegistry
 from repro.obs.spans import span as _span
@@ -237,8 +238,9 @@ class CloudBatch:
         return sum(len(op.data) for op in self.ops if isinstance(op, BatchPut))
 
 
-class CloudStore:
-    """The storage + broadcast substrate."""
+class CloudStore(CloudStoreProtocol):
+    """The storage + broadcast substrate (in-memory reference
+    implementation of :class:`~repro.cloud.CloudStoreProtocol`)."""
 
     def __init__(self, latency: Optional[LatencyModel] = None,
                  compact_every: Optional[int] = None) -> None:

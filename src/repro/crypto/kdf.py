@@ -7,6 +7,7 @@ HKDF, MGF1) is implemented here so the package carries its own KDF stack.
 from __future__ import annotations
 
 import hashlib
+from repro.errors import ValidationError
 
 _BLOCK = 64  # SHA-256 block size
 _DIGEST = 32
@@ -30,7 +31,7 @@ def hkdf(ikm: bytes, length: int, salt: bytes = b"",
          info: bytes = b"") -> bytes:
     """HKDF-SHA256 extract-then-expand (RFC 5869)."""
     if length > 255 * _DIGEST:
-        raise ValueError("HKDF output too long")
+        raise ValidationError("HKDF output too long")
     prk = hmac_sha256(salt or bytes(_DIGEST), ikm)
     out = b""
     block = b""

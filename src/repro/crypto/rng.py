@@ -11,6 +11,7 @@ from __future__ import annotations
 import hashlib
 import os
 from typing import Protocol
+from repro.errors import ValidationError
 
 
 class Rng(Protocol):
@@ -81,7 +82,7 @@ class DeterministicRng:
 def _uniform_below(bound: int, random_bytes) -> int:
     """Rejection-sample a uniform integer in ``[0, bound)``."""
     if bound <= 0:
-        raise ValueError(f"bound must be positive, got {bound}")
+        raise ValidationError(f"bound must be positive, got {bound}")
     if bound == 1:
         return 0
     nbytes = (bound.bit_length() + 7) // 8

@@ -23,6 +23,7 @@ from typing import List, TYPE_CHECKING
 
 from repro.obs.collect import register_worker_source
 from repro.obs.metrics import MetricRegistry
+from repro.errors import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.ec.curve import Curve, Jacobian
@@ -49,9 +50,9 @@ def wnaf_digits(k: int, width: int = DEFAULT_WIDTH) -> List[int]:
     ``b + 1`` entries.
     """
     if k < 0:
-        raise ValueError("wNAF recoding expects a non-negative scalar")
+        raise ValidationError("wNAF recoding expects a non-negative scalar")
     if width < 2:
-        raise ValueError("wNAF width must be >= 2")
+        raise ValidationError("wNAF width must be >= 2")
     radix = 1 << width
     half = radix >> 1
     digits: List[int] = []

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from repro.crypto.rng import DeterministicRng
-from repro.errors import UnavailableError
+from repro.errors import UnavailableError, ValidationError
 from repro.obs import span
 from repro.obs.metrics import MetricRegistry
 
@@ -48,7 +48,7 @@ class RetryPolicy:
                  jitter: float = 0.5, seed: str = "retry",
                  registry: Optional[MetricRegistry] = None) -> None:
         if max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+            raise ValidationError(f"max_attempts must be >= 1, got {max_attempts}")
         self.max_attempts = max_attempts
         self.base_ms = base_ms
         self.cap_ms = cap_ms

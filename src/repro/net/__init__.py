@@ -1,0 +1,39 @@
+"""Network serving layer for the cloud store (:mod:`repro.net`).
+
+The paper's deployment separates the administrator (and clients) from
+the storage provider by a network; this package makes that boundary
+real while keeping every store consumer unchanged:
+
+* :mod:`repro.net.wire` — the frame format, typed request/response
+  payloads, protocol version and error-code mapping;
+* :class:`StoreServer` / :class:`ServerThread` — an asyncio server
+  hosting any :class:`~repro.cloud.CloudStoreProtocol` (plus optional
+  :class:`AdminBridge` ecall forwarding);
+* :class:`RemoteCloudStore` — a client implementing the same protocol
+  ABC, so ``GroupAdministrator(cloud=RemoteCloudStore(url))`` just
+  works;
+* :class:`RemoteAdmin` — drives a server-hosted administrator through
+  the whitelisted admin endpoint.
+"""
+
+from repro.net.client import (
+    RemoteAdmin,
+    RemoteCloudStore,
+    connect_store,
+    parse_store_url,
+)
+from repro.net.server import ADMIN_OPS, AdminBridge, ServerThread, StoreServer
+from repro.net.wire import MAX_FRAME_BYTES, PROTOCOL_VERSION
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "StoreServer",
+    "ServerThread",
+    "AdminBridge",
+    "ADMIN_OPS",
+    "RemoteCloudStore",
+    "RemoteAdmin",
+    "connect_store",
+    "parse_store_url",
+]

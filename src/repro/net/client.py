@@ -1,0 +1,356 @@
+"""``RemoteCloudStore`` — the client side of the store protocol.
+
+Implements the full :class:`~repro.cloud.CloudStoreProtocol`, so every
+consumer of a store — :class:`~repro.core.GroupAdministrator`,
+:class:`~repro.core.GroupClient`, the multi-admin machinery, the chaos
+harness, the benchmarks — runs unmodified against a remote
+:class:`~repro.net.StoreServer`.  The transport is a single blocking
+socket guarded by a lock (store consumers are synchronous; one
+in-flight request at a time mirrors the sequential round-trip model the
+rest of the stack accounts for).
+
+**Failure taxonomy** (what :class:`~repro.faults.RetryPolicy` relies
+on):
+
+* connect/handshake failures and send failures on *read* operations
+  raise :class:`~repro.errors.UnavailableError` — the request did not
+  execute, retrying is safe;
+* a connection lost *after a mutating request may have reached the
+  server* raises plain :class:`~repro.errors.StorageError` ("outcome
+  unknown") — blind retry is **not** safe, the caller must re-inspect
+  state exactly as it would after a process crash;
+* server-reported errors are reconstructed from their stable wire code
+  (:func:`repro.errors.error_for_code`) — a remote
+  :class:`~repro.errors.ConflictError` is a local ``ConflictError``.
+
+**Observability.**  The client keeps a local
+:class:`~repro.cloud.store.CloudMetrics` mirror (``cloud.requests``,
+``cloud.bytes_in/out`` measured on payloads, exactly like an in-process
+store) so bandwidth-reporting code works unchanged, plus ``net.rpc.*``
+counters and a latency histogram in the same registry; every RPC runs
+inside a ``net.rpc.<method>`` span.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.cloud.protocol import CloudStoreProtocol
+from repro.cloud.store import (
+    CloudBatch,
+    CloudMetrics,
+    CloudObject,
+    DirectoryEvent,
+)
+from repro.errors import (
+    ProtocolVersionError,
+    StorageError,
+    UnavailableError,
+    ValidationError,
+    WireError,
+)
+from repro.net import wire
+from repro.net.wire import MUTATING_WIRE_METHODS
+from repro.obs import span
+
+
+def parse_store_url(url: str) -> Tuple[str, int]:
+    """``tcp://host:port`` (or bare ``host:port``) -> ``(host, port)``."""
+    stripped = url.strip()
+    if stripped.startswith("tcp://"):
+        stripped = stripped[len("tcp://"):]
+    host, sep, port = stripped.rpartition(":")
+    if not sep or not host:
+        raise ValidationError(f"store URL {url!r} is not host:port")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ValidationError(f"store URL {url!r} has a bad port") from exc
+
+
+class RemoteCloudStore(CloudStoreProtocol):
+    """A :class:`~repro.cloud.CloudStoreProtocol` over TCP."""
+
+    def __init__(self, url: str, timeout: float = 30.0,
+                 poll_wait_ms: float = 0.0,
+                 client_name: str = "repro") -> None:
+        self._host, self._port = parse_store_url(url)
+        self.url = f"tcp://{self._host}:{self._port}"
+        self._timeout = timeout
+        #: Server-side long-poll budget attached to every ``poll_dir``;
+        #: 0 keeps the immediate-return contract semantics.
+        self.poll_wait_ms = poll_wait_ms
+        self._client_name = client_name
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+        self.server_features: Tuple[str, ...] = ()
+        self.metrics = CloudMetrics()
+        reg = self.metrics.registry
+        self._rpc_requests = reg.counter("net.rpc.requests")
+        self._rpc_errors = reg.counter("net.rpc.errors")
+        self._rpc_reconnects = reg.counter("net.rpc.reconnects")
+        self._rpc_bytes_sent = reg.counter("net.rpc.bytes_sent")
+        self._rpc_bytes_received = reg.counter("net.rpc.bytes_received")
+        self._rpc_latency = reg.histogram("net.rpc.latency_ms")
+
+    # -- transport ---------------------------------------------------------
+
+    def _connect(self) -> None:
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout)
+        except OSError as exc:
+            raise UnavailableError(
+                f"cannot reach store at {self.url}: {exc}") from exc
+        self._sock = sock
+        self._rpc_reconnects.add()
+        hello = wire.HelloRequest(protocol=wire.PROTOCOL_VERSION,
+                                  client=self._client_name)
+        try:
+            reply = self._roundtrip_raw(hello.METHOD, hello.to_params())
+        except (UnavailableError, WireError):
+            self._drop()
+            raise
+        if not reply.ok:
+            self._drop()
+            assert reply.error is not None
+            raise wire.wire_to_error(reply.error)
+        greeting = wire.HelloResponse.from_params(reply.result or {})
+        if greeting.protocol != wire.PROTOCOL_VERSION:
+            self._drop()
+            raise ProtocolVersionError(
+                f"server speaks protocol {greeting.protocol}, "
+                f"client requires {wire.PROTOCOL_VERSION}")
+        self.server_features = tuple(greeting.features)
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    def _recv_exactly(self, count: int) -> bytes:
+        assert self._sock is not None
+        chunks = []
+        while count:
+            chunk = self._sock.recv(count)
+            if not chunk:
+                raise ConnectionError("connection closed by server")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def _roundtrip_raw(self, method: str,
+                       params: Dict[str, object]) -> wire.Response:
+        """One frame out, one frame in, on the live socket.  Raises
+        ``ConnectionError``/``OSError`` upward for `_call` to classify."""
+        assert self._sock is not None
+        self._next_id += 1
+        request_id = self._next_id
+        frame = wire.encode_frame(
+            wire.Request(id=request_id, method=method,
+                         params=params).to_wire())
+        try:
+            self._sock.sendall(frame)
+            self._rpc_bytes_sent.add(len(frame))
+            header = self._recv_exactly(4)
+            body = self._recv_exactly(wire.decode_frame_length(header))
+        except socket.timeout as exc:
+            raise ConnectionError(f"rpc timed out: {exc}") from exc
+        self._rpc_bytes_received.add(len(header) + len(body))
+        response = wire.Response.from_wire(wire.decode_frame_body(body))
+        if response.id != request_id:
+            raise WireError(
+                f"response id {response.id} does not match "
+                f"request id {request_id}")
+        return response
+
+    def _call(self, message: wire._Message) -> Dict[str, object]:
+        """Send one typed request; return the (ok) result params.
+
+        Classifies transport failures per the module docstring and
+        reconstructs server errors from their wire code."""
+        method = message.METHOD
+        mutating = method in MUTATING_WIRE_METHODS
+        with self._lock:
+            with span(f"net.rpc.{method}", "net", url=self.url):
+                started = time.perf_counter()
+                sent = False
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    sent = True    # sendall may hand bytes to the kernel
+                    response = self._roundtrip_raw(method,
+                                                   message.to_params())
+                except (ConnectionError, OSError) as exc:
+                    self._drop()
+                    self._rpc_errors.add()
+                    if mutating and sent:
+                        raise StorageError(
+                            f"connection lost awaiting {method} response: "
+                            f"outcome unknown ({exc})") from exc
+                    raise UnavailableError(
+                        f"store at {self.url} unavailable during "
+                        f"{method}: {exc}") from exc
+                self._rpc_requests.add()
+                self._rpc_latency.observe(
+                    (time.perf_counter() - started) * 1000.0)
+                if not response.ok:
+                    self._rpc_errors.add()
+                    assert response.error is not None
+                    raise wire.wire_to_error(response.error)
+                return response.result or {}
+
+    # -- contract methods --------------------------------------------------
+
+    def put(self, path: str, data: bytes,
+            expected_version: Optional[int] = None) -> int:
+        result = self._call(wire.PutRequest(
+            path=path, data=wire.b64e(data),
+            expected_version=expected_version))
+        self.metrics.requests += 1
+        self.metrics.bytes_in += len(data)
+        return wire.PutResponse.from_params(result).version
+
+    def get(self, path: str) -> CloudObject:
+        result = self._call(wire.GetRequest(path=path))
+        obj = wire.decode_object(
+            wire.GetResponse.from_params(result).object)
+        self.metrics.requests += 1
+        self.metrics.bytes_out += len(obj.data)
+        return obj
+
+    def get_many(self, paths: Iterable[str]) -> Dict[str, CloudObject]:
+        result = self._call(wire.GetManyRequest(paths=list(paths)))
+        objects = [wire.decode_object(o) for o in
+                   wire.GetManyResponse.from_params(result).objects]
+        self.metrics.requests += 1
+        self.metrics.bytes_out += sum(len(o.data) for o in objects)
+        return {o.path: o for o in objects}
+
+    def exists(self, path: str) -> bool:
+        result = self._call(wire.ExistsRequest(path=path))
+        self.metrics.requests += 1
+        return wire.ExistsResponse.from_params(result).exists
+
+    def delete(self, path: str) -> None:
+        self._call(wire.DeleteRequest(path=path))
+        self.metrics.requests += 1
+
+    def commit(self, batch: CloudBatch) -> Dict[str, int]:
+        result = self._call(wire.CommitRequest(
+            ops=wire.encode_batch(batch)))
+        self.metrics.requests += 1
+        self.metrics.batch_commits += 1
+        self.metrics.bytes_in += batch.payload_bytes
+        versions = wire.CommitResponse.from_params(result).versions
+        return {path: int(version) for path, version in versions.items()}
+
+    def list_dir(self, directory: str) -> List[str]:
+        result = self._call(wire.ListDirRequest(directory=directory))
+        self.metrics.requests += 1
+        return list(wire.ListDirResponse.from_params(result).children)
+
+    def poll_dir(self, directory: str, after_sequence: int = 0,
+                 ) -> Tuple[List[DirectoryEvent], int]:
+        result = self._call(wire.PollDirRequest(
+            directory=directory, after_sequence=after_sequence,
+            wait_ms=self.poll_wait_ms))
+        reply = wire.PollDirResponse.from_params(result)
+        self.metrics.requests += 1
+        return ([wire.decode_event(e) for e in reply.events],
+                int(reply.cursor))
+
+    def compact(self) -> int:
+        result = self._call(wire.CompactRequest())
+        self.metrics.requests += 1
+        return wire.CompactResponse.from_params(result).truncated
+
+    def snapshot_horizon(self) -> int:
+        result = self._call(wire.HorizonRequest())
+        return wire.HorizonResponse.from_params(result).horizon
+
+    def head_sequence(self) -> int:
+        result = self._call(wire.HeadSequenceRequest())
+        return wire.HeadSequenceResponse.from_params(result).sequence
+
+    def adversary_view(self) -> Iterator[CloudObject]:
+        result = self._call(wire.AdversaryViewRequest())
+        objects = wire.AdversaryViewResponse.from_params(result).objects
+        return iter([wire.decode_object(o) for o in objects])
+
+    def total_stored_bytes(self, prefix: str = "/") -> int:
+        result = self._call(wire.StoredBytesRequest(prefix=prefix))
+        return wire.StoredBytesResponse.from_params(result).total
+
+    def __repr__(self) -> str:
+        return f"RemoteCloudStore({self.url!r})"
+
+
+class RemoteAdmin:
+    """Client handle for the server's admin-ecall forwarding endpoint.
+
+    Exposes the whitelisted group-management operations (see
+    :data:`repro.net.server.ADMIN_OPS`) as ordinary methods, each one
+    ``admin.call`` RPC.  Requires a server started with an
+    :class:`~repro.net.AdminBridge`."""
+
+    def __init__(self, store: RemoteCloudStore) -> None:
+        self._store = store
+
+    def call(self, op: str, **kwargs) -> object:
+        if (self._store.server_features
+                and "admin" not in self._store.server_features):
+            raise StorageError(
+                f"server {self._store.url} does not forward admin "
+                "operations")
+        result = self._store._call(wire.AdminCallRequest(
+            op=op, kwargs=kwargs))
+        return wire.AdminCallResponse.from_params(result).result
+
+    def create_group(self, group_id: str, members: List[str]) -> object:
+        return self.call("create_group", group_id=group_id,
+                         members=list(members))
+
+    def add_user(self, group_id: str, user: str) -> object:
+        return self.call("add_user", group_id=group_id, user=user)
+
+    def add_users(self, group_id: str, users: List[str]) -> object:
+        return self.call("add_users", group_id=group_id,
+                         users=list(users))
+
+    def remove_user(self, group_id: str, user: str) -> object:
+        return self.call("remove_user", group_id=group_id, user=user)
+
+    def rekey(self, group_id: str) -> object:
+        return self.call("rekey", group_id=group_id)
+
+    def delete_group(self, group_id: str) -> object:
+        return self.call("delete_group", group_id=group_id)
+
+    def members(self, group_id: str) -> List[str]:
+        return list(self.call("members", group_id=group_id) or [])
+
+    def sync_group(self, group_id: str) -> object:
+        return self.call("sync_group", group_id=group_id)
+
+
+def connect_store(url: str, timeout: float = 30.0,
+                  poll_wait_ms: float = 0.0) -> RemoteCloudStore:
+    """Connect to a :class:`~repro.net.StoreServer` and verify the
+    handshake eagerly (so bad URLs fail at connect time, not first use)."""
+    store = RemoteCloudStore(url, timeout=timeout,
+                             poll_wait_ms=poll_wait_ms)
+    # Cheap RPC to force connect + hello.
+    store.head_sequence()
+    return store

@@ -1,0 +1,487 @@
+"""Asyncio store/admin server for the :mod:`repro.net` protocol.
+
+:class:`StoreServer` hosts any :class:`~repro.cloud.CloudStoreProtocol`
+implementation — the in-memory :class:`~repro.cloud.CloudStore`, the
+durable :class:`~repro.cloud.FileCloudStore`, or a fault-decorated
+store — behind the length-prefixed JSON frame protocol of
+:mod:`repro.net.wire`.  Store calls are synchronous and execute on the
+event loop, which serializes them exactly like the single in-process
+store they wrap; concurrency lives in the connection handling and in
+``poll_dir`` long-polling, where a connection parks on an
+:class:`asyncio.Condition` that every committed mutation notifies.
+
+**Crash semantics.**  :class:`~repro.errors.CrashError` raised by a
+store (an injected crash point from :mod:`repro.faults`) is *not*
+converted into an error response: it models the death of the store
+process, so the server records it, aborts every connection mid-flight
+and shuts down.  Clients observe a dropped connection with the request
+outcome unknown — precisely the failure a chaos driver must resolve by
+state inspection after restart.
+
+**Admin forwarding.**  With an :class:`AdminBridge` attached, the
+``admin.call`` method forwards whitelisted, JSON-serializable
+administrative operations (create/rekey/remove...) to a server-hosted
+:class:`~repro.core.GroupAdministrator`, so a remote operator can drive
+the enclave without shipping pairing elements over the wire.
+
+:class:`ServerThread` runs the whole thing on a background thread for
+tests, benchmarks and the chaos harness: ``start()`` returns the bound
+URL, ``stop()`` shuts down gracefully, and ``crashed`` reports a
+:class:`~repro.errors.CrashError` that killed the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cloud.protocol import CloudStoreProtocol
+from repro.errors import (
+    AccessControlError,
+    CrashError,
+    ProtocolVersionError,
+    ReproError,
+    WireError,
+)
+from repro.net import wire
+from repro.obs import span
+
+#: Administrative operations the bridge will forward, with the keyword
+#: arguments each accepts.  Everything here is JSON-serializable in both
+#: directions; anything else (key material, pairing elements) stays on
+#: the server side by construction.
+ADMIN_OPS: Dict[str, Tuple[str, ...]] = {
+    "create_group": ("group_id", "members"),
+    "add_user": ("group_id", "user"),
+    "add_users": ("group_id", "users"),
+    "remove_user": ("group_id", "user"),
+    "rekey": ("group_id",),
+    "delete_group": ("group_id",),
+    "members": ("group_id",),
+    "sync_group": ("group_id",),
+}
+
+
+def _json_safe(value: Any) -> Any:
+    """Clamp an admin-op result to JSON-safe data (drop the rest)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return None
+
+
+class AdminBridge:
+    """Whitelisted ecall forwarding onto a server-hosted administrator.
+
+    The bridge is deliberately *not* a general RPC: only the operations
+    in :data:`ADMIN_OPS` are reachable, and only with their declared
+    keyword arguments, so the network surface of the admin endpoint is
+    exactly the group-management API of the paper.
+
+    Bridge calls run in an executor thread so slow enclave work cannot
+    starve long-pollers.  The hosted administrator normally uses the
+    server's local store directly; if it is instead wired to a loop-back
+    :class:`~repro.net.RemoteCloudStore`, that must be a *dedicated*
+    connection — a ``RemoteCloudStore`` carries one in-flight request at
+    a time, so reusing the operator's connection would deadlock behind
+    the very ``admin.call`` it is serving.
+    """
+
+    def __init__(self, admin: Any) -> None:
+        self.admin = admin
+
+    def call(self, op: str, kwargs: Dict[str, Any]) -> Any:
+        allowed = ADMIN_OPS.get(op)
+        if allowed is None:
+            raise AccessControlError(
+                f"admin operation {op!r} is not forwardable")
+        unknown = set(kwargs) - set(allowed)
+        if unknown:
+            raise AccessControlError(
+                f"unexpected arguments for {op}: {sorted(unknown)}")
+        return _json_safe(getattr(self.admin, op)(**kwargs))
+
+
+class StoreServer:
+    """Serve a :class:`~repro.cloud.CloudStoreProtocol` over TCP."""
+
+    def __init__(self, store: CloudStoreProtocol,
+                 host: str = "127.0.0.1", port: int = 0,
+                 admin: Optional[AdminBridge] = None,
+                 name: str = "repro-store") -> None:
+        self.store = store
+        self.admin = admin
+        self.name = name
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._mutated: Optional[asyncio.Condition] = None
+        self._writers: List[asyncio.StreamWriter] = []
+        #: Set when a CrashError from the store killed the server.
+        self.crashed: Optional[CrashError] = None
+        self.closed = asyncio.Event()
+        self._handlers: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+            "store.put": self._h_put,
+            "store.get": self._h_get,
+            "store.get_many": self._h_get_many,
+            "store.exists": self._h_exists,
+            "store.delete": self._h_delete,
+            "store.commit": self._h_commit,
+            "store.list_dir": self._h_list_dir,
+            "store.poll_dir": self._h_poll_dir,
+            "store.compact": self._h_compact,
+            "store.snapshot_horizon": self._h_horizon,
+            "store.head_sequence": self._h_head_sequence,
+            "store.adversary_view": self._h_adversary_view,
+            "store.total_stored_bytes": self._h_stored_bytes,
+            "admin.call": self._h_admin_call,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``
+        (a requested port of 0 binds an ephemeral one)."""
+        self._mutated = asyncio.Condition()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port)
+        sock = self._server.sockets[0]
+        self._host, self._port = sock.getsockname()[:2]
+        return self._host, self._port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._host, self._port
+
+    @property
+    def url(self) -> str:
+        return f"tcp://{self._host}:{self._port}"
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drop live connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        self.closed.set()
+
+    def _abort(self, crash: CrashError) -> None:
+        """Simulated process death: everything stops, nothing is flushed."""
+        self.crashed = crash
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._writers.clear()
+        self.closed.set()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _read_frame(self, reader: asyncio.StreamReader
+                          ) -> Optional[Dict[str, Any]]:
+        try:
+            header = await reader.readexactly(4)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        length = wire.decode_frame_length(header)
+        body = await reader.readexactly(length)
+        return wire.decode_frame_body(body)
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    response: wire.Response) -> None:
+        writer.write(wire.encode_frame(response.to_wire()))
+        await writer.drain()
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self._writers.append(writer)
+        greeted = False
+        try:
+            while True:
+                try:
+                    payload = await self._read_frame(reader)
+                except WireError:
+                    break    # unframeable garbage: drop the connection
+                if payload is None:
+                    break
+                try:
+                    request = wire.Request.from_wire(payload)
+                except WireError as exc:
+                    await self._send(writer, wire.Response(
+                        id=0, error=wire.error_to_wire(exc)))
+                    continue
+                if not greeted:
+                    ok = await self._handle_hello(request, writer)
+                    if not ok:
+                        break
+                    greeted = True
+                    continue
+                try:
+                    result = await self._dispatch(request)
+                except CrashError as crash:
+                    # The store process "died" mid-request: no response,
+                    # no cleanup, every connection torn down.
+                    self._abort(crash)
+                    return
+                except ReproError as exc:
+                    await self._send(writer, wire.Response(
+                        id=request.id, error=wire.error_to_wire(exc)))
+                    continue
+                await self._send(writer, wire.Response(
+                    id=request.id, result=result))
+        except ConnectionError:
+            pass
+        finally:
+            if writer in self._writers:
+                self._writers.remove(writer)
+                writer.close()
+
+    async def _handle_hello(self, request: wire.Request,
+                            writer: asyncio.StreamWriter) -> bool:
+        if request.method != wire.HelloRequest.METHOD:
+            await self._send(writer, wire.Response(
+                id=request.id, error=wire.error_to_wire(WireError(
+                    "expected hello as the first request"))))
+            return False
+        hello = wire.HelloRequest.from_params(request.params)
+        if hello.protocol != wire.PROTOCOL_VERSION:
+            await self._send(writer, wire.Response(
+                id=request.id, error=wire.error_to_wire(
+                    ProtocolVersionError(
+                        f"server speaks protocol {wire.PROTOCOL_VERSION}, "
+                        f"client sent {hello.protocol}"))))
+            return False
+        features = ["store"] + (["admin"] if self.admin is not None else [])
+        await self._send(writer, wire.Response(
+            id=request.id,
+            result=wire.HelloResponse(
+                protocol=wire.PROTOCOL_VERSION, server=self.name,
+                features=features).to_params()))
+        return True
+
+    async def _dispatch(self, request: wire.Request) -> Dict[str, Any]:
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            raise WireError(f"unknown method {request.method!r}")
+        with span(f"net.server.{request.method}", "net"):
+            result = handler(request.params)
+            if asyncio.iscoroutine(result):
+                result = await result
+        return result
+
+    async def _notify_mutation(self) -> None:
+        assert self._mutated is not None
+        async with self._mutated:
+            self._mutated.notify_all()
+
+    # -- store method handlers --------------------------------------------
+
+    async def _h_put(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        req = wire.PutRequest.from_params(params)
+        version = self.store.put(req.path, wire.b64d(req.data),
+                                 req.expected_version)
+        await self._notify_mutation()
+        return wire.PutResponse(version=version).to_params()
+
+    def _h_get(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        req = wire.GetRequest.from_params(params)
+        obj = self.store.get(req.path)
+        return wire.GetResponse(object=wire.encode_object(obj)).to_params()
+
+    def _h_get_many(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        req = wire.GetManyRequest.from_params(params)
+        found = self.store.get_many(req.paths)
+        return wire.GetManyResponse(
+            objects=[wire.encode_object(o) for o in found.values()]
+        ).to_params()
+
+    def _h_exists(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        req = wire.ExistsRequest.from_params(params)
+        return wire.ExistsResponse(
+            exists=self.store.exists(req.path)).to_params()
+
+    async def _h_delete(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        req = wire.DeleteRequest.from_params(params)
+        self.store.delete(req.path)
+        await self._notify_mutation()
+        return wire.DeleteResponse().to_params()
+
+    async def _h_commit(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        req = wire.CommitRequest.from_params(params)
+        versions = self.store.commit(wire.decode_batch(req.ops))
+        await self._notify_mutation()
+        return wire.CommitResponse(versions=versions).to_params()
+
+    def _h_list_dir(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        req = wire.ListDirRequest.from_params(params)
+        return wire.ListDirResponse(
+            children=self.store.list_dir(req.directory)).to_params()
+
+    async def _h_poll_dir(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        req = wire.PollDirRequest.from_params(params)
+        assert self._mutated is not None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, req.wait_ms) / 1000.0
+        while True:
+            events, cursor = self.store.poll_dir(req.directory,
+                                                 req.after_sequence)
+            remaining = deadline - loop.time()
+            if events or remaining <= 0:
+                return wire.PollDirResponse(
+                    events=[wire.encode_event(e) for e in events],
+                    cursor=cursor).to_params()
+            async with self._mutated:
+                try:
+                    await asyncio.wait_for(self._mutated.wait(),
+                                           timeout=remaining)
+                except asyncio.TimeoutError:
+                    pass
+
+    async def _h_compact(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        wire.CompactRequest.from_params(params)
+        truncated = self.store.compact()
+        await self._notify_mutation()
+        return wire.CompactResponse(truncated=truncated).to_params()
+
+    def _h_horizon(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return wire.HorizonResponse(
+            horizon=self.store.snapshot_horizon()).to_params()
+
+    def _h_head_sequence(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return wire.HeadSequenceResponse(
+            sequence=self.store.head_sequence()).to_params()
+
+    def _h_adversary_view(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return wire.AdversaryViewResponse(
+            objects=[wire.encode_object(o)
+                     for o in self.store.adversary_view()]).to_params()
+
+    def _h_stored_bytes(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        req = wire.StoredBytesRequest.from_params(params)
+        return wire.StoredBytesResponse(
+            total=self.store.total_stored_bytes(req.prefix)).to_params()
+
+    async def _h_admin_call(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        if self.admin is None:
+            raise AccessControlError(
+                "this server does not forward admin operations")
+        req = wire.AdminCallRequest.from_params(params)
+        # Off the event loop: admin operations do enclave ecalls and
+        # pairing math (slow — they must not starve long-pollers), and a
+        # server-hosted admin wired to a loop-back RemoteCloudStore
+        # issues store RPCs *back into this server* mid-operation.
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            None, self.admin.call, req.op, req.kwargs)
+        # Admin mutations land in the store; wake long-pollers.
+        await self._notify_mutation()
+        return wire.AdminCallResponse(result=result).to_params()
+
+
+class ServerThread:
+    """A :class:`StoreServer` on a daemon thread (tests, chaos, bench).
+
+    ``start()`` blocks until the socket is bound and returns the URL.
+    ``stop()`` shuts the loop down and joins the thread; if the hosted
+    store raised :class:`~repro.errors.CrashError`, the server has
+    already aborted itself and :attr:`crashed` carries the exception.
+    """
+
+    def __init__(self, store: CloudStoreProtocol,
+                 admin: Optional[AdminBridge] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 name: str = "repro-store") -> None:
+        self._store = store
+        self._admin = admin
+        self._host = host
+        self._port = port
+        self._name = name
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[StoreServer] = None
+        self.url: str = ""
+
+    @property
+    def crashed(self) -> Optional[CrashError]:
+        return self.server.crashed if self.server is not None else None
+
+    def start(self) -> str:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-store-server", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.url
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _main(self) -> None:
+        self.server = StoreServer(self._store, host=self._host,
+                                  port=self._port, admin=self._admin,
+                                  name=self._name)
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.url = self.server.url
+        self._ready.set()
+        stopper = asyncio.ensure_future(self._stop_event.wait())
+        closer = asyncio.ensure_future(self.server.closed.wait())
+        try:
+            await asyncio.wait({stopper, closer},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            stopper.cancel()
+            closer.cancel()
+            await self.server.stop()
+
+    def stop(self) -> None:
+        """Graceful shutdown; safe to call twice."""
+        if self._thread is None:
+            return
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass    # loop already gone (crash shutdown)
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    def join_crashed(self, timeout: float = 10.0) -> CrashError:
+        """Wait for a crash-triggered shutdown and return the crash.
+
+        For tests that schedule an injected crash inside the server:
+        the server aborts itself; this joins the thread and surfaces
+        the :class:`~repro.errors.CrashError` that killed it."""
+        assert self._thread is not None
+        self._thread.join(timeout=timeout)
+        self._thread = None
+        crash = self.crashed
+        if crash is None:
+            raise AssertionError("server did not crash")
+        return crash

@@ -37,6 +37,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional
 from repro.obs.metrics import MetricSource, merge_snapshots, \
     quantile_from_samples
 from repro.obs.spans import Span, Tracer
+from repro.errors import ValidationError
 
 
 def spans_to_jsonl(spans: Iterable[Span]) -> str:
@@ -295,7 +296,7 @@ def breakdown_table(spans: Iterable[Span],
         headers = ["span", "count", "total", "self", "p50", "p95",
                    "share"]
     else:
-        raise ValueError(f"unknown breakdown axis {by!r}")
+        raise ValidationError(f"unknown breakdown axis {by!r}")
     grand_self = sum(row["self_s"] for row in rows_data.values()) or 1.0
     rows = [
         [key, str(int(row["count"])), _format_seconds(row["total_s"]),

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import MetricRegistry
 from repro.obs.spans import Tracer, tracer as _global_tracer
+from repro.errors import ValidationError
 
 #: Frames from these modules are scaffolding, not workload; they are
 #: skipped when picking the representative function of a sample.
@@ -70,7 +71,7 @@ class SamplingProfiler:
                  registry: Optional[MetricRegistry] = None,
                  stack_depth: int = 12) -> None:
         if hz < 1:
-            raise ValueError(f"sampling rate must be >= 1 Hz, got {hz}")
+            raise ValidationError(f"sampling rate must be >= 1 Hz, got {hz}")
         self.hz = hz
         self.stack_depth = stack_depth
         self._tracer = tracer

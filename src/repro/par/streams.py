@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 
 from repro.crypto.rng import DeterministicRng
+from repro.errors import ValidationError
 
 _DOMAIN = b"repro:par:stream:"
 
@@ -24,7 +25,7 @@ def derive_seed(parent_seed: bytes, index: int, label: str = "task") -> bytes:
     ``"rekey"``) yield unrelated stream families even for equal indices.
     """
     if index < 0:
-        raise ValueError("stream index must be non-negative")
+        raise ValidationError("stream index must be non-negative")
     return hashlib.sha256(
         _DOMAIN + label.encode("utf-8") + b":"
         + index.to_bytes(8, "big") + b":" + parent_seed

@@ -200,13 +200,17 @@ class _ChaosRun:
     def __init__(self, root: str, seed: str, capacity: int, pool: int,
                  injector: Optional[FaultInjector],
                  workers: Optional[int] = 1,
-                 compact_every: Optional[int] = None) -> None:
+                 compact_every: Optional[int] = None,
+                 remote: bool = False) -> None:
         from repro import quickstart_system
         from repro.cloud import FileCloudStore
 
         self.root = root
         self.injector = injector
         self.compact_every = compact_every
+        self.remote = remote
+        self._server = None
+        self._remote_store = None
         self.rng = DeterministicRng(f"chaos-system:{seed}")
         # auto_repartition stays off so a crashed remove never nests a
         # second (repartition) plan inside its own recovery window.
@@ -225,9 +229,32 @@ class _ChaosRun:
 
     # -- plumbing --------------------------------------------------------------
 
+    def _serving_store(self):
+        """The store the deployment talks to: the ``FileCloudStore``
+        itself, or — in network mode — a fresh ``RemoteCloudStore``
+        connected to a :class:`~repro.net.ServerThread` hosting it.
+        An injected crash then genuinely kills the serving process."""
+        if not self.remote:
+            return self.inner
+        from repro.net import RemoteCloudStore, ServerThread
+
+        self._server = ServerThread(self.inner)
+        url = self._server.start()
+        self._remote_store = RemoteCloudStore(url)
+        return self._remote_store
+
+    def _stop_server(self) -> None:
+        if self._remote_store is not None:
+            self._remote_store.close()
+            self._remote_store = None
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
     def _wire(self) -> None:
-        store = (FaultyCloudStore(self.inner, self.injector)
-                 if self.injector is not None else self.inner)
+        served = self._serving_store()
+        store = (FaultyCloudStore(served, self.injector)
+                 if self.injector is not None else served)
         self.system.cloud = store
         self.system.admin.cloud = store
         for client in self.system._clients:
@@ -235,7 +262,10 @@ class _ChaosRun:
 
     def _reopen_store(self) -> None:
         """The restarted process re-opens the store directory: the
-        journal roll-forward runs here."""
+        journal roll-forward runs here.  In network mode the dead
+        server is torn down and a fresh one is started on the reopened
+        store — the full restart a real deployment would perform."""
+        self._stop_server()
         self.inner = self._store_cls(self.root,
                                      compact_every=self.compact_every)
         self._wire()
@@ -262,6 +292,8 @@ class _ChaosRun:
     def _drive(self, action, applied_check) -> bool:
         """Run one mutation to completion across crashes.  Returns True
         if it was redone at least once after landing-free crashes."""
+        from repro.errors import ConflictError, StorageError
+
         snapshot = self.rng.getstate()
         while True:
             try:
@@ -280,6 +312,20 @@ class _ChaosRun:
                 # Retry budget exhausted mid-plan (rare with default
                 # policies): treat like a crash — reload and, if the op
                 # did not land, rewind and redo.
+                self._recover()
+                if applied_check():
+                    return True
+                self.rng.setstate(snapshot)
+            except ConflictError:
+                raise
+            except StorageError:
+                # Network mode: an injected crash killed the *server*
+                # mid-request, so the client saw the connection drop
+                # with the outcome unknown.  Resolve the ambiguity the
+                # only sound way — restart, reload, inspect.
+                if not self.remote:
+                    raise
+                self.crashes_recovered += 1
                 self._recover()
                 if applied_check():
                     return True
@@ -381,6 +427,7 @@ class _ChaosRun:
 
     def finish(self) -> str:
         self.system.close()
+        self._stop_server()
         return cloud_digest(self.inner)
 
 
@@ -388,6 +435,7 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
               pool: int = 12, initial: int = 5, capacity: int = 4,
               seed: str = "chaos", workers: Optional[int] = 1,
               compact_every: Optional[int] = None,
+              remote: bool = False,
               ) -> ChaosReport:
     """Replay one deterministic membership trace twice — fault-free and
     under ``plan`` — and compare the final cloud bytes.
@@ -401,6 +449,16 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
     verdict additionally requires cold starts from the two (differently)
     compacted stores to reconstruct identical state (see the module
     docstring).
+
+    ``remote`` puts the *chaos* deployment's store behind a real
+    :class:`~repro.net.StoreServer` and talks to it through a
+    :class:`~repro.net.RemoteCloudStore`: injected crashes then kill
+    the serving process mid-request (clients see dropped connections
+    with unknown outcomes, not tidy exceptions) and recovery includes a
+    server restart.  The reference stays in-process, so convergence is
+    asserted *across the network boundary* — the remote chaos run must
+    land on the byte-identical cloud state of the in-process fault-free
+    run.
     """
     if plan is None:
         plan = FaultPlan.store_faults(seed)
@@ -429,7 +487,8 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
         install(injector)
         try:
             chaos = _ChaosRun(chaos_root, seed, capacity, pool, injector,
-                              workers=workers, compact_every=compact_every)
+                              workers=workers, compact_every=compact_every,
+                              remote=remote)
             chaos.bootstrap(initial_members, pool)
             for op in trace:
                 chaos.maybe_restart_enclave()
@@ -478,13 +537,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="enable automatic snapshot compaction every "
                              "N mutations on both stores and verify "
                              "cold-start equivalence across them")
+    parser.add_argument("--network", action="store_true",
+                        help="serve the chaos run's store over a real "
+                             "TCP StoreServer (repro.net) and converge "
+                             "across the network boundary")
     args = parser.parse_args(argv)
 
     plan = (FaultPlan.store_faults(args.seed) if args.profile == "store"
             else FaultPlan.full_chaos(args.seed))
     report = run_chaos(plan, ops=args.ops, pool=args.pool,
                        capacity=args.capacity, seed=args.seed,
-                       compact_every=args.compact_every)
+                       compact_every=args.compact_every,
+                       remote=args.network)
     print(json.dumps(report.summary(), indent=2))
     return 0 if report.converged else 1
 

@@ -1,0 +1,249 @@
+"""End-to-end smoke test for the network serving layer (CI: net-smoke).
+
+Drives the full client/server stack the way an operator would deploy it:
+
+1. starts a real ``repro serve`` *subprocess* hosting a
+   :class:`~repro.cloud.FileCloudStore` (unless ``--store-url`` points at
+   a server that is already running),
+2. runs a seeded two-administrator + client-sync workload where both
+   administrators and the client reach the store exclusively through
+   :class:`~repro.net.RemoteCloudStore`,
+3. replays the identical seeded workload against an in-process store and
+   asserts the cloud state is byte-identical and the client derives the
+   same group key,
+4. dumps the client-side ``net.rpc.*`` counters (requests, reconnects,
+   wire bytes, latency quantiles) as a JSON artifact for CI to upload.
+
+Run with::
+
+    python -m repro.workloads.net_smoke [--store-url tcp://...]
+        [--seed SEED] [--metrics-out PATH]
+
+Exit status 0 means the smoke test passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ReproError
+from repro.workloads.chaos import cloud_digest
+
+GROUP = "team"
+
+
+# ---------------------------------------------------------------------------
+# Server subprocess management
+# ---------------------------------------------------------------------------
+
+class ServedProcess:
+    """A ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, cloud_dir: str) -> None:
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--cloud", cloud_dir, "--host", "127.0.0.1", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        self.url = self._await_banner()
+
+    def _await_banner(self, timeout: float = 30.0) -> str:
+        deadline = time.monotonic() + timeout
+        assert self.proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise ReproError(
+                    "serve subprocess exited before announcing its URL "
+                    f"(exit {self.proc.poll()})")
+            if line.startswith("serving "):
+                return line.split(None, 1)[1].strip()
+        raise ReproError("serve subprocess never announced its URL")
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.proc.kill()
+                self.proc.wait()
+
+
+# ---------------------------------------------------------------------------
+# The seeded workload
+# ---------------------------------------------------------------------------
+
+def _fresh_system(seed: str):
+    from repro import quickstart_system
+
+    return quickstart_system(partition_capacity=4, params="toy64",
+                             rng=DeterministicRng(seed),
+                             auto_repartition=False)
+
+
+def _second_admin(system, seed: str):
+    """A second administrator: own enclave on its own device, migrated
+    master secret, shared organisational signing key."""
+    from repro.core.admin import GroupAdministrator
+    from repro.core.multiadmin import join_administration
+    from repro.enclave_app import IbbeEnclave
+    from repro.sgx.device import SgxDevice
+
+    device = SgxDevice(rng=DeterministicRng(f"{seed}-device"))
+    system.ias.register_device(device.device_id,
+                               device.attestation_public_key)
+    enclave = IbbeEnclave.load(device, dict(system.enclave.config))
+    join_administration(system, enclave)
+    return GroupAdministrator(
+        enclave=enclave,
+        cloud=system.cloud,
+        signing_key=system.admin._signing_key,
+        partition_capacity=system.admin.partition_capacity,
+        rng=DeterministicRng(seed),
+    )
+
+
+def run_workload(system, store, seed: str) -> bytes:
+    """Seeded two-admin churn + late-client sync against ``store``.
+
+    The second administrator refreshes between operations, then admin 1
+    deliberately operates on a stale view so the OCC retry path runs
+    over whatever store (local or remote) is plugged in.  Returns the
+    surviving member's group key."""
+    from repro.core.multiadmin import ConcurrentAdministrator
+
+    system.cloud = store
+    system.admin.cloud = store
+    admin1 = ConcurrentAdministrator(system.admin)
+    admin2 = ConcurrentAdministrator(_second_admin(system, f"{seed}-b"))
+
+    admin1.create_group(GROUP, ["alice", "bob", "carol", "dave"])
+    admin2.refresh(GROUP)
+    admin2.add_user(GROUP, "erin")
+    admin1.add_user(GROUP, "frank")      # stale view -> conflict retry
+    admin2.refresh(GROUP)
+    admin2.remove_user(GROUP, "bob")
+    admin1.rekey(GROUP)                  # stale again -> conflict retry
+
+    client = system.make_client(GROUP, "alice")
+    client.sync()
+    members = set(system.admin.members(GROUP))
+    expected = {"alice", "carol", "dave", "erin", "frank"}
+    if members != expected:
+        raise ReproError(f"membership diverged: {sorted(members)}")
+    return client.current_group_key()
+
+
+def _reference_state(seed: str) -> Tuple[bytes, str]:
+    """The same workload, fully in-process."""
+    system = _fresh_system(seed)
+    store = system.cloud
+    key = run_workload(system, store, seed)
+    digest = cloud_digest(store)
+    system.close()
+    return key, digest
+
+
+# ---------------------------------------------------------------------------
+# Metrics artifact
+# ---------------------------------------------------------------------------
+
+def collect_metrics(store) -> Dict[str, Any]:
+    """The client-side ``net.rpc.*`` view of the run."""
+    registry = store.metrics.registry
+    counters = {name: value
+                for name, value in registry.counters_snapshot().items()
+                if name.startswith("net.rpc.")}
+    full = registry.snapshot()
+    latency = {field: full[f"net.rpc.latency_ms.{field}"]
+               for field in ("count", "p50", "p95", "max")
+               if f"net.rpc.latency_ms.{field}" in full}
+    return {"counters": counters, "latency_ms": latency}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def run_smoke(store_url: Optional[str] = None, seed: str = "net-smoke",
+              metrics_out: Optional[str] = None) -> Dict[str, Any]:
+    from repro.net import RemoteCloudStore
+
+    served: Optional[ServedProcess] = None
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if store_url is None:
+        tmp = tempfile.TemporaryDirectory(prefix="net-smoke-")
+        served = ServedProcess(tmp.name)
+        store_url = served.url
+        print(f"started serve subprocess at {store_url}")
+
+    try:
+        store = RemoteCloudStore(store_url)
+        system = _fresh_system(seed)
+        remote_key = run_workload(system, store, seed)
+        remote_digest = cloud_digest(store)
+        object_count = len(list(store.adversary_view()))
+        metrics = collect_metrics(store)
+        system.close()
+        store.close()
+    finally:
+        if served is not None:
+            served.stop()
+        if tmp is not None:
+            tmp.cleanup()
+
+    local_key, local_digest = _reference_state(seed)
+    identical = (remote_key == local_key
+                 and remote_digest == local_digest)
+    report = {
+        "seed": seed,
+        "store_url": store_url,
+        "objects": object_count,
+        "byte_identical": identical,
+        "net_rpc": metrics,
+    }
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {metrics_out}")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.net_smoke",
+        description="network serving layer end-to-end smoke test")
+    parser.add_argument("--store-url", default=None,
+                        help="use an already-running server instead of "
+                             "spawning a serve subprocess")
+    parser.add_argument("--seed", default="net-smoke")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the net.rpc.* metrics artifact here")
+    args = parser.parse_args(argv)
+
+    report = run_smoke(store_url=args.store_url, seed=args.seed,
+                       metrics_out=args.metrics_out)
+    rpc = report["net_rpc"]["counters"]
+    print(f"workload over {report['store_url']}: "
+          f"{int(rpc.get('net.rpc.requests', 0))} RPCs, "
+          f"{int(rpc.get('net.rpc.bytes_sent', 0))} B sent, "
+          f"{int(rpc.get('net.rpc.bytes_received', 0))} B received")
+    if not report["byte_identical"]:
+        print("FAIL: remote cloud state diverged from the in-process "
+              "reference", file=sys.stderr)
+        return 1
+    print(f"byte-identical to in-process reference "
+          f"({report['objects']} objects)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
