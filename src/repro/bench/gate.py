@@ -328,6 +328,67 @@ def _op_net_rpc_commit(scale: float) -> Tuple[float, float, float]:
         server.stop()
 
 
+def _scale_runner(scale: float):
+    """A bounded scale-suite scenario (Zipf roster + churn trace), small
+    enough for the gate's repeat loop yet exercising the same phases the
+    nightly soak runs at 10^5 users."""
+    from repro.workloads.scale import ScaleConfig, ScaleRunner
+
+    config = ScaleConfig(
+        users=max(300, int(1200 * scale)),
+        seed="gate-scale",
+        churn_ops=max(24, int(96 * scale)),
+        sync_clients=max(4, int(8 * scale)),
+        sync_rounds=2,
+        resync_churn=6,
+        contention_rounds=1,
+        workers=1,
+    )
+    return ScaleRunner(config)
+
+
+def _op_scale_churn(scale: float) -> Tuple[float, float, float]:
+    """Per-op cost of the scale suite's bursty churn phase: Zipf-
+    weighted join/leave bursts through the adaptive administrator
+    (inline partition reviews included).  Bytes and crossings are the
+    per-op cloud/enclave footprint — deterministic for a fixed seed."""
+    runner = _scale_runner(scale)
+    try:
+        runner.provision()
+        ops = len(runner.trace)
+        before_bytes, before_crossings = _footprint(runner.system)
+        start = time.perf_counter()
+        runner.churn()
+        elapsed = time.perf_counter() - start
+        after_bytes, after_crossings = _footprint(runner.system)
+        return (elapsed / ops, (after_bytes - before_bytes) / ops,
+                (after_crossings - before_crossings) / ops)
+    finally:
+        runner.close()
+
+
+def _op_scale_sync(scale: float) -> Tuple[float, float, float]:
+    """Per-client cost of the scale suite's read-heavy phase: a bounded
+    client fleet syncs and derives keys, then re-syncs incrementally
+    after an interleaved churn slice (the resume path).  Bytes is the
+    per-sync cloud read volume."""
+    runner = _scale_runner(scale)
+    try:
+        runner.provision()
+        runner.churn()
+        metrics = runner.system.telemetry()["metrics"]
+        before_bytes = metrics["cloud.bytes_out"]
+        start = time.perf_counter()
+        runner.sync_storm()
+        elapsed = time.perf_counter() - start
+        metrics = runner.system.telemetry()["metrics"]
+        ops = max(1, runner.phase_stats["sync"].ops)
+        return (elapsed / ops,
+                (metrics["cloud.bytes_out"] - before_bytes) / ops, 0.0)
+    finally:
+        runner.close()
+
+
 #: name -> callable(scale) -> (seconds, bytes, crossings)
 OPS: Dict[str, Callable[[float], Tuple[float, float, float]]] = {
     "fig2.encrypt": _op_fig2_encrypt,
@@ -340,6 +401,8 @@ OPS: Dict[str, Callable[[float], Tuple[float, float, float]]] = {
     "cold_start.snapshot": _op_cold_start_snapshot,
     "net.rpc.get": _op_net_rpc_get,
     "net.rpc.commit": _op_net_rpc_commit,
+    "scale.churn": _op_scale_churn,
+    "scale.sync": _op_scale_sync,
 }
 
 

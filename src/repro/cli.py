@@ -599,6 +599,14 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_scale(args) -> int:
+    """Run the scale suite through the same argument set (and driver)
+    as ``python -m repro.workloads.scale``."""
+    from repro.workloads.scale import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_stats(args) -> int:
     """Load the deployment, sync every group, and dump the merged metric
     snapshot in the requested format."""
@@ -789,6 +797,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compact the served store automatically every N "
                         "mutations")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("scale",
+                       help="run the million-user scale suite (Zipf "
+                            "groups, bursty churn, OCC contention, "
+                            "sync storms) or its calibration mode")
+    from repro.workloads.scale import add_scale_arguments
+
+    add_scale_arguments(p)
+    p.set_defaults(func=cmd_scale)
 
     p = sub.add_parser("stats",
                        help="dump the deployment's merged metric snapshot")

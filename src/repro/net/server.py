@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.protocol import CloudStoreProtocol
@@ -120,6 +121,10 @@ class StoreServer:
         self._port = port
         self._server: Optional[asyncio.base_events.Server] = None
         self._mutated: Optional[asyncio.Condition] = None
+        #: Connections currently parked in a ``poll_dir`` long-poll.
+        #: Tests synchronise on this instead of sleeping a fixed time
+        #: and hoping the poll RPC arrived (see ``poll_waiters``).
+        self._poll_waiters = 0
         self._writers: List[asyncio.StreamWriter] = []
         #: Set when a CrashError from the store killed the server.
         self.crashed: Optional[CrashError] = None
@@ -156,6 +161,16 @@ class StoreServer:
     @property
     def address(self) -> Tuple[str, int]:
         return self._host, self._port
+
+    @property
+    def poll_waiters(self) -> int:
+        """Connections currently parked in a ``poll_dir`` long-poll.
+
+        The condition-wait alternative to wall-clock sleeps: a test (or
+        monitor) that must act *while a long-poll is parked* spins on
+        this going positive instead of sleeping a fixed interval and
+        assuming the poll RPC has reached the server by then."""
+        return self._poll_waiters
 
     @property
     def url(self) -> str:
@@ -341,11 +356,14 @@ class StoreServer:
                     events=[wire.encode_event(e) for e in events],
                     cursor=cursor).to_params()
             async with self._mutated:
+                self._poll_waiters += 1
                 try:
                     await asyncio.wait_for(self._mutated.wait(),
                                            timeout=remaining)
                 except asyncio.TimeoutError:
                     pass
+                finally:
+                    self._poll_waiters -= 1
 
     async def _h_compact(self, params: Dict[str, Any]) -> Dict[str, Any]:
         wire.CompactRequest.from_params(params)
@@ -417,6 +435,26 @@ class ServerThread:
     @property
     def crashed(self) -> Optional[CrashError]:
         return self.server.crashed if self.server is not None else None
+
+    @property
+    def poll_waiters(self) -> int:
+        """Parked ``poll_dir`` long-polls (see
+        :attr:`StoreServer.poll_waiters`); reading an int across the
+        loop thread is atomic under the GIL."""
+        return self.server.poll_waiters if self.server is not None else 0
+
+    def wait_for_poll_waiters(self, count: int = 1,
+                              timeout: float = 5.0) -> bool:
+        """Block until at least ``count`` long-polls are parked on the
+        server (or ``timeout`` elapses).  The deterministic handshake
+        tests use instead of sleeping and hoping the poll RPC has
+        arrived — fixed sleeps flake under loaded CI runners."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.poll_waiters >= count:
+                return True
+            time.sleep(0.002)
+        return self.poll_waiters >= count
 
     def start(self) -> str:
         self._thread = threading.Thread(

@@ -122,6 +122,38 @@ class Histogram:
         observations), unordered."""
         return list(self._reservoir)
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        The exact aggregates (count/total/min/max) merge exactly; the
+        reservoir absorbs the other's samples through :meth:`observe`-
+        style replacement weighted by the combined count, so quantiles
+        stay an unbiased estimate of the union.  Used to combine the
+        same metric across many registries — e.g. every client's
+        ``client.sync.seconds`` into one fleet-wide distribution for
+        the scale suite's report.
+        """
+        if other.count == 0:
+            return
+        self.total += other.total
+        if self.min is None or (other.min is not None
+                                and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None
+                                and other.max > self.max):
+            self.max = other.max
+        for value in other.samples():
+            self.count += 1
+            if len(self._reservoir) < self._reservoir_size:
+                self._reservoir.append(value)
+            else:
+                slot = self._rand.randrange(self.count)
+                if slot < self._reservoir_size:
+                    self._reservoir[slot] = value
+        # Observations the other histogram saw but no longer holds in
+        # its reservoir still count toward the aggregate total.
+        self.count += max(0, other.count - len(other.samples()))
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0

@@ -27,13 +27,25 @@ __all__ = [
     "run_chaos",
     "cloud_digest",
     "make_membership_trace",
+    "CalibrationReport",
+    "ScaleConfig",
+    "ScaleReport",
+    "plan_groups",
+    "run_calibration",
+    "run_scale",
+    "zipf_group_sizes",
 ]
 
-# The chaos harness is imported lazily so ``python -m
-# repro.workloads.chaos`` (the CI smoke entry point) does not import
-# the module twice.
+# The chaos harness and the scale suite are imported lazily so
+# ``python -m repro.workloads.chaos`` / ``python -m
+# repro.workloads.scale`` (the CI smoke entry points) do not import
+# their module twice.
 _CHAOS_EXPORTS = frozenset(
     {"ChaosReport", "run_chaos", "cloud_digest", "make_membership_trace"}
+)
+_SCALE_EXPORTS = frozenset(
+    {"CalibrationReport", "ScaleConfig", "ScaleReport", "plan_groups",
+     "run_calibration", "run_scale", "zipf_group_sizes"}
 )
 
 
@@ -42,4 +54,8 @@ def __getattr__(name):
         from repro.workloads import chaos
 
         return getattr(chaos, name)
+    if name in _SCALE_EXPORTS:
+        from repro.workloads import scale
+
+        return getattr(scale, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -193,6 +193,31 @@ class TestMain:
                           "--baseline", str(baseline_path)])
         assert code == 1
 
+    def test_scale_ops_gate_on_injected_slowdown(self, tmp_path,
+                                                 monkeypatch, capsys):
+        """Acceptance: the ``scale.*`` op family is gated like the
+        others — a slowdown in the real scale-suite ops beyond
+        tolerance exits non-zero."""
+        real_churn = gate.OPS["scale.churn"]
+        real_sync = gate.OPS["scale.sync"]
+        monkeypatch.setattr(gate, "OPS", {
+            "scale.churn": lambda s: real_churn(0.1),
+            "scale.sync": lambda s: real_sync(0.1),
+        })
+        baseline_path = tmp_path / "BENCH_base.json"
+        assert gate.main(["--out", str(baseline_path),
+                          "--repeats", "1"]) == 0
+        baseline = gate.load_snapshot(baseline_path)
+        for record in baseline["ops"].values():
+            record["mean"] /= 10.0      # head run is now a >50% slowdown
+        gate.write_snapshot(baseline, baseline_path)
+        code = gate.main(["--out", str(tmp_path / "BENCH_head.json"),
+                          "--baseline", str(baseline_path),
+                          "--repeats", "1"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "scale.churn" in err and "REGRESSION" in err
+
     def test_tolerance_time_override(self, tmp_path, monkeypatch):
         baseline_path = tmp_path / "BENCH_base.json"
         monkeypatch.setattr(

@@ -1,8 +1,15 @@
 """Adaptive partition sizing tests (future-work extension)."""
 
+import math
+
 import pytest
 
-from repro.core.adaptive import AdaptiveAdministrator, AdaptivePolicy
+from repro.core.adaptive import (
+    AdaptiveAdministrator,
+    AdaptivePolicy,
+    CoefficientFit,
+    fit_linear_cost,
+)
 from repro.errors import ParameterError
 from tests.conftest import make_system
 
@@ -52,6 +59,101 @@ class TestPolicyMath:
         assert policy.should_repartition(100, 300)
         assert policy.should_repartition(100, 40)
 
+    def test_hysteresis_boundary_exactly_at_factor(self):
+        # The band is closed: exactly hysteresis× (or 1/hysteresis×)
+        # does NOT trigger — only strict drift past the band does.
+        policy = AdaptivePolicy(hysteresis=1.5)
+        assert not policy.should_repartition(100, 150)   # exactly 1.5×
+        assert policy.should_repartition(100, 151)
+        assert not policy.should_repartition(150, 100)   # exactly 1/1.5
+        assert policy.should_repartition(151, 100)
+
+    def test_min_equals_max_capacity_pins_the_optimum(self):
+        policy = AdaptivePolicy(min_capacity=32, max_capacity=32)
+        # Whatever the workload mix says, the clamp wins — and a pinned
+        # capacity can never drift past the hysteresis band.
+        for rev, dec in [(0.001, 1000.0), (1000.0, 0.001),
+                         (1.0, 1.0), (0.0, 1.0), (1.0, 0.0)]:
+            optimal = policy.optimal_capacity(10_000, rev, dec)
+            assert optimal == 32
+            assert not policy.should_repartition(32, optimal)
+
+    def test_recommendation_stable_under_noisy_rates(self):
+        # ±20% noise on both rates moves the cube-root optimum by at
+        # most (1.2/0.8)^(1/3) ≈ 1.14× — inside the default 1.5×
+        # hysteresis band, so a converged group must never thrash.
+        policy = AdaptivePolicy(min_capacity=1, max_capacity=10**6)
+        base = policy.optimal_capacity(100_000, 0.35, 2.0)
+        for rev_noise in (0.8, 0.9, 1.0, 1.1, 1.2):
+            for dec_noise in (0.8, 0.9, 1.0, 1.1, 1.2):
+                noisy = policy.optimal_capacity(
+                    100_000, 0.35 * rev_noise, 2.0 * dec_noise)
+                assert not policy.should_repartition(base, noisy)
+
+
+class TestCalibration:
+    def test_fit_recovers_a_linear_cost(self):
+        fit = fit_linear_cost([(1.0, 0.012), (2.0, 0.022),
+                               (4.0, 0.042), (8.0, 0.082)])
+        assert fit.coefficient == pytest.approx(0.01)
+        assert fit.intercept == pytest.approx(0.002)
+        assert fit.residual == pytest.approx(0.0, abs=1e-12)
+        assert "4 samples" in fit.describe()
+
+    def test_fit_clamps_negative_slope(self):
+        fit = fit_linear_cost([(1.0, 0.05), (2.0, 0.04), (3.0, 0.03)])
+        assert fit.coefficient == 0.0
+
+    def test_fit_rejects_degenerate_samples(self):
+        with pytest.raises(ParameterError):
+            fit_linear_cost([(1.0, 0.5)])
+        with pytest.raises(ParameterError):
+            fit_linear_cost([(2.0, 0.5), (2.0, 0.6)])
+
+    def test_calibrated_policy_uses_measured_coefficients(self):
+        rekey = fit_linear_cost([(1.0, 0.011), (2.0, 0.021)])
+        decrypt = fit_linear_cost([(64.0, 0.001), (256.0, 0.004)])
+        policy = AdaptivePolicy.calibrated(rekey, decrypt,
+                                           min_capacity=1,
+                                           max_capacity=10**9)
+        assert policy.c_rekey == rekey.coefficient
+        assert policy.c_decrypt == decrypt.coefficient
+        expected = round((0.35 * policy.c_rekey * 10_000
+                          / (2 * 2.0 * policy.c_decrypt)) ** (1 / 3))
+        assert policy.optimal_capacity(10_000, 0.35, 2.0) == expected
+
+    def test_calibrated_rejects_zero_slope(self):
+        flat = fit_linear_cost([(1.0, 0.5), (2.0, 0.5)])
+        steep = fit_linear_cost([(1.0, 0.1), (2.0, 0.2)])
+        with pytest.raises(ParameterError):
+            AdaptivePolicy.calibrated(flat, steep)
+        with pytest.raises(ParameterError):
+            AdaptivePolicy.calibrated(steep, flat)
+
+    def test_cutoff_curve_against_sqrt_rule(self):
+        policy = AdaptivePolicy(min_capacity=1, max_capacity=10**9)
+        curve = policy.cutoff_curve([10_000, 100_000, 1_000_000],
+                                    revocation_rate=0.35,
+                                    decrypt_rate=2.0)
+        assert [p.group_size for p in curve] == [10_000, 100_000,
+                                                 1_000_000]
+        for point in curve:
+            assert point.sqrt_rule == round(math.sqrt(point.group_size))
+            assert point.optimal == policy.optimal_capacity(
+                point.group_size, 0.35, 2.0)
+            assert point.ratio == pytest.approx(
+                point.optimal / point.sqrt_rule)
+        # m* grows as cbrt(n): the ratio to sqrt(n) must fall with n.
+        assert curve[0].ratio > curve[1].ratio > curve[2].ratio
+
+    def test_with_capacity_bounds_keeps_coefficients(self):
+        policy = AdaptivePolicy(c_rekey=1.0, c_decrypt=1.0,
+                                min_capacity=8, max_capacity=64)
+        unclamped = policy.with_capacity_bounds(1, 10**9)
+        assert unclamped.c_rekey == policy.c_rekey
+        assert unclamped.optimal_capacity(2_000, 1.0, 1.0) == round(
+            (2_000 / 2) ** (1 / 3))
+
 
 class TestAdaptiveAdministrator:
     def test_resize_triggered_by_decrypt_heavy_workload(self):
@@ -99,3 +201,50 @@ class TestAdaptiveAdministrator:
         system = make_system("adaptive4")
         with pytest.raises(ParameterError):
             AdaptiveAdministrator(system.admin, review_every=0)
+
+    def test_trajectory_records_every_review(self):
+        system = make_system("adaptive5", capacity=8, system_bound=16,
+                             auto_repartition=False)
+        policy = AdaptivePolicy(min_capacity=2, max_capacity=16,
+                                hysteresis=1.2)
+        adaptive = AdaptiveAdministrator(system.admin, policy,
+                                         review_every=4)
+        adaptive.create_group("g", [f"u{i}" for i in range(8)])
+        adaptive.record_decrypt("g", count=400)
+        for i in range(4):
+            adaptive.add_user("g", f"extra{i}")
+        assert len(adaptive.trajectory) == 1
+        point = adaptive.trajectory[0]
+        assert point.group_id == "g"
+        assert point.current_capacity == 8
+        assert point.repartitioned
+        assert point.optimal_capacity == system.admin.group_state(
+            "g").table.capacity
+        summary = point.summary()
+        assert summary["group"] == "g" and summary["repartitioned"]
+
+    def test_trajectory_includes_non_repartitioning_reviews(self):
+        system = make_system("adaptive6", capacity=4, system_bound=16,
+                             auto_repartition=False)
+        policy = AdaptivePolicy(min_capacity=2, max_capacity=16,
+                                hysteresis=100.0)  # never triggers
+        adaptive = AdaptiveAdministrator(system.admin, policy,
+                                         review_every=2)
+        adaptive.create_group("g", ["a", "b", "c"])
+        adaptive.add_user("g", "d")
+        adaptive.add_user("g", "e")
+        assert adaptive.resizes == 0
+        assert len(adaptive.trajectory) == 1
+        assert not adaptive.trajectory[0].repartitioned
+
+    def test_trajectory_is_bounded(self):
+        system = make_system("adaptive7", capacity=4, system_bound=16,
+                             auto_repartition=False)
+        adaptive = AdaptiveAdministrator(system.admin, review_every=1)
+        adaptive.MAX_TRAJECTORY = 3
+        adaptive.create_group("g", ["a", "b", "c", "d"])
+        for i in range(6):
+            adaptive.add_user("g", f"n{i}")
+        assert len(adaptive.trajectory) == 3
+        # FIFO: the retained points are the most recent reviews.
+        assert adaptive.trajectory[-1].group_size == 10

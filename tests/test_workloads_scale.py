@@ -1,0 +1,242 @@
+"""Scale-suite tests: generator invariants, determinism, reporting.
+
+The full acceptance runs (10^5 users) live in the nightly workflow; the
+tests here drive the same code at a few hundred users so the PR path
+stays fast while still covering every phase, the fault profile, the
+worker path, and the calibration mode.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import Histogram
+from repro.workloads.scale import (
+    OP_JOIN,
+    OP_LEAVE,
+    ScaleConfig,
+    generate_churn,
+    plan_groups,
+    run_calibration,
+    run_scale,
+    zipf_group_sizes,
+)
+
+
+# ---------------------------------------------------------------------------
+# The deterministic generator
+# ---------------------------------------------------------------------------
+
+class TestZipfGroups:
+    def test_sizes_partition_the_population(self):
+        sizes = zipf_group_sizes(10_000)
+        assert sum(sizes) == 10_000
+        assert all(s >= 3 for s in sizes)
+
+    def test_rank_size_shape(self):
+        sizes = zipf_group_sizes(10_000, exponent=1.1,
+                                 max_group_fraction=0.2)
+        assert sizes[0] == 2_000                    # head = users × 0.2
+        # Zipf head + long tail: a few big groups, a large population
+        # of small ones (the last group may absorb a remainder).
+        assert sorted(sizes[:-1], reverse=True) == sizes[:-1]
+        median = sorted(sizes)[len(sizes) // 2]
+        assert sizes[0] > 100 * median
+        assert sizes.count(3) > 50
+
+    def test_pure_function_of_inputs(self):
+        assert zipf_group_sizes(5_000) == zipf_group_sizes(5_000)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            zipf_group_sizes(2)
+        with pytest.raises(ParameterError):
+            zipf_group_sizes(100, exponent=0.0)
+
+    def test_plan_assigns_disjoint_members_and_sqrt_capacity(self):
+        groups = plan_groups(ScaleConfig(users=2_000, seed="x"))
+        seen = set()
+        for group in groups:
+            members = group.initial_members()
+            assert len(members) == group.size
+            assert not seen.intersection(members)
+            seen.update(members)
+            assert group.capacity == max(
+                2, min(512, round(group.size ** 0.5)))
+        assert len(seen) == 2_000
+
+    def test_fixed_capacity_rule(self):
+        groups = plan_groups(ScaleConfig(users=500, seed="x",
+                                         capacity_rule="fixed:7"))
+        assert all(g.capacity == 7 for g in groups)
+        with pytest.raises(ParameterError):
+            plan_groups(ScaleConfig(users=500, capacity_rule="wat"))
+
+
+class TestChurnTrace:
+    def test_trace_is_valid_against_simulated_membership(self):
+        config = ScaleConfig(users=1_000, seed="churn")
+        groups = plan_groups(config)
+        events = generate_churn(groups, 300, config)
+        assert len(events) == 300
+        members = {g.group_id: set(g.initial_members()) for g in groups}
+        for event in events:
+            roster = members[event.group_id]
+            if event.kind == OP_JOIN:
+                assert event.user not in roster
+                roster.add(event.user)
+            else:
+                assert event.kind == OP_LEAVE
+                assert event.user in roster
+                roster.remove(event.user)
+                assert len(roster) >= config.min_group_size
+
+    def test_trace_deterministic_and_mixed(self):
+        config = ScaleConfig(users=1_000, seed="churn")
+        groups = plan_groups(config)
+        a = generate_churn(groups, 300, config)
+        b = generate_churn(groups, 300, config)
+        assert a == b
+        kinds = {e.kind for e in a}
+        assert kinds == {OP_JOIN, OP_LEAVE}
+        assert any(e.decrypts > 0 for e in a)
+
+    def test_revocation_mix_shifts_leave_share(self):
+        config_low = ScaleConfig(users=1_000, seed="m",
+                                 revocation_mix=0.1)
+        config_high = ScaleConfig(users=1_000, seed="m",
+                                  revocation_mix=0.6)
+        groups = plan_groups(config_low)
+        low = sum(e.kind == OP_LEAVE
+                  for e in generate_churn(groups, 400, config_low))
+        high = sum(e.kind == OP_LEAVE
+                   for e in generate_churn(groups, 400, config_high))
+        assert high > low
+
+    def test_duration_bounds_ops_deterministically(self):
+        config = ScaleConfig(users=50_000, duration=10.0)
+        bounded = config.effective_churn_ops()
+        assert bounded == config.effective_churn_ops()   # no wall clock
+        assert bounded < ScaleConfig(users=50_000).effective_churn_ops()
+
+
+# ---------------------------------------------------------------------------
+# Histogram.merge (the fleet-wide latency fold the report relies on)
+# ---------------------------------------------------------------------------
+
+class TestHistogramMerge:
+    def test_merge_exact_aggregates(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+        for v in (10.0, 0.5):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == pytest.approx(16.5)
+        assert a.min == 0.5 and a.max == 10.0
+        assert sorted(a.samples()) == [0.5, 1.0, 2.0, 3.0, 10.0]
+
+    def test_merge_empty_is_noop(self):
+        a = Histogram("a")
+        a.observe(1.0)
+        a.merge(Histogram("b"))
+        assert a.count == 1 and a.total == 1.0
+
+    def test_merge_counts_evicted_observations(self):
+        a = Histogram("a", reservoir_size=4)
+        b = Histogram("b", reservoir_size=4)
+        for i in range(100):
+            b.observe(float(i))
+        a.merge(b)
+        assert a.count == 100                # not just the 4 samples
+        assert a.max == 99.0
+
+
+# ---------------------------------------------------------------------------
+# The runner end to end (small populations)
+# ---------------------------------------------------------------------------
+
+SMALL = dict(users=600, seed="suite", sync_clients=6, churn_ops=60,
+             contention_rounds=1, sync_rounds=2, resync_churn=4)
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    return run_scale(**SMALL)
+
+
+class TestRunScale:
+    def test_converges_and_reports(self, baseline_report):
+        report = baseline_report
+        assert report.converged
+        assert report.revocation_failures == 0
+        assert report.groups == len(plan_groups(ScaleConfig(users=600)))
+        assert report.churn_ops == 60
+        assert report.phases["churn"]["ops"] == 60
+        assert report.phases["sync"]["ops"] > 0
+        assert report.latency["churn_op"]["count"] == 60
+        assert report.latency["client_decrypt"]["count"] > 0
+        assert report.occ_conflicts >= 1        # the stale-view races
+        assert len(report.convergence_digest) == 64
+        json.dumps(report.summary())            # JSON-serialisable
+
+    def test_rerun_is_byte_identical(self, baseline_report):
+        again = run_scale(**SMALL)
+        assert again.convergence_digest == \
+            baseline_report.convergence_digest
+        assert again.membership_digest == baseline_report.membership_digest
+        assert again.key_hashes == baseline_report.key_hashes
+
+    def test_faults_do_not_change_the_digest(self, baseline_report):
+        faulted = run_scale(faults=True, **SMALL)
+        assert faulted.faults_injected > 0
+        assert faulted.convergence_digest == \
+            baseline_report.convergence_digest
+
+    def test_workers_do_not_change_the_digest(self, baseline_report):
+        parallel = run_scale(workers=2, **SMALL)
+        assert parallel.convergence_digest == \
+            baseline_report.convergence_digest
+
+    def test_different_seed_changes_the_digest(self, baseline_report):
+        other = run_scale(**{**SMALL, "seed": "other"})
+        assert other.convergence_digest != \
+            baseline_report.convergence_digest
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(ParameterError):
+            run_scale(ScaleConfig(users=100), users=200)
+
+
+class TestCalibration:
+    def test_calibration_emits_coefficients_and_curve(self):
+        report = run_calibration(seed="cal", rekey_sizes=(64, 128),
+                                 rekey_capacity=8, repeats=1,
+                                 decrypt_sizes=(4, 8, 16),
+                                 curve_sizes=(10_000, 100_000))
+        summary = report.summary()
+        assert summary["c_rekey"] > 0
+        assert summary["c_decrypt"] > 0
+        assert [p["n"] for p in summary["cutoff_curve"]] == \
+            [10_000, 100_000]
+        for point in summary["cutoff_curve"]:
+            assert point["sqrt_n"] == round(point["n"] ** 0.5)
+            assert point["optimal_m"] >= 1
+        assert summary["span_breakdown"]        # attribution present
+        json.dumps(summary)
+
+
+class TestCli:
+    def test_main_runs_and_writes_json(self, tmp_path, capsys):
+        from repro.workloads.scale import main
+
+        out = tmp_path / "report.json"
+        code = main(["--users", "4e2", "--seed", "cli", "--churn-ops",
+                     "24", "--sync-clients", "4",
+                     "--json-out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["converged"] is True
+        assert "convergence digest:" in capsys.readouterr().out
