@@ -24,10 +24,12 @@ Usage overview::
                                      [--profile [--profile-hz N]]
                                      [--faults SEED] [--compact N]
     python -m repro.cli compact      --cloud C
-    python -m repro.cli stats        --state S --cloud C
+    python -m repro.cli stats        (--state S --cloud C | --store-url U)
                                      [--format table|json|prom] [--out F]
+    python -m repro.cli health       --store-url U [--timeout T] [--json]
     python -m repro.cli serve        --cloud C [--state S] [--host H]
                                      [--port P] [--compact-every N]
+                                     [--request-log F] [--slow-ms N]
 
 ``serve`` exposes the file-backed store over TCP (``repro.net``
 protocol); every command that takes ``--cloud`` alternatively accepts
@@ -68,7 +70,7 @@ from repro.core import GroupAdministrator, GroupClient
 from repro.crypto import ecdsa
 from repro.crypto.rng import SystemRng
 from repro.enclave_app import IbbeEnclave
-from repro.errors import NotFoundError, ReproError
+from repro.errors import NotFoundError, ReproError, ValidationError
 from repro.pairing import PairingGroup, preset
 from repro.pairing.group import G1Element
 from repro.sgx import (
@@ -566,10 +568,12 @@ def cmd_serve(args) -> int:
     supervising process can parse it — an ephemeral ``--port 0`` is the
     default.  With ``--state``, the deployment's administrator is also
     hosted and the whitelisted admin operations become callable via
-    ``repro.net.RemoteAdmin``."""
+    ``repro.net.RemoteAdmin``.  With ``--request-log``, every handled
+    request appends one JSONL record (see docs/API.md for the schema);
+    ``--slow-ms`` sets the threshold for the record's ``slow`` flag."""
     import asyncio
 
-    from repro.net import AdminBridge, StoreServer
+    from repro.net import AdminBridge, RequestLog, StoreServer
 
     store = FileCloudStore(Path(args.cloud),
                            compact_every=args.compact_every)
@@ -577,14 +581,20 @@ def cmd_serve(args) -> int:
     if args.state:
         deployment = Deployment(Path(args.state), store=store)
         bridge = AdminBridge(_ServedAdmin(deployment))
+    request_log = None
+    if args.request_log:
+        request_log = RequestLog(args.request_log, slow_ms=args.slow_ms)
 
     async def run() -> None:
         server = StoreServer(store, host=args.host, port=args.port,
-                             admin=bridge)
+                             admin=bridge, request_log=request_log)
         await server.start()
         print(f"serving {server.url}", flush=True)
         print(f"admin endpoint: {'enabled' if bridge else 'disabled'}",
               flush=True)
+        if request_log is not None:
+            print(f"request log: {request_log.path} "
+                  f"(slow >= {request_log.slow_ms:g} ms)", flush=True)
         try:
             await server.closed.wait()
         finally:
@@ -596,6 +606,9 @@ def cmd_serve(args) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("shutting down")
+    finally:
+        if request_log is not None:
+            request_log.close()
     return 0
 
 
@@ -607,35 +620,142 @@ def cmd_scale(args) -> int:
     return run_from_args(args)
 
 
-def cmd_stats(args) -> int:
-    """Load the deployment, sync every group, and dump the merged metric
-    snapshot in the requested format."""
+def _server_stats_table(stats: dict) -> list:
+    """Human-readable rendering of an ``ops.stats`` snapshot."""
     from repro import obs
 
-    deployment = _open_deployment(args)
-    groups = sorted({
-        path.strip("/").split("/")[0]
-        for path in deployment.cloud.list_dir("/")
-    })
-    for group_id in groups:
-        try:
-            deployment.load_group(group_id)
-        except (NotFoundError, ReproError):
-            pass
-    metrics = obs.merge_snapshots(deployment.metric_sources())
-    metrics.update(obs.tracer().registry.snapshot())
-    if args.format == "json":
-        text = json.dumps(metrics, indent=2, sort_keys=True)
-    elif args.format == "prom":
-        text = obs.metrics_to_prometheus(metrics).rstrip("\n")
+    conns = stats.get("connections", {})
+    reqs = stats.get("requests", {})
+    store = stats.get("store", {})
+    rlog = stats.get("request_log", {})
+    lines = [
+        f"server         {stats.get('server', '?')}  "
+        f"pid={stats.get('pid', '?')}  "
+        f"protocol={stats.get('protocol', '?')}",
+        f"uptime         {stats.get('uptime_s', 0.0):.1f} s",
+        f"features       {', '.join(stats.get('features', []))}",
+        f"connections    active={conns.get('active', 0)}  "
+        f"total={conns.get('total', 0)}  "
+        f"poll_waiters={conns.get('poll_waiters', 0)}",
+        f"requests       total={reqs.get('total', 0)}  "
+        f"errors={reqs.get('errors', 0)}  "
+        f"bytes_in={reqs.get('bytes_in', 0)}  "
+        f"bytes_out={reqs.get('bytes_out', 0)}",
+        f"store          type={store.get('type', '?')}  "
+        f"head={store.get('head_sequence', '?')}  "
+        f"recoveries={store.get('recoveries', 0)}",
+    ]
+    if rlog.get("enabled"):
+        lines.append(
+            f"request log    {rlog.get('path') or '<memory>'}  "
+            f"records={rlog.get('records', 0)}  "
+            f"slow={rlog.get('slow', 0)}  errors={rlog.get('errors', 0)}")
     else:
-        text = "\n".join(obs.format_metrics(metrics))
+        lines.append("request log    disabled")
+    slo = stats.get("slo", {})
+    methods = slo.get("methods", {})
+    if methods:
+        lines.append("")
+        lines.append(f"{'method':<22} {'count':>7} {'errors':>6} "
+                     f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8} {'err%':>6}")
+        rows = list(methods.items()) + [("(all)", slo.get("all", {}))]
+        for name, window in rows:
+            if not window:
+                continue
+            lines.append(
+                f"{name:<22} {window.get('count', 0):>7} "
+                f"{window.get('errors', 0):>6} "
+                f"{window.get('p50_ms', 0.0):>8.3f} "
+                f"{window.get('p95_ms', 0.0):>8.3f} "
+                f"{window.get('p99_ms', 0.0):>8.3f} "
+                f"{100.0 * window.get('error_rate', 0.0):>6.2f}")
+    metrics = stats.get("metrics", {})
+    if metrics:
+        lines.append("")
+        lines.extend(obs.format_metrics(metrics))
+    return lines
+
+
+def cmd_stats(args) -> int:
+    """Dump a metric snapshot: the deployment's merged local registries
+    (``--state``), or a live server's operational snapshot fetched over
+    the wire via ``ops.stats`` (``--store-url`` alone)."""
+    from repro import obs
+
+    if args.store_url and not args.state:
+        from repro.net import connect_store
+
+        store = connect_store(args.store_url)
+        try:
+            stats = store.server_stats()
+        finally:
+            store.close()
+        if args.format == "json":
+            text = json.dumps(stats, indent=2, sort_keys=True)
+        elif args.format == "prom":
+            text = obs.metrics_to_prometheus(
+                stats.get("metrics", {})).rstrip("\n")
+        else:
+            text = "\n".join(_server_stats_table(stats))
+    else:
+        if not args.state:
+            raise ValidationError(
+                "stats needs --state (local deployment snapshot) or "
+                "--store-url (live server snapshot)")
+        deployment = _open_deployment(args)
+        groups = sorted({
+            path.strip("/").split("/")[0]
+            for path in deployment.cloud.list_dir("/")
+        })
+        for group_id in groups:
+            try:
+                deployment.load_group(group_id)
+            except (NotFoundError, ReproError):
+                pass
+        metrics = obs.merge_snapshots(deployment.metric_sources())
+        metrics.update(obs.tracer().registry.snapshot())
+        if args.format == "json":
+            text = json.dumps(metrics, indent=2, sort_keys=True)
+        elif args.format == "prom":
+            text = obs.metrics_to_prometheus(metrics).rstrip("\n")
+        else:
+            text = "\n".join(obs.format_metrics(metrics))
     if args.out:
         Path(args.out).write_text(text + "\n", encoding="utf-8")
         print(f"wrote {len(text.splitlines())} lines -> {args.out}")
     else:
         print(text)
     return 0
+
+
+def cmd_health(args) -> int:
+    """Probe a running server's ``ops.health`` endpoint.
+
+    Exit status encodes the verdict so the probe slots straight into CI
+    and liveness checks: 0 = ok, 1 = degraded/failing, 2 = unreachable.
+    """
+    from repro.net import connect_store
+
+    try:
+        store = connect_store(args.store_url, timeout=args.timeout)
+    except ReproError as exc:
+        print(f"unreachable: {exc}", file=sys.stderr)
+        return 2
+    try:
+        health = store.server_health()
+    except ReproError as exc:
+        print(f"unreachable: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(health, indent=2, sort_keys=True))
+    else:
+        checks = health.get("checks", {})
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(checks.items()))
+        print(f"{health.get('status', '?')}  "
+              f"uptime={health.get('uptime_s', 0.0):.1f}s  {detail}")
+    return 0 if health.get("status") == "ok" else 1
 
 
 # ---------------------------------------------------------------------------
@@ -796,6 +916,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compact-every", type=int, default=None, metavar="N",
                    help="compact the served store automatically every N "
                         "mutations")
+    p.add_argument("--request-log", default=None, metavar="PATH",
+                   help="append one JSONL record per handled request to "
+                        "PATH (request id, trace id, method, bytes, "
+                        "latency, outcome, peer)")
+    p.add_argument("--slow-ms", type=float, default=250.0,
+                   help="latency threshold for the request log's `slow` "
+                        "flag (default: 250 ms)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("scale",
@@ -808,8 +935,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_scale)
 
     p = sub.add_parser("stats",
-                       help="dump the deployment's merged metric snapshot")
-    common(p)
+                       help="dump a metric snapshot: the deployment's "
+                            "merged registries (--state) or a live "
+                            "server's operational snapshot (--store-url)")
+    p.add_argument("--state", default=None,
+                   help="state directory (admin-side identities); omit "
+                        "with --store-url to query the live server's "
+                        "ops.stats endpoint instead")
+    store_options(p)
     p.add_argument("--format", choices=["table", "json", "prom"],
                    default="table",
                    help="output format: human table, JSON object, or "
@@ -817,6 +950,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write to this file instead of stdout")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("health",
+                       help="probe a running server's ops.health "
+                            "endpoint (exit 0 ok / 1 degraded-failing / "
+                            "2 unreachable)")
+    p.add_argument("--store-url", required=True, metavar="URL",
+                   help="tcp://host:port of a running `repro serve`")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="connect/request timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw health payload as JSON")
+    p.set_defaults(func=cmd_health)
 
     return parser
 

@@ -13,7 +13,15 @@ real while keeping every store consumer unchanged:
   ABC, so ``GroupAdministrator(cloud=RemoteCloudStore(url))`` just
   works;
 * :class:`RemoteAdmin` — drives a server-hosted administrator through
-  the whitelisted admin endpoint.
+  the whitelisted admin endpoint;
+* :class:`RequestLog` — the opt-in JSONL per-request operational log
+  servers write (one record per request, slow-request flagging, bounded
+  in-memory tail surfaced through ``ops.stats``).
+
+Observability across the boundary: requests can carry a trace context
+(stitched back into one Chrome trace with per-connection lanes), and
+every server answers the read-only ``ops.stats`` / ``ops.health``
+methods — see ``docs/API.md`` ("Observability over the network").
 """
 
 from repro.net.client import (
@@ -22,6 +30,7 @@ from repro.net.client import (
     connect_store,
     parse_store_url,
 )
+from repro.net.reqlog import RequestLog
 from repro.net.server import ADMIN_OPS, AdminBridge, ServerThread, StoreServer
 from repro.net.wire import MAX_FRAME_BYTES, PROTOCOL_VERSION
 
@@ -34,6 +43,7 @@ __all__ = [
     "ADMIN_OPS",
     "RemoteCloudStore",
     "RemoteAdmin",
+    "RequestLog",
     "connect_store",
     "parse_store_url",
 ]

@@ -29,14 +29,28 @@ on):
 store) so bandwidth-reporting code works unchanged, plus ``net.rpc.*``
 counters and a latency histogram in the same registry; every RPC runs
 inside a ``net.rpc.<method>`` span.
+
+**Distributed tracing.**  When the global tracer is enabled and the
+server advertised the ``"trace"`` hello feature, every RPC carries a
+``trace`` context (the tracer's trace id + the open ``net.rpc.*``
+span's id) and the response's piggybacked ``telemetry`` — the server's
+handler span tree and store counter deltas — is stitched into the
+local trace via :func:`repro.obs.merge_traces`.  Each connection gets
+its own negative ``tid`` lane (``conn-1``, ``conn-2``, … in the Chrome
+trace), and shipped counter deltas accumulate in
+:attr:`RemoteCloudStore.server_metrics` — deliberately separate from
+the client-side mirror so server-observed and client-observed costs
+never double count.  With tracing disabled nothing is added to the
+envelope: the wire bytes are identical to a pre-trace client.
 """
 
 from __future__ import annotations
 
+import itertools
 import socket
 import threading
 import time
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.cloud.protocol import CloudStoreProtocol
 from repro.cloud.store import (
@@ -54,7 +68,12 @@ from repro.errors import (
 )
 from repro.net import wire
 from repro.net.wire import MUTATING_WIRE_METHODS
-from repro.obs import span
+from repro.obs import MetricRegistry, merge_traces, span, tracer
+
+#: Per-process connection-lane allocator: lane n renders as Chrome
+#: trace thread ``conn-n`` (tid -n; negative so lanes can never collide
+#: with worker pids).
+_CONNECTION_LANES = itertools.count(1)
 
 
 def parse_store_url(url: str) -> Tuple[str, int]:
@@ -76,7 +95,8 @@ class RemoteCloudStore(CloudStoreProtocol):
 
     def __init__(self, url: str, timeout: float = 30.0,
                  poll_wait_ms: float = 0.0,
-                 client_name: str = "repro") -> None:
+                 client_name: str = "repro",
+                 trace_propagation: bool = True) -> None:
         self._host, self._port = parse_store_url(url)
         self.url = f"tcp://{self._host}:{self._port}"
         self._timeout = timeout
@@ -84,17 +104,29 @@ class RemoteCloudStore(CloudStoreProtocol):
         #: 0 keeps the immediate-return contract semantics.
         self.poll_wait_ms = poll_wait_ms
         self._client_name = client_name
+        #: Attach trace contexts when the global tracer is enabled and
+        #: the server advertised ``"trace"`` (off: never touch the
+        #: envelope, whatever the tracer state).
+        self.trace_propagation = trace_propagation
+        #: This connection's Chrome-trace lane (rendered ``conn-n``).
+        self.lane = next(_CONNECTION_LANES)
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
         self._next_id = 0
         self.server_features: Tuple[str, ...] = ()
         self.metrics = CloudMetrics()
+        #: Counter deltas the server shipped back on traced responses —
+        #: the *server's* view of the work this connection caused, kept
+        #: apart from the client-side ``metrics`` mirror so the two
+        #: never double count.
+        self.server_metrics = MetricRegistry()
         reg = self.metrics.registry
         self._rpc_requests = reg.counter("net.rpc.requests")
         self._rpc_errors = reg.counter("net.rpc.errors")
         self._rpc_reconnects = reg.counter("net.rpc.reconnects")
         self._rpc_bytes_sent = reg.counter("net.rpc.bytes_sent")
         self._rpc_bytes_received = reg.counter("net.rpc.bytes_received")
+        self._rpc_remote_spans = reg.counter("net.rpc.remote_spans")
         self._rpc_latency = reg.histogram("net.rpc.latency_ms")
 
     # -- transport ---------------------------------------------------------
@@ -150,8 +182,9 @@ class RemoteCloudStore(CloudStoreProtocol):
             count -= len(chunk)
         return b"".join(chunks)
 
-    def _roundtrip_raw(self, method: str,
-                       params: Dict[str, object]) -> wire.Response:
+    def _roundtrip_raw(self, method: str, params: Dict[str, object],
+                       trace: Optional[Dict[str, Any]] = None
+                       ) -> wire.Response:
         """One frame out, one frame in, on the live socket.  Raises
         ``ConnectionError``/``OSError`` upward for `_call` to classify."""
         assert self._sock is not None
@@ -159,7 +192,7 @@ class RemoteCloudStore(CloudStoreProtocol):
         request_id = self._next_id
         frame = wire.encode_frame(
             wire.Request(id=request_id, method=method,
-                         params=params).to_wire())
+                         params=params, trace=trace).to_wire())
         try:
             self._sock.sendall(frame)
             self._rpc_bytes_sent.add(len(frame))
@@ -183,15 +216,17 @@ class RemoteCloudStore(CloudStoreProtocol):
         method = message.METHOD
         mutating = method in MUTATING_WIRE_METHODS
         with self._lock:
-            with span(f"net.rpc.{method}", "net", url=self.url):
+            with span(f"net.rpc.{method}", "net", url=self.url) as rpc:
                 started = time.perf_counter()
                 sent = False
                 try:
                     if self._sock is None:
                         self._connect()
+                    trace_ctx = self._trace_context(rpc)
                     sent = True    # sendall may hand bytes to the kernel
                     response = self._roundtrip_raw(method,
-                                                   message.to_params())
+                                                   message.to_params(),
+                                                   trace=trace_ctx)
                 except (ConnectionError, OSError) as exc:
                     self._drop()
                     self._rpc_errors.add()
@@ -205,11 +240,53 @@ class RemoteCloudStore(CloudStoreProtocol):
                 self._rpc_requests.add()
                 self._rpc_latency.observe(
                     (time.perf_counter() - started) * 1000.0)
+                if response.telemetry is not None:
+                    self._merge_telemetry(response.telemetry)
                 if not response.ok:
                     self._rpc_errors.add()
                     assert response.error is not None
                     raise wire.wire_to_error(response.error)
                 return response.result or {}
+
+    def _trace_context(self, rpc_span) -> Optional[Dict[str, Any]]:
+        """The ``trace`` context for the current RPC, or ``None``.
+
+        Attached only when propagation is on, the global tracer is
+        enabled *and* the connected server advertised ``"trace"`` — so
+        against an older server (or with telemetry off) the request
+        envelope stays byte-for-byte what it was before tracing
+        existed.
+        """
+        t = tracer()
+        if not (self.trace_propagation and t.enabled
+                and wire.FEATURE_TRACE in self.server_features):
+            return None
+        ctx: Dict[str, Any] = {"id": t.trace_id}
+        span_id = getattr(rpc_span, "span_id", None)
+        if span_id is not None:
+            ctx["parent"] = span_id
+            rpc_span.set(trace_id=t.trace_id)
+        return ctx
+
+    def _merge_telemetry(self, telemetry: Dict[str, Any]) -> None:
+        """Stitch a piggybacked server capture into the local trace.
+
+        Span rows land on this connection's negative-``tid`` lane and
+        attach under the currently open ``net.rpc.*`` span (that is
+        exactly what :func:`repro.obs.merge_traces` does with the
+        innermost active span); counter deltas accumulate in
+        :attr:`server_metrics`.
+        """
+        rows = telemetry.get("spans") or []
+        if rows:
+            kept = merge_traces(tracer(), rows, tid=-self.lane)
+            self._rpc_remote_spans.add(kept)
+        deltas = telemetry.get("counters") or {}
+        if deltas:
+            self.server_metrics.add_counter_deltas(deltas)
+        dropped = int(telemetry.get("dropped") or 0)
+        if dropped:
+            tracer().registry.counter("obs.spans.dropped").add(dropped)
 
     # -- contract methods --------------------------------------------------
 
@@ -292,6 +369,25 @@ class RemoteCloudStore(CloudStoreProtocol):
     def total_stored_bytes(self, prefix: str = "/") -> int:
         result = self._call(wire.StoredBytesRequest(prefix=prefix))
         return wire.StoredBytesResponse.from_params(result).total
+
+    # -- ops surface (not part of the CloudStoreProtocol contract) ---------
+
+    def server_stats(self) -> Dict[str, Any]:
+        """The server's ``ops.stats`` operational snapshot.
+
+        Raises :class:`~repro.errors.WireError` against a pre-``ops``
+        server (the method is unknown there)."""
+        result = self._call(wire.StatsRequest())
+        return wire.StatsResponse.from_params(result).stats
+
+    def server_health(self) -> Dict[str, Any]:
+        """The server's ``ops.health`` probe result:
+        ``{"status": "ok"|"degraded"|"failing", "uptime_s": ...,
+        "checks": {...}}``."""
+        result = self._call(wire.HealthRequest())
+        reply = wire.HealthResponse.from_params(result)
+        return {"status": reply.status, "uptime_s": reply.uptime_s,
+                "checks": reply.checks}
 
     def __repr__(self) -> str:
         return f"RemoteCloudStore({self.url!r})"

@@ -1,0 +1,121 @@
+"""Structured per-request operational log for the store server.
+
+One JSON object per handled request — request id, trace id, method,
+bytes in/out, latency, outcome (``"ok"`` or the stable error code),
+peer address and a ``slow`` flag — appended to a JSONL file when a
+path is configured and always retained in a bounded in-memory tail.
+The tail is what ``ops.stats`` responses, :class:`ChaosReport` and
+:class:`ScaleReport` embed, so an operator (or a red CI job) sees the
+last requests before a fault without shipping the whole log.
+
+The log is strictly *observational*: it never touches the store, its
+records carry wall-clock timestamps and OS-assigned peer ports, and
+nothing in it feeds back into request handling — which is why enabling
+it cannot perturb the byte-deterministic store digests the chaos and
+scale suites pin.
+
+Writes are line-buffered appends from the server's event loop; a
+request record is a few hundred bytes, far below any pipe/file
+atomicity concern, and the file is opened in append mode so several
+server incarnations (e.g. chaos restarts) can share one log.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional
+
+#: Default number of records kept in the in-memory tail.
+DEFAULT_TAIL = 64
+
+#: Default slow-request threshold in milliseconds.
+DEFAULT_SLOW_MS = 250.0
+
+
+class RequestLog:
+    """Opt-in JSONL request log with a bounded in-memory tail.
+
+    ``path=None`` keeps the log purely in memory (the chaos harness
+    uses this to surface a request tail without touching disk).
+    Requests at or above ``slow_ms`` latency are flagged ``slow`` so
+    ``grep '"slow": true'`` finds the outliers.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 slow_ms: float = DEFAULT_SLOW_MS,
+                 tail_size: int = DEFAULT_TAIL) -> None:
+        self.path = str(Path(path)) if path else None
+        self.slow_ms = float(slow_ms)
+        self.records = 0
+        self.slow = 0
+        self.errors = 0
+        self._tail: Deque[Dict[str, Any]] = deque(maxlen=tail_size)
+        self._handle = None
+        if self.path:
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def record(self, *, request_id: int, method: str,
+               latency_ms: float, outcome: str = "ok",
+               trace_id: Optional[str] = None,
+               bytes_in: int = 0, bytes_out: int = 0,
+               peer: str = "?") -> Dict[str, Any]:
+        """Append one request record; returns the record dict."""
+        slow = latency_ms >= self.slow_ms
+        row: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "request_id": request_id,
+            "method": method,
+            "trace_id": trace_id,
+            "bytes_in": bytes_in,
+            "bytes_out": bytes_out,
+            "latency_ms": round(latency_ms, 3),
+            "outcome": outcome,
+            "peer": peer,
+            "slow": slow,
+        }
+        self.records += 1
+        if slow:
+            self.slow += 1
+        if outcome != "ok":
+            self.errors += 1
+        self._tail.append(row)
+        if self._handle is not None:
+            self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+            self._handle.flush()
+        return row
+
+    def tail(self) -> List[Dict[str, Any]]:
+        """The most recent records, oldest first."""
+        return list(self._tail)
+
+    def status(self) -> Dict[str, Any]:
+        """Summary block embedded in ``ops.stats`` responses."""
+        return {
+            "enabled": True,
+            "path": self.path,
+            "records": self.records,
+            "slow": self.slow,
+            "errors": self.errors,
+            "slow_ms": self.slow_ms,
+            "tail": self.tail(),
+        }
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RequestLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        where = self.path or "<memory>"
+        return (f"RequestLog({where}, records={self.records}, "
+                f"slow={self.slow})")

@@ -24,6 +24,17 @@ administrative operations (create/rekey/remove...) to a server-hosted
 :class:`~repro.core.GroupAdministrator`, so a remote operator can drive
 the enclave without shipping pairing elements over the wire.
 
+**Operational telemetry.**  The server keeps its own
+:class:`~repro.obs.MetricRegistry` (request/error counters, per-method
+error counters, connection and long-poll gauges, byte totals) plus a
+rolling :class:`~repro.obs.SloWindow` per wire method, and serves both
+— together with the hosted store's metrics, journal-recovery state and
+the optional :class:`~repro.net.reqlog.RequestLog` tail — through the
+read-only ``ops.stats`` / ``ops.health`` wire methods.  A request that
+carries a ``trace`` context additionally runs under a per-request span
+capture whose rows and counter deltas ship back piggybacked on the
+response (see :meth:`StoreServer._dispatch_traced`).
+
 :class:`ServerThread` runs the whole thing on a background thread for
 tests, benchmarks and the chaos harness: ``start()`` returns the bound
 URL, ``stop()`` shuts down gracefully, and ``crashed`` reports a
@@ -33,6 +44,7 @@ URL, ``stop()`` shuts down gracefully, and ``crashed`` reports a
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -43,10 +55,13 @@ from repro.errors import (
     CrashError,
     ProtocolVersionError,
     ReproError,
+    ValidationError,
     WireError,
+    error_code,
 )
 from repro.net import wire
-from repro.obs import span
+from repro.net.reqlog import RequestLog
+from repro.obs import MetricRegistry, SloWindow, Tracer, span, use_tracer
 
 #: Administrative operations the bridge will forward, with the keyword
 #: arguments each accepts.  Everything here is JSON-serializable in both
@@ -110,13 +125,22 @@ class AdminBridge:
 class StoreServer:
     """Serve a :class:`~repro.cloud.CloudStoreProtocol` over TCP."""
 
+    #: Methods whose successful dispatch mutates the store: the server
+    #: wakes parked ``poll_dir`` long-polls after each one.  (The admin
+    #: handler notifies internally, after its executor hop.)
+    NOTIFY_AFTER = frozenset({
+        "store.put", "store.delete", "store.commit", "store.compact",
+    })
+
     def __init__(self, store: CloudStoreProtocol,
                  host: str = "127.0.0.1", port: int = 0,
                  admin: Optional[AdminBridge] = None,
-                 name: str = "repro-store") -> None:
+                 name: str = "repro-store",
+                 request_log: Optional[RequestLog] = None) -> None:
         self.store = store
         self.admin = admin
         self.name = name
+        self.request_log = request_log
         self._host = host
         self._port = port
         self._server: Optional[asyncio.base_events.Server] = None
@@ -129,6 +153,23 @@ class StoreServer:
         #: Set when a CrashError from the store killed the server.
         self.crashed: Optional[CrashError] = None
         self.closed = asyncio.Event()
+        self._started = time.monotonic()
+        #: Server-side operational metrics, merged into ``ops.stats``
+        #: responses next to the hosted store's own registry.
+        self.registry = MetricRegistry()
+        self._requests_total = self.registry.counter("net.server.requests")
+        self._errors_total = self.registry.counter("net.server.errors")
+        self._bytes_in = self.registry.counter("net.server.bytes_in")
+        self._bytes_out = self.registry.counter("net.server.bytes_out")
+        self._connections_total = self.registry.counter(
+            "net.server.connections.total")
+        self.registry.gauge("net.server.connections.active",
+                            lambda: len(self._writers))
+        self.registry.gauge("net.server.poll_waiters",
+                            lambda: self._poll_waiters)
+        #: Rolling per-method SLO windows plus one for all traffic.
+        self._slo: Dict[str, SloWindow] = {}
+        self._slo_all = SloWindow("all")
         self._handlers: Dict[str, Callable[[Dict[str, Any]], Any]] = {
             "store.put": self._h_put,
             "store.get": self._h_get,
@@ -144,6 +185,8 @@ class StoreServer:
             "store.adversary_view": self._h_adversary_view,
             "store.total_stored_bytes": self._h_stored_bytes,
             "admin.call": self._h_admin_call,
+            "ops.stats": self._h_stats,
+            "ops.health": self._h_health,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -203,37 +246,54 @@ class StoreServer:
     # -- connection handling ----------------------------------------------
 
     async def _read_frame(self, reader: asyncio.StreamReader
-                          ) -> Optional[Dict[str, Any]]:
+                          ) -> Optional[Tuple[Dict[str, Any], int]]:
+        """One decoded frame plus its total on-the-wire byte count."""
         try:
             header = await reader.readexactly(4)
         except (asyncio.IncompleteReadError, ConnectionError):
             return None
         length = wire.decode_frame_length(header)
         body = await reader.readexactly(length)
-        return wire.decode_frame_body(body)
+        return wire.decode_frame_body(body), 4 + length
 
     async def _send(self, writer: asyncio.StreamWriter,
-                    response: wire.Response) -> None:
-        writer.write(wire.encode_frame(response.to_wire()))
+                    response: wire.Response) -> int:
+        frame = wire.encode_frame(response.to_wire())
+        writer.write(frame)
         await writer.drain()
+        return len(frame)
+
+    @staticmethod
+    def _peer(writer: asyncio.StreamWriter) -> str:
+        peername = writer.get_extra_info("peername")
+        if isinstance(peername, (tuple, list)) and len(peername) >= 2:
+            return f"{peername[0]}:{peername[1]}"
+        return "?"
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
         self._writers.append(writer)
+        self._connections_total.add()
+        peer = self._peer(writer)
         greeted = False
         try:
             while True:
                 try:
-                    payload = await self._read_frame(reader)
+                    frame = await self._read_frame(reader)
                 except WireError:
                     break    # unframeable garbage: drop the connection
-                if payload is None:
+                if frame is None:
                     break
+                payload, bytes_in = frame
+                started = time.perf_counter()
                 try:
                     request = wire.Request.from_wire(payload)
-                except WireError as exc:
-                    await self._send(writer, wire.Response(
+                except (ValidationError, WireError) as exc:
+                    bytes_out = await self._send(writer, wire.Response(
                         id=0, error=wire.error_to_wire(exc)))
+                    self._observe("<malformed>", 0, None, started,
+                                  error_code(exc), bytes_in, bytes_out,
+                                  peer)
                     continue
                 if not greeted:
                     ok = await self._handle_hello(request, writer)
@@ -241,25 +301,63 @@ class StoreServer:
                         break
                     greeted = True
                     continue
+                trace_id = (str(request.trace.get("id", ""))
+                            if request.trace else None)
                 try:
-                    result = await self._dispatch(request)
+                    result, telemetry = await self._dispatch(request)
                 except CrashError as crash:
                     # The store process "died" mid-request: no response,
                     # no cleanup, every connection torn down.
                     self._abort(crash)
                     return
                 except ReproError as exc:
-                    await self._send(writer, wire.Response(
-                        id=request.id, error=wire.error_to_wire(exc)))
+                    bytes_out = await self._send(writer, wire.Response(
+                        id=request.id, error=wire.error_to_wire(exc),
+                        telemetry=getattr(exc, "wire_telemetry", None)))
+                    self._observe(request.method, request.id, trace_id,
+                                  started, error_code(exc), bytes_in,
+                                  bytes_out, peer)
                     continue
-                await self._send(writer, wire.Response(
-                    id=request.id, result=result))
+                bytes_out = await self._send(writer, wire.Response(
+                    id=request.id, result=result, telemetry=telemetry))
+                self._observe(request.method, request.id, trace_id,
+                              started, "ok", bytes_in, bytes_out, peer)
         except ConnectionError:
             pass
         finally:
             if writer in self._writers:
                 self._writers.remove(writer)
                 writer.close()
+
+    def _observe(self, method: str, request_id: int,
+                 trace_id: Optional[str], started: float, outcome: str,
+                 bytes_in: int, bytes_out: int, peer: str) -> None:
+        """Account one handled request (counters, SLO window, log).
+
+        Deliberately excluded: the ``hello`` handshake (not a store
+        request) and requests that died with the server (a crash aborts
+        the connection before any response exists to account)."""
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        ok = outcome == "ok"
+        self._requests_total.add()
+        self._bytes_in.add(bytes_in)
+        self._bytes_out.add(bytes_out)
+        self.registry.counter(
+            f"net.server.method.{method}.requests").add()
+        if not ok:
+            self._errors_total.add()
+            self.registry.counter(
+                f"net.server.method.{method}.errors").add()
+        self._slo_all.observe(latency_ms, ok)
+        window = self._slo.get(method)
+        if window is None:
+            window = self._slo[method] = SloWindow(method)
+        window.observe(latency_ms, ok)
+        if self.request_log is not None:
+            self.request_log.record(
+                request_id=request_id, method=method, trace_id=trace_id,
+                bytes_in=bytes_in, bytes_out=bytes_out,
+                latency_ms=latency_ms, outcome=outcome, peer=peer)
 
     async def _handle_hello(self, request: wire.Request,
                             writer: asyncio.StreamWriter) -> bool:
@@ -276,23 +374,188 @@ class StoreServer:
                         f"server speaks protocol {wire.PROTOCOL_VERSION}, "
                         f"client sent {hello.protocol}"))))
             return False
-        features = ["store"] + (["admin"] if self.admin is not None else [])
         await self._send(writer, wire.Response(
             id=request.id,
             result=wire.HelloResponse(
                 protocol=wire.PROTOCOL_VERSION, server=self.name,
-                features=features).to_params()))
+                features=self.features()).to_params()))
         return True
 
-    async def _dispatch(self, request: wire.Request) -> Dict[str, Any]:
+    def features(self) -> List[str]:
+        """Capabilities advertised in the hello response."""
+        features = [wire.FEATURE_STORE, wire.FEATURE_TRACE,
+                    wire.FEATURE_OPS]
+        if self.admin is not None:
+            features.append(wire.FEATURE_ADMIN)
+        return features
+
+    async def _dispatch(self, request: wire.Request
+                        ) -> Tuple[Dict[str, Any],
+                                   Optional[Dict[str, Any]]]:
+        """Run the handler; returns ``(result, telemetry-or-None)``."""
         handler = self._handlers.get(request.method)
         if handler is None:
             raise WireError(f"unknown method {request.method!r}")
-        with span(f"net.server.{request.method}", "net"):
-            result = handler(request.params)
-            if asyncio.iscoroutine(result):
-                result = await result
-        return result
+        telemetry: Optional[Dict[str, Any]] = None
+        if request.trace is not None:
+            result, telemetry = await self._dispatch_traced(
+                request, handler)
+        else:
+            with span(f"net.server.{request.method}", "net"):
+                result = handler(request.params)
+                if asyncio.iscoroutine(result):
+                    result = await result
+        if request.method in self.NOTIFY_AFTER:
+            await self._notify_mutation()
+        return result, telemetry
+
+    def _store_registry(self):
+        """The hosted store's metric registry, when it exposes one."""
+        metrics = getattr(self.store, "metrics", None)
+        return getattr(metrics, "registry", None)
+
+    async def _dispatch_traced(self, request: wire.Request,
+                               handler: Callable[[Dict[str, Any]], Any]
+                               ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Run the handler under a per-request span capture.
+
+        A fresh enabled :class:`Tracer` records the handler span (tagged
+        with the propagated trace id and the client's parent span id)
+        plus — for synchronous store handlers, which the event loop
+        cannot interleave — every nested ``cloud.*`` span, by swapping
+        the capture in as the global tracer for exactly the duration of
+        the call.  Asynchronous handlers (``poll_dir``, ``admin.call``)
+        only record the handler span itself: swapping the global tracer
+        across an ``await`` would misattribute spans from interleaved
+        connections.  Store-registry counter deltas taken around the
+        call ship back with the span rows.
+        """
+        capture = Tracer(enabled=True)
+        ctx = request.trace or {}
+        attrs: Dict[str, Any] = {"pid": os.getpid()}
+        if ctx.get("id") is not None:
+            attrs["trace_id"] = str(ctx["id"])
+        if ctx.get("parent") is not None:
+            attrs["parent_span"] = ctx["parent"]
+        registry = self._store_registry()
+        before = (registry.counters_snapshot()
+                  if registry is not None else {})
+        name = f"net.server.{request.method}"
+        try:
+            if asyncio.iscoroutinefunction(handler):
+                with capture.span(name, "net", **attrs):
+                    result = await handler(request.params)
+            else:
+                with use_tracer(capture):
+                    with capture.span(name, "net", **attrs):
+                        result = handler(request.params)
+        except CrashError:
+            raise    # the process "died": nothing ships
+        except ReproError as exc:
+            # Ship the capture with the error response too — the
+            # handler span (closed with its error recorded) is most
+            # interesting exactly when the request failed.
+            exc.wire_telemetry = self._capture_payload(  # type: ignore[attr-defined]
+                capture, registry, before)
+            raise
+        return result, self._capture_payload(capture, registry, before)
+
+    def _capture_payload(self, capture: Tracer, registry,
+                         before: Dict[str, float]) -> Dict[str, Any]:
+        deltas: Dict[str, float] = {}
+        if registry is not None:
+            for key, value in registry.counters_snapshot().items():
+                delta = value - before.get(key, 0)
+                if delta:
+                    deltas[key] = delta
+        return {
+            "spans": _json_safe([s.to_dict() for s in capture.spans()]),
+            "counters": deltas,
+            "dropped": capture.dropped,
+            "pid": os.getpid(),
+        }
+
+    # -- operational snapshots (ops.stats / ops.health) --------------------
+
+    def slo_snapshot(self) -> Dict[str, Any]:
+        """Rolling latency/error windows: ``{"all": ..., "methods":
+        {method: ...}}`` (see :class:`~repro.obs.SloWindow`)."""
+        return {
+            "all": self._slo_all.snapshot(),
+            "methods": {method: window.snapshot()
+                        for method, window in sorted(self._slo.items())},
+        }
+
+    def operational_snapshot(self) -> Dict[str, Any]:
+        """The full ``ops.stats`` payload (see docs/API.md)."""
+        metrics: Dict[str, Any] = {}
+        store_registry = self._store_registry()
+        if store_registry is not None:
+            metrics.update(store_registry.snapshot())
+        metrics.update(self.registry.snapshot())
+        store_info: Dict[str, Any] = {"type": type(self.store).__name__}
+        try:
+            store_info["head_sequence"] = self.store.head_sequence()
+            store_info["snapshot_horizon"] = self.store.snapshot_horizon()
+        except CrashError:
+            raise
+        except ReproError as exc:
+            store_info["error"] = f"{error_code(exc)}: {exc}"
+        store_info["recoveries"] = int(metrics.get("cloud.recoveries", 0))
+        return {
+            "server": self.name,
+            "pid": os.getpid(),
+            "protocol": wire.PROTOCOL_VERSION,
+            "features": self.features(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "connections": {
+                "active": len(self._writers),
+                "total": int(self._connections_total.value),
+                "poll_waiters": self._poll_waiters,
+            },
+            "requests": {
+                "total": int(self._requests_total.value),
+                "errors": int(self._errors_total.value),
+                "bytes_in": int(self._bytes_in.value),
+                "bytes_out": int(self._bytes_out.value),
+            },
+            "store": store_info,
+            "slo": self.slo_snapshot(),
+            "metrics": metrics,
+            "request_log": (self.request_log.status()
+                            if self.request_log is not None
+                            else {"enabled": False}),
+        }
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """The ``ops.health`` payload: cheap liveness + degradation.
+
+        ``ok`` — the store answers and the rolling window is sane;
+        ``degraded`` — the store answers but more than half of a
+        meaningfully sized recent window errored (client-caused error
+        codes count, hence the deliberately high bar); ``failing`` —
+        the store itself cannot be read.
+        """
+        checks: Dict[str, Any] = {}
+        status = "ok"
+        try:
+            checks["head_sequence"] = self.store.head_sequence()
+            checks["store"] = "ok"
+        except CrashError:
+            raise
+        except ReproError as exc:
+            checks["store"] = f"{error_code(exc)}: {exc}"
+            status = "failing"
+        checks["window_requests"] = self._slo_all.window_size
+        checks["window_error_rate"] = round(self._slo_all.error_rate, 6)
+        if (status == "ok" and self._slo_all.window_size >= 20
+                and self._slo_all.error_rate > 0.5):
+            status = "degraded"
+        return {
+            "status": status,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "checks": checks,
+        }
 
     async def _notify_mutation(self) -> None:
         assert self._mutated is not None
@@ -301,11 +564,10 @@ class StoreServer:
 
     # -- store method handlers --------------------------------------------
 
-    async def _h_put(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _h_put(self, params: Dict[str, Any]) -> Dict[str, Any]:
         req = wire.PutRequest.from_params(params)
         version = self.store.put(req.path, wire.b64d(req.data),
                                  req.expected_version)
-        await self._notify_mutation()
         return wire.PutResponse(version=version).to_params()
 
     def _h_get(self, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -325,16 +587,14 @@ class StoreServer:
         return wire.ExistsResponse(
             exists=self.store.exists(req.path)).to_params()
 
-    async def _h_delete(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _h_delete(self, params: Dict[str, Any]) -> Dict[str, Any]:
         req = wire.DeleteRequest.from_params(params)
         self.store.delete(req.path)
-        await self._notify_mutation()
         return wire.DeleteResponse().to_params()
 
-    async def _h_commit(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _h_commit(self, params: Dict[str, Any]) -> Dict[str, Any]:
         req = wire.CommitRequest.from_params(params)
         versions = self.store.commit(wire.decode_batch(req.ops))
-        await self._notify_mutation()
         return wire.CommitResponse(versions=versions).to_params()
 
     def _h_list_dir(self, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -365,10 +625,9 @@ class StoreServer:
                 finally:
                     self._poll_waiters -= 1
 
-    async def _h_compact(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _h_compact(self, params: Dict[str, Any]) -> Dict[str, Any]:
         wire.CompactRequest.from_params(params)
         truncated = self.store.compact()
-        await self._notify_mutation()
         return wire.CompactResponse(truncated=truncated).to_params()
 
     def _h_horizon(self, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -405,6 +664,18 @@ class StoreServer:
         await self._notify_mutation()
         return wire.AdminCallResponse(result=result).to_params()
 
+    def _h_stats(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        wire.StatsRequest.from_params(params)
+        return wire.StatsResponse(
+            stats=self.operational_snapshot()).to_params()
+
+    def _h_health(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        wire.HealthRequest.from_params(params)
+        snap = self.health_snapshot()
+        return wire.HealthResponse(
+            status=snap["status"], uptime_s=snap["uptime_s"],
+            checks=snap["checks"]).to_params()
+
 
 class ServerThread:
     """A :class:`StoreServer` on a daemon thread (tests, chaos, bench).
@@ -418,12 +689,14 @@ class ServerThread:
     def __init__(self, store: CloudStoreProtocol,
                  admin: Optional[AdminBridge] = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 name: str = "repro-store") -> None:
+                 name: str = "repro-store",
+                 request_log: Optional[RequestLog] = None) -> None:
         self._store = store
         self._admin = admin
         self._host = host
         self._port = port
         self._name = name
+        self._request_log = request_log
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -476,7 +749,8 @@ class ServerThread:
     async def _main(self) -> None:
         self.server = StoreServer(self._store, host=self._host,
                                   port=self._port, admin=self._admin,
-                                  name=self._name)
+                                  name=self._name,
+                                  request_log=self._request_log)
         try:
             await self.server.start()
         except BaseException as exc:

@@ -11,21 +11,34 @@ base64 strings inside the JSON body.
 ``{"id": n, "method": "store.put", "params": {...}}`` — and a response
 frame to :class:`Response` — ``{"id": n, "ok": true, "result": {...}}``
 or ``{"id": n, "ok": false, "error": {"code": ..., "message": ...}}``.
-``id`` echoes the request so a client can pipeline.  Error codes are the
-stable strings of the :mod:`repro.errors` taxonomy (see
+``id`` echoes the request so a client can pipeline; it must be a JSON
+integer and is *required* — a missing or non-integer id raises
+:class:`~repro.errors.ValidationError` (code ``validation``) so a
+malformed frame can never alias request 0.  Error codes are the stable
+strings of the :mod:`repro.errors` taxonomy (see
 :func:`repro.errors.error_code`); :func:`error_to_wire` /
 :func:`wire_to_error` convert between exception objects and the wire
 form, with unknown codes degrading to plain
 :class:`~repro.errors.ReproError` on the receiving side.
 
+**Trace context.**  A request may carry an optional ``trace`` object —
+``{"id": "<hex trace id>", "parent": <client span id>}`` — asking the
+server to run the handler under a distributed-trace capture and ship
+the resulting span rows and counter deltas back on the response's
+optional ``telemetry`` object.  Both keys are *omitted entirely* when
+unused, keeping the non-traced envelope byte-identical to protocol
+version 1 as shipped (the perf gate pins per-RPC wire bytes).
+
 **Handshake.**  The first exchange on every connection must be
 ``hello``: the client sends its :data:`PROTOCOL_VERSION`, the server
-answers with its own plus a feature list (``"store"``, and ``"admin"``
-when ecall forwarding is enabled).  A version mismatch fails the
-connection with code ``protocol_version``.  Versioning rule: additive,
-backwards-compatible changes (new optional params, new methods) keep
-the version; anything that changes the meaning of an existing field
-bumps it, and servers refuse clients they cannot serve faithfully.
+answers with its own plus a feature list (``"store"``; ``"trace"`` for
+trace-context propagation; ``"ops"`` for the read-only ``ops.stats`` /
+``ops.health`` surface; and ``"admin"`` when ecall forwarding is
+enabled).  A version mismatch fails the connection with code
+``protocol_version``.  Versioning rule: additive, backwards-compatible
+changes (new optional params, new methods, new features) keep the
+version; anything that changes the meaning of an existing field bumps
+it, and servers refuse clients they cannot serve faithfully.
 
 **Method payloads.**  One typed request/response dataclass pair per
 contract method (``PutRequest``/``PutResponse``, ...), each knowing its
@@ -50,10 +63,18 @@ from repro.cloud.store import (
     CloudObject,
     DirectoryEvent,
 )
-from repro.errors import ReproError, WireError, error_code, error_for_code
+from repro.errors import ReproError, ValidationError, WireError, \
+    error_code, error_for_code
 
 #: Bumped on incompatible schema changes (see the module docstring).
 PROTOCOL_VERSION = 1
+
+#: Hello feature strings (additive capabilities within one protocol
+#: version).  Clients must treat unknown features as ignorable.
+FEATURE_STORE = "store"
+FEATURE_ADMIN = "admin"
+FEATURE_TRACE = "trace"
+FEATURE_OPS = "ops"
 
 #: Upper bound on a single frame.  Generous for group metadata (records
 #: are a few KiB) while bounding what a peer can force us to buffer.
@@ -111,28 +132,60 @@ def b64d(text: str) -> bytes:
 # Envelopes
 # ---------------------------------------------------------------------------
 
+def _envelope_id(obj: Dict[str, Any], kind: str) -> int:
+    """The envelope's ``id``, validated strictly.
+
+    The id must be present and a JSON integer (bools are rejected —
+    they are ``int`` subclasses in Python but not request ids).  A
+    missing or malformed id raises :class:`ValidationError` rather than
+    silently defaulting to 0, which would alias an attacker-chosen or
+    truncated frame onto a legitimate request id.
+    """
+    if "id" not in obj:
+        raise ValidationError(f"{kind} envelope is missing its id")
+    raw = obj["id"]
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ValidationError(
+            f"{kind} envelope id must be an integer, got {raw!r}")
+    return raw
+
+
 @dataclass(frozen=True)
 class Request:
-    """One RPC request envelope."""
+    """One RPC request envelope.
+
+    ``trace`` is the optional distributed-trace context —
+    ``{"id": "<hex>", "parent": <span id>}`` — serialized only when
+    set so a non-traced request stays byte-identical on the wire.
+    """
 
     id: int
     method: str
     params: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional[Dict[str, Any]] = None
 
     def to_wire(self) -> Dict[str, Any]:
-        return {"id": self.id, "method": self.method, "params": self.params}
+        obj: Dict[str, Any] = {"id": self.id, "method": self.method,
+                               "params": self.params}
+        if self.trace is not None:
+            obj["trace"] = self.trace
+        return obj
 
     @classmethod
     def from_wire(cls, obj: Dict[str, Any]) -> "Request":
         try:
             method = obj["method"]
-            request_id = int(obj.get("id", 0))
-        except (KeyError, TypeError, ValueError) as exc:
+        except KeyError as exc:
             raise WireError("malformed request envelope") from exc
         params = obj.get("params", {})
         if not isinstance(method, str) or not isinstance(params, dict):
             raise WireError("malformed request envelope")
-        return cls(id=request_id, method=method, params=params)
+        request_id = _envelope_id(obj, "request")
+        trace = obj.get("trace")
+        if trace is not None and not isinstance(trace, dict):
+            raise WireError("malformed request trace context")
+        return cls(id=request_id, method=method, params=params,
+                   trace=trace)
 
 
 @dataclass(frozen=True)
@@ -153,11 +206,18 @@ class WireFault:
 
 @dataclass(frozen=True)
 class Response:
-    """One RPC response envelope (success XOR error)."""
+    """One RPC response envelope (success XOR error).
+
+    ``telemetry`` piggybacks the server-side capture of a traced
+    request — ``{"spans": [row, ...], "counters": {name: delta},
+    "dropped": n, "pid": n}`` — and is serialized only when present,
+    so responses to non-traced requests stay byte-identical.
+    """
 
     id: int
     result: Optional[Dict[str, Any]] = None
     error: Optional[WireFault] = None
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -165,26 +225,34 @@ class Response:
 
     def to_wire(self) -> Dict[str, Any]:
         if self.error is not None:
-            return {"id": self.id, "ok": False,
-                    "error": self.error.to_wire()}
-        return {"id": self.id, "ok": True, "result": self.result or {}}
+            obj: Dict[str, Any] = {"id": self.id, "ok": False,
+                                   "error": self.error.to_wire()}
+        else:
+            obj = {"id": self.id, "ok": True, "result": self.result or {}}
+        if self.telemetry is not None:
+            obj["telemetry"] = self.telemetry
+        return obj
 
     @classmethod
     def from_wire(cls, obj: Dict[str, Any]) -> "Response":
         try:
-            request_id = int(obj.get("id", 0))
             ok = bool(obj["ok"])
-        except (KeyError, TypeError, ValueError) as exc:
+        except KeyError as exc:
             raise WireError("malformed response envelope") from exc
+        request_id = _envelope_id(obj, "response")
+        telemetry = obj.get("telemetry")
+        if telemetry is not None and not isinstance(telemetry, dict):
+            raise WireError("malformed response telemetry")
         if ok:
             result = obj.get("result", {})
             if not isinstance(result, dict):
                 raise WireError("malformed response result")
-            return cls(id=request_id, result=result)
+            return cls(id=request_id, result=result, telemetry=telemetry)
         error = obj.get("error")
         if not isinstance(error, dict):
             raise WireError("malformed response error")
-        return cls(id=request_id, error=WireFault.from_wire(error))
+        return cls(id=request_id, error=WireFault.from_wire(error),
+                   telemetry=telemetry)
 
 
 def error_to_wire(exc: BaseException) -> WireFault:
@@ -477,6 +545,36 @@ class AdminCallResponse(_Message):
     result: Any = None
 
 
+@dataclass
+class StatsRequest(_Message):
+    """Read-only operational snapshot of a running server (uptime,
+    connection gauges, merged metrics, per-method SLO windows,
+    journal-recovery state, request-log status)."""
+
+    METHOD: ClassVar[str] = "ops.stats"
+
+
+@dataclass
+class StatsResponse(_Message):
+    METHOD: ClassVar[str] = "ops.stats"
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class HealthRequest(_Message):
+    """Liveness/health probe: cheap enough for a tight CI loop."""
+
+    METHOD: ClassVar[str] = "ops.health"
+
+
+@dataclass
+class HealthResponse(_Message):
+    METHOD: ClassVar[str] = "ops.health"
+    status: str = "ok"                   # ok | degraded | failing
+    uptime_s: float = 0.0
+    checks: Dict[str, Any] = field(default_factory=dict)
+
+
 #: Wire methods whose request mutates store state.  A connection lost
 #: after sending one of these leaves the outcome ambiguous — the client
 #: must NOT map that onto the retry-safe ``unavailable`` code.
@@ -503,5 +601,7 @@ METHODS: Dict[str, Tuple[Type[_Message], Type[_Message]]] = {
         (AdversaryViewRequest, AdversaryViewResponse),
         (StoredBytesRequest, StoredBytesResponse),
         (AdminCallRequest, AdminCallResponse),
+        (StatsRequest, StatsResponse),
+        (HealthRequest, HealthResponse),
     ]
 }

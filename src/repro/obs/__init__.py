@@ -46,6 +46,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricRegistry,
     MetricSource,
+    SloWindow,
     merge_snapshots,
     quantile_from_samples,
 )
@@ -58,6 +59,7 @@ from repro.obs.spans import (
     disable,
     enable,
     enabled,
+    new_trace_id,
     span,
     tracer,
     use_tracer,
@@ -71,6 +73,7 @@ __all__ = [
     "MetricSource",
     "NULL_SPAN",
     "SamplingProfiler",
+    "SloWindow",
     "Span",
     "Tracer",
     "aggregate_spans",
@@ -85,6 +88,7 @@ __all__ = [
     "merge_task_telemetry",
     "merge_traces",
     "metrics_to_prometheus",
+    "new_trace_id",
     "profile",
     "quantile_from_samples",
     "register_worker_source",

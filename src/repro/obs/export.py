@@ -135,10 +135,11 @@ def spans_to_chrome_trace(spans: Iterable[Span],
 
     Every span becomes one complete (``"ph": "X"``) event: ``ts``/``dur``
     in integer microseconds on the span's ``tid`` lane (0 = the tracing
-    process, worker pid for spans merged from the parallel engine).
-    Metadata events name the process and each lane.  The returned dict
-    serializes directly with ``json.dump`` and loads unmodified in
-    ``chrome://tracing`` and https://ui.perfetto.dev.
+    process, worker pid for spans merged from the parallel engine,
+    negative lanes for server-side spans shipped back per network
+    connection).  Metadata events name the process and each lane.  The
+    returned dict serializes directly with ``json.dump`` and loads
+    unmodified in ``chrome://tracing`` and https://ui.perfetto.dev.
     """
     events: List[Dict[str, Any]] = []
     tids = set()
@@ -165,7 +166,12 @@ def spans_to_chrome_trace(spans: Iterable[Span],
         "args": {"name": process_name},
     }]
     for tid in sorted(tids):
-        label = "main" if tid == 0 else f"worker-{tid}"
+        if tid == 0:
+            label = "main"
+        elif tid < 0:
+            label = f"conn-{-tid}"
+        else:
+            label = f"worker-{tid}"
         metadata.append({
             "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
             "args": {"name": label},

@@ -20,8 +20,9 @@ benchmark harness read.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, \
-    Protocol, Sequence, runtime_checkable
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Mapping, \
+    Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 
 @runtime_checkable
@@ -179,6 +180,69 @@ class Histogram:
     def __repr__(self) -> str:
         return (f"Histogram({self.name}: n={self.count}, "
                 f"total={self.total:.6f})")
+
+
+class SloWindow:
+    """Rolling last-``size`` observations of (latency, outcome).
+
+    The operator-facing complement to :class:`Histogram`: where the
+    histogram summarises *everything since reset* with a reservoir, the
+    SLO window answers "how is the server doing *right now*" — exact
+    p50/p95/p99 latency and error rate over the most recent ``size``
+    requests, plus lifetime totals.  The server keeps one per wire
+    method and one for all traffic combined; ``stats``/``health``
+    responses and the chaos/scale reports embed :meth:`snapshot`.
+    """
+
+    DEFAULT_SIZE = 256
+
+    __slots__ = ("name", "count", "errors", "_window")
+
+    def __init__(self, name: str, size: int = DEFAULT_SIZE) -> None:
+        self.name = name
+        self.count = 0       # lifetime observations
+        self.errors = 0      # lifetime error outcomes
+        self._window: Deque[Tuple[float, bool]] = deque(maxlen=size)
+
+    def observe(self, latency_ms: float, ok: bool = True) -> None:
+        self.count += 1
+        if not ok:
+            self.errors += 1
+        self._window.append((latency_ms, ok))
+
+    @property
+    def window_size(self) -> int:
+        return len(self._window)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of errored requests within the current window."""
+        if not self._window:
+            return 0.0
+        bad = sum(1 for _, ok in self._window if not ok)
+        return bad / len(self._window)
+
+    def snapshot(self) -> Dict[str, float]:
+        latencies = [latency for latency, _ in self._window]
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "window": len(self._window),
+            "error_rate": round(self.error_rate, 6),
+            "p50_ms": round(quantile_from_samples(latencies, 0.50), 3),
+            "p95_ms": round(quantile_from_samples(latencies, 0.95), 3),
+            "p99_ms": round(quantile_from_samples(latencies, 0.99), 3),
+            "max_ms": round(max(latencies), 3) if latencies else 0.0,
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.errors = 0
+        self._window.clear()
+
+    def __repr__(self) -> str:
+        return (f"SloWindow({self.name}: n={self.count}, "
+                f"errors={self.errors}, window={len(self._window)})")
 
 
 class MetricRegistry:

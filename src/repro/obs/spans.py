@@ -60,6 +60,17 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id.
+
+    Trace ids exist purely for cross-process correlation (they ride the
+    wire envelope's ``trace`` field and span attributes, never stored
+    bytes), so OS randomness is fine here — it cannot perturb any
+    deterministic digest.
+    """
+    return os.urandom(8).hex()
+
+
 class Span:
     """One timed region; use as a context manager.
 
@@ -169,6 +180,25 @@ class Tracer:
         self.registry = MetricRegistry()
         self._dropped = self.registry.counter("obs.spans.dropped")
         self.registry.gauge("obs.spans.buffered", lambda: len(self._spans))
+        self._trace_id: Optional[str] = None
+
+    @property
+    def trace_id(self) -> str:
+        """This tracer's distributed trace id (lazily generated).
+
+        ``RemoteCloudStore`` stamps it into every propagated ``trace``
+        context so server-side handler spans can be correlated back to
+        the client trace that caused them.  Assign to pin a specific id
+        (tests, replaying a known trace); :meth:`reset` clears it so a
+        fresh capture gets a fresh identity.
+        """
+        if self._trace_id is None:
+            self._trace_id = new_trace_id()
+        return self._trace_id
+
+    @trace_id.setter
+    def trace_id(self, value: str) -> None:
+        self._trace_id = value
 
     @property
     def dropped(self) -> int:
@@ -269,6 +299,7 @@ class Tracer:
         self._stack.clear()
         self._dropped.reset()
         self._ids = itertools.count(1)
+        self._trace_id = None
 
     def __len__(self) -> int:
         return len(self._spans)

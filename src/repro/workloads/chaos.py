@@ -123,6 +123,9 @@ class ChaosReport:
     chaos_horizon: int = 0
     fault_history: List[Tuple[str, str]] = field(default_factory=list)
     retry_backoff_ms: float = 0.0
+    traced: bool = False
+    server_slo: dict = field(default_factory=dict)
+    request_log_tail: List[dict] = field(default_factory=list)
 
     @property
     def converged(self) -> bool:
@@ -160,6 +163,12 @@ class ChaosReport:
             "reference_horizon": self.reference_horizon,
             "chaos_horizon": self.chaos_horizon,
             "converged": self.converged,
+            "traced": self.traced,
+            # Server-side view of the chaos run (network mode only):
+            # per-method SLO windows from the final server incarnation
+            # and the tail of the request log every incarnation shared.
+            "server_slo": self.server_slo,
+            "request_log_tail": self.request_log_tail[-8:],
         }
 
 
@@ -211,6 +220,14 @@ class _ChaosRun:
         self.remote = remote
         self._server = None
         self._remote_store = None
+        # One in-memory request log shared across every server
+        # incarnation (crash recovery restarts the server): its tail
+        # shows the last requests spanning the restarts.
+        self.request_log = None
+        if remote:
+            from repro.net import RequestLog
+
+            self.request_log = RequestLog()
         self.rng = DeterministicRng(f"chaos-system:{seed}")
         # auto_repartition stays off so a crashed remove never nests a
         # second (repartition) plan inside its own recovery window.
@@ -238,7 +255,8 @@ class _ChaosRun:
             return self.inner
         from repro.net import RemoteCloudStore, ServerThread
 
-        self._server = ServerThread(self.inner)
+        self._server = ServerThread(self.inner,
+                                    request_log=self.request_log)
         url = self._server.start()
         self._remote_store = RemoteCloudStore(url)
         return self._remote_store
@@ -425,6 +443,21 @@ class _ChaosRun:
         key_hash = hashlib.sha256(client.current_group_key()).hexdigest()
         return digest.hexdigest(), key_hash
 
+    def server_observability(self) -> Tuple[dict, list]:
+        """The live server's SLO windows and shared request-log tail
+        (network mode), fetched over the wire via ``ops.stats``."""
+        if self._remote_store is None:
+            return {}, []
+        from repro.errors import ReproError
+
+        try:
+            stats = self._remote_store.server_stats()
+        except ReproError:
+            return {}, []
+        slo = stats.get("slo", {})
+        tail = stats.get("request_log", {}).get("tail", [])
+        return slo, tail
+
     def finish(self) -> str:
         self.system.close()
         self._stop_server()
@@ -435,7 +468,7 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
               pool: int = 12, initial: int = 5, capacity: int = 4,
               seed: str = "chaos", workers: Optional[int] = 1,
               compact_every: Optional[int] = None,
-              remote: bool = False,
+              remote: bool = False, traced: bool = False,
               ) -> ChaosReport:
     """Replay one deterministic membership trace twice — fault-free and
     under ``plan`` — and compare the final cloud bytes.
@@ -459,6 +492,13 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
     asserted *across the network boundary* — the remote chaos run must
     land on the byte-identical cloud state of the in-process fault-free
     run.
+
+    ``traced`` (meaningful with ``remote``) runs the chaos side with
+    distributed tracing enabled — a trace context on every request,
+    server spans shipped back and stitched client-side — while the
+    reference stays untraced.  The unchanged convergence verdict then
+    doubles as proof that tracing never perturbs store state, even
+    under faults and crash recovery.
     """
     if plan is None:
         plan = FaultPlan.store_faults(seed)
@@ -485,6 +525,12 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
         # Chaos: identical seeds, faults on.
         injector = FaultInjector(plan)
         install(injector)
+        if traced:
+            from repro import obs
+
+            obs.tracer().reset()
+            obs.enable()
+            report.traced = True
         try:
             chaos = _ChaosRun(chaos_root, seed, capacity, pool, injector,
                               workers=workers, compact_every=compact_every,
@@ -498,10 +544,17 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
             # The trace is done: the final state checks below verify
             # convergence and should not themselves be perturbed.
             install(None)
+            if traced:
+                from repro import obs
+
+                obs.disable()
+                obs.tracer().reset()
         report.chaos_key_hash = chaos.group_key_hash()
         (report.chaos_cold_digest,
          report.chaos_cold_key_hash) = chaos.cold_start()
         report.chaos_horizon = chaos.inner.snapshot_horizon()
+        (report.server_slo,
+         report.request_log_tail) = chaos.server_observability()
         report.chaos_digest = chaos.finish()
         report.crashes_recovered = chaos.crashes_recovered
         report.enclave_restarts = chaos.enclave_restarts
@@ -541,6 +594,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="serve the chaos run's store over a real "
                              "TCP StoreServer (repro.net) and converge "
                              "across the network boundary")
+    parser.add_argument("--trace", action="store_true",
+                        help="with --network: run the chaos side with "
+                             "distributed tracing enabled, so the "
+                             "convergence verdict also proves tracing "
+                             "never perturbs store state")
     args = parser.parse_args(argv)
 
     plan = (FaultPlan.store_faults(args.seed) if args.profile == "store"
@@ -548,7 +606,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run_chaos(plan, ops=args.ops, pool=args.pool,
                        capacity=args.capacity, seed=args.seed,
                        compact_every=args.compact_every,
-                       remote=args.network)
+                       remote=args.network,
+                       traced=args.trace and args.network)
     print(json.dumps(report.summary(), indent=2))
     return 0 if report.converged else 1
 

@@ -14,10 +14,22 @@ Drives the full client/server stack the way an operator would deploy it:
 4. dumps the client-side ``net.rpc.*`` counters (requests, reconnects,
    wire bytes, latency quantiles) as a JSON artifact for CI to upload.
 
+With ``--trace-out`` the remote phase runs with tracing enabled: the
+client propagates its trace context over the wire, the server ships its
+handler spans back, and the stitched result is *validated* (client
+``net.rpc.*`` and server ``net.server.*`` spans share one trace id,
+server roots are parented under the client RPC spans, server spans sit
+on negative per-connection lanes) before being written as one Chrome
+trace.  Because the reference replay runs untraced, the byte-identity
+check doubles as proof that tracing never perturbs store state.  The
+live server is also probed (``ops.health``) and its operational
+snapshot (``ops.stats``) lands in the report.
+
 Run with::
 
     python -m repro.workloads.net_smoke [--store-url tcp://...]
-        [--seed SEED] [--metrics-out PATH]
+        [--seed SEED] [--metrics-out PATH] [--trace-out PATH]
+        [--request-log PATH]
 
 Exit status 0 means the smoke test passed.
 """
@@ -46,11 +58,15 @@ GROUP = "team"
 class ServedProcess:
     """A ``repro serve`` subprocess on an ephemeral port."""
 
-    def __init__(self, cloud_dir: str) -> None:
+    def __init__(self, cloud_dir: str,
+                 request_log: Optional[str] = None) -> None:
+        cmd = [sys.executable, "-m", "repro.cli", "serve",
+               "--cloud", cloud_dir, "--host", "127.0.0.1", "--port", "0"]
+        if request_log:
+            cmd += ["--request-log", request_log]
         self.proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve",
-             "--cloud", cloud_dir, "--host", "127.0.0.1", "--port", "0"],
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
         )
         self.url = self._await_banner()
 
@@ -170,31 +186,126 @@ def collect_metrics(store) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Stitched-trace validation
+# ---------------------------------------------------------------------------
+
+def validate_stitched_trace(spans) -> Dict[str, Any]:
+    """Check the merged span set tells one coherent cross-process story.
+
+    Returns a summary dict whose ``problems`` list is empty when the
+    stitching invariants hold: client RPC spans on the main lane,
+    server handler spans on negative per-connection lanes, both sides
+    sharing one trace id, and every server root parented under a
+    client span."""
+    problems: List[str] = []
+    by_id = {s.span_id: s for s in spans}
+    client = [s for s in spans if s.name.startswith("net.rpc.")]
+    server = [s for s in spans if s.name.startswith("net.server.")]
+    if not client:
+        problems.append("no client net.rpc.* spans recorded")
+    if not server:
+        problems.append("no server net.server.* spans shipped back")
+
+    trace_ids = set()
+    for s in client:
+        tid = s.attrs.get("trace_id")
+        if tid:
+            trace_ids.add(tid)
+        if s.tid != 0:
+            problems.append(f"client span {s.name} off the main lane "
+                            f"(tid={s.tid})")
+    lanes = set()
+    for s in server:
+        tid = s.attrs.get("trace_id")
+        if tid:
+            trace_ids.add(tid)
+        else:
+            problems.append(f"server span {s.name} lost its trace id")
+        if s.tid >= 0:
+            problems.append(f"server span {s.name} not on a negative "
+                            f"connection lane (tid={s.tid})")
+        lanes.add(s.tid)
+        if s.parent_id is None:
+            problems.append(f"server span {s.name} has no parent link")
+        else:
+            parent = by_id.get(s.parent_id)
+            if parent is None:
+                problems.append(f"server span {s.name} parent "
+                                f"{s.parent_id} missing from the trace")
+            elif parent.tid < 0 and parent.name.startswith("net.server."):
+                pass                     # nested server span — fine
+            elif not parent.name.startswith("net.rpc."):
+                problems.append(
+                    f"server root {s.name} parented under "
+                    f"{parent.name}, expected a net.rpc.* span")
+    if len(trace_ids) > 1:
+        problems.append(f"spans carry {len(trace_ids)} distinct trace "
+                        f"ids: {sorted(trace_ids)}")
+    return {
+        "client_spans": len(client),
+        "server_spans": len(server),
+        "connection_lanes": sorted(lanes),
+        "trace_id": next(iter(trace_ids)) if len(trace_ids) == 1 else None,
+        "problems": problems,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
 def run_smoke(store_url: Optional[str] = None, seed: str = "net-smoke",
-              metrics_out: Optional[str] = None) -> Dict[str, Any]:
+              metrics_out: Optional[str] = None,
+              trace_out: Optional[str] = None,
+              request_log: Optional[str] = None) -> Dict[str, Any]:
+    from repro import obs
     from repro.net import RemoteCloudStore
 
     served: Optional[ServedProcess] = None
     tmp: Optional[tempfile.TemporaryDirectory] = None
     if store_url is None:
         tmp = tempfile.TemporaryDirectory(prefix="net-smoke-")
-        served = ServedProcess(tmp.name)
+        served = ServedProcess(tmp.name, request_log=request_log)
         store_url = served.url
         print(f"started serve subprocess at {store_url}")
 
+    trace_report: Optional[Dict[str, Any]] = None
+    server_report: Dict[str, Any] = {}
     try:
+        if trace_out:
+            obs.tracer().reset()
+            obs.enable()
         store = RemoteCloudStore(store_url)
         system = _fresh_system(seed)
         remote_key = run_workload(system, store, seed)
         remote_digest = cloud_digest(store)
         object_count = len(list(store.adversary_view()))
         metrics = collect_metrics(store)
+        if trace_out:
+            obs.disable()
+            spans = obs.tracer().spans()
+            trace_report = validate_stitched_trace(spans)
+            trace_report["events"] = obs.write_chrome_trace(
+                spans, trace_out)
+            trace_report["remote_spans_merged"] = int(
+                store.metrics.registry.counters_snapshot().get(
+                    "net.rpc.remote_spans", 0))
+            trace_report["path"] = trace_out
+            obs.tracer().reset()
+        if "ops" in store.server_features:
+            health = store.server_health()
+            stats = store.server_stats()
+            server_report = {
+                "health": health,
+                "slo": stats.get("slo", {}),
+                "requests": stats.get("requests", {}),
+                "request_log": stats.get("request_log", {}),
+            }
         system.close()
         store.close()
     finally:
+        if trace_out:
+            obs.disable()
         if served is not None:
             served.stop()
         if tmp is not None:
@@ -209,7 +320,10 @@ def run_smoke(store_url: Optional[str] = None, seed: str = "net-smoke",
         "objects": object_count,
         "byte_identical": identical,
         "net_rpc": metrics,
+        "server": server_report,
     }
+    if trace_report is not None:
+        report["trace"] = trace_report
     if metrics_out:
         with open(metrics_out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -227,22 +341,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", default="net-smoke")
     parser.add_argument("--metrics-out", default=None,
                         help="write the net.rpc.* metrics artifact here")
+    parser.add_argument("--trace-out", default=None,
+                        help="run the remote phase with tracing enabled "
+                             "and write the validated stitched Chrome "
+                             "trace here")
+    parser.add_argument("--request-log", default=None,
+                        help="have the serve subprocess append its JSONL "
+                             "request log here")
     args = parser.parse_args(argv)
 
     report = run_smoke(store_url=args.store_url, seed=args.seed,
-                       metrics_out=args.metrics_out)
+                       metrics_out=args.metrics_out,
+                       trace_out=args.trace_out,
+                       request_log=args.request_log)
     rpc = report["net_rpc"]["counters"]
     print(f"workload over {report['store_url']}: "
           f"{int(rpc.get('net.rpc.requests', 0))} RPCs, "
           f"{int(rpc.get('net.rpc.bytes_sent', 0))} B sent, "
           f"{int(rpc.get('net.rpc.bytes_received', 0))} B received")
+    failed = False
+    trace = report.get("trace")
+    if trace is not None:
+        print(f"stitched trace: {trace['events']} events "
+              f"({trace['client_spans']} client / "
+              f"{trace['server_spans']} server spans, lanes "
+              f"{trace['connection_lanes']}, trace id "
+              f"{trace['trace_id']}) -> {trace['path']}")
+        for problem in trace["problems"]:
+            print(f"FAIL: trace: {problem}", file=sys.stderr)
+            failed = True
+    server = report.get("server")
+    if server:
+        health = server["health"]
+        slo_all = server["slo"].get("all", {})
+        print(f"server health: {health['status']}  "
+              f"requests={server['requests'].get('total', 0)} "
+              f"errors={server['requests'].get('errors', 0)} "
+              f"p95={slo_all.get('p95_ms', 0.0)} ms")
+        if health["status"] != "ok":
+            print(f"FAIL: server health is {health['status']}: "
+                  f"{health.get('checks', {})}", file=sys.stderr)
+            failed = True
     if not report["byte_identical"]:
         print("FAIL: remote cloud state diverged from the in-process "
               "reference", file=sys.stderr)
-        return 1
-    print(f"byte-identical to in-process reference "
-          f"({report['objects']} objects)")
-    return 0
+        failed = True
+    else:
+        print(f"byte-identical to in-process reference "
+              f"({report['objects']} objects)")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

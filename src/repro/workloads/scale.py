@@ -342,6 +342,10 @@ class ScaleReport:
     cloud_content_digest: str = ""
     convergence_digest: str = ""
     wall_seconds: float = 0.0
+    #: Remote-store runs only: the live server's rolling per-method SLO
+    #: windows and request-log tail, fetched over the wire (``ops.stats``).
+    server_slo: Dict[str, Any] = field(default_factory=dict)
+    request_log_tail: List[dict] = field(default_factory=list)
 
     @property
     def converged(self) -> bool:
@@ -381,6 +385,8 @@ class ScaleReport:
             "convergence_digest": self.convergence_digest,
             "converged": self.converged,
             "wall_seconds": round(self.wall_seconds, 3),
+            "server_slo": self.server_slo,
+            "request_log_tail": self.request_log_tail[-8:],
         }
 
 
@@ -782,6 +788,20 @@ class ScaleRunner:
             digest.update(gid.encode("utf-8"))
             digest.update(report.key_hashes[gid].encode("ascii"))
         report.convergence_digest = digest.hexdigest()
+
+        # Remote-store runs: pull the server's own view of the run —
+        # rolling SLO windows and the request-log tail — over the wire.
+        store = self.inner_store
+        if (hasattr(store, "server_stats")
+                and "ops" in getattr(store, "server_features", ())):
+            try:
+                stats = store.server_stats()
+            except ReproError:
+                pass
+            else:
+                report.server_slo = stats.get("slo", {})
+                report.request_log_tail = stats.get(
+                    "request_log", {}).get("tail", [])
         return report
 
     def close(self) -> None:

@@ -90,6 +90,48 @@ def test_envelope_rejects_malformed():
         wire.Response.from_wire({"id": 1, "ok": False, "error": "nope"})
 
 
+def test_envelope_rejects_bad_ids():
+    """A missing or non-integer envelope id raises instead of silently
+    becoming 0 (which would mis-correlate request/response pairs)."""
+    with pytest.raises(ValidationError):
+        wire.Request.from_wire({"method": "store.get", "params": {}})
+    with pytest.raises(ValidationError):
+        wire.Request.from_wire(
+            {"id": True, "method": "store.get", "params": {}})
+    with pytest.raises(ValidationError):
+        wire.Request.from_wire(
+            {"id": "7", "method": "store.get", "params": {}})
+    with pytest.raises(ValidationError):
+        wire.Response.from_wire({"ok": True, "result": {}})
+    with pytest.raises(ValidationError):
+        wire.Response.from_wire({"id": 1.5, "ok": True, "result": {}})
+
+
+def test_trace_context_only_on_wire_when_set():
+    """The trace field is additive: absent from untraced envelopes, so
+    pre-trace wire bytes are unchanged."""
+    req = wire.Request(id=3, method="store.get", params={"path": "/x"})
+    assert "trace" not in req.to_wire()
+    traced = wire.Request(id=3, method="store.get", params={"path": "/x"},
+                          trace={"id": "abcd", "parent": 7})
+    obj = traced.to_wire()
+    assert obj["trace"] == {"id": "abcd", "parent": 7}
+    assert wire.Request.from_wire(obj) == traced
+    with pytest.raises(WireError):
+        wire.Request.from_wire(
+            {"id": 1, "method": "store.get", "params": {}, "trace": "x"})
+
+    resp = wire.Response(id=3, result={})
+    assert "telemetry" not in resp.to_wire()
+    shipped = wire.Response(id=3, result={},
+                            telemetry={"spans": [], "counters": {}})
+    obj = shipped.to_wire()
+    assert obj["telemetry"] == {"spans": [], "counters": {}}
+    with pytest.raises(WireError):
+        wire.Response.from_wire(
+            {"id": 1, "ok": True, "result": {}, "telemetry": []})
+
+
 def test_error_code_mapping_roundtrip():
     for exc in (ConflictError("x"), NotFoundError("y"),
                 UnavailableError("z"), ValidationError("v"),

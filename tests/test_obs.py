@@ -436,6 +436,127 @@ class TestExporters:
         assert any(e["args"].get("error") for e in span_events)
 
 
+class TestExporterEdgeCases:
+    def test_prometheus_empty_registry(self):
+        from repro.obs import metrics_to_prometheus
+
+        text = metrics_to_prometheus({})
+        assert text == "\n"
+        registry = MetricRegistry()
+        assert metrics_to_prometheus(registry.snapshot()) == "\n"
+
+    def test_histogram_quantiles_exact_below_reservoir(self):
+        """With fewer samples than the reservoir holds, quantiles are
+        computed over *all* samples — no sampling error."""
+        h = Histogram("exact")
+        for v in range(1, 101):    # 100 < RESERVOIR_SIZE
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["exact.count"] == 100
+        assert snap["exact.min"] == 1.0 and snap["exact.max"] == 100.0
+        assert abs(snap["exact.p50"] - 50.5) < 1.0
+        assert snap["exact.p95"] >= 95.0
+        assert snap["exact.p99"] >= 99.0
+
+    def test_histogram_merge_is_deterministic(self):
+        """Merging the same parts in the same order gives byte-identical
+        snapshots: the reservoir's RNG is keyed by name, not time."""
+        def build():
+            target = Histogram("merge.target")
+            for part_index in range(3):
+                part = Histogram(f"part{part_index}")
+                for v in range(500):
+                    part.observe(float(v + 1000 * part_index))
+                target.merge(part)
+            return target.snapshot()
+
+        assert build() == build()
+
+    def test_histogram_merge_aggregates_under_permutation(self):
+        """Count/total/min/max are order-independent even when the
+        sampled quantiles differ across merge orders."""
+        import itertools as it
+
+        parts = []
+        for i in range(3):
+            part = Histogram(f"perm{i}")
+            for v in range(400):
+                part.observe(float(v + 1000 * i))
+            parts.append(part)
+        aggregates = set()
+        for order in it.permutations(range(3)):
+            target = Histogram("perm.target")
+            for i in order:
+                target.merge(parts[i])
+            snap = target.snapshot()
+            aggregates.add((snap["perm.target.count"],
+                            snap["perm.target.total"],
+                            snap["perm.target.min"],
+                            snap["perm.target.max"]))
+        assert len(aggregates) == 1
+        assert aggregates.pop() == (1200, sum(range(400)) * 3.0
+                                    + 400 * (1000.0 + 2000.0),
+                                    0.0, 2399.0)
+
+    def test_chrome_trace_connection_lanes(self):
+        """Negative tids render as conn-N lanes, positive as worker-N."""
+        from repro.obs import spans_to_chrome_trace
+
+        tr = Tracer(enabled=True)
+        with tr.span("net.rpc.store.get", "net"):
+            pass
+        spans = tr.spans()
+        spans[0].tid = -2
+        extra = Tracer(enabled=True)
+        with extra.span("cloud.put", "cloud"):
+            pass
+        worker = extra.spans()[0]
+        worker.tid = 41
+        trace = spans_to_chrome_trace(spans + [worker])
+        lanes = {e["tid"]: e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert lanes[-2] == "conn-2"
+        assert lanes[41] == "worker-41"
+
+
+class TestSloWindow:
+    def test_counts_and_quantiles(self):
+        from repro.obs import SloWindow
+
+        w = SloWindow("store.get", size=8)
+        for ms in (1.0, 2.0, 3.0, 4.0):
+            w.observe(ms)
+        w.observe(100.0, ok=False)
+        snap = w.snapshot()
+        assert snap["count"] == 5 and snap["errors"] == 1
+        assert snap["window"] == 5
+        assert snap["error_rate"] == pytest.approx(0.2)
+        assert snap["max_ms"] == 100.0
+        assert snap["p50_ms"] == pytest.approx(3.0)
+
+    def test_window_slides_but_lifetime_counts_do_not(self):
+        from repro.obs import SloWindow
+
+        w = SloWindow("m", size=4)
+        for i in range(10):
+            w.observe(float(i), ok=(i % 2 == 0))
+        snap = w.snapshot()
+        assert snap["count"] == 10 and snap["errors"] == 5
+        assert snap["window"] == 4
+        # Only the last 4 latencies are in the window: 6,7,8,9.
+        assert snap["max_ms"] == 9.0 and snap["p50_ms"] >= 6.0
+
+    def test_reset(self):
+        from repro.obs import SloWindow
+
+        w = SloWindow("m")
+        w.observe(5.0, ok=False)
+        w.reset()
+        snap = w.snapshot()
+        assert snap["count"] == 0 and snap["window"] == 0
+        assert snap["error_rate"] == 0.0
+
+
 # ---------------------------------------------------------------------------
 # Integration: the deployment's metric surfaces
 # ---------------------------------------------------------------------------
