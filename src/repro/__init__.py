@@ -47,6 +47,7 @@ from repro.sgx import (
     provision_user_key,
     setup_trust,
 )
+from repro.shard import ShardedSystem
 
 __version__ = "1.0.0"
 
@@ -70,6 +71,7 @@ __all__ = [
     "Auditor",
     "System",
     "quickstart_system",
+    "ShardedSystem",
     "MetricRegistry",
     "MetricSource",
     "Span",

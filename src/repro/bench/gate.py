@@ -328,6 +328,66 @@ def _op_net_rpc_commit(scale: float) -> Tuple[float, float, float]:
         server.stop()
 
 
+def _bench_sharded(seed: str, nshards: int):
+    from repro.shard import ShardedSystem
+
+    return ShardedSystem(nshards=nshards, partition_capacity=16,
+                         params="toy64", seed=f"gate:{seed}")
+
+
+def _op_shard_create_group(scale: float) -> Tuple[float, float, float]:
+    """Per-group bootstrap cost through a 2-shard deployment's router.
+
+    The group path is shared-nothing (each group lives wholly on its
+    owning shard; no cross-shard coordination), so the per-op bytes and
+    crossings here must equal the single-enclave ``fig6`` numbers per
+    group — the deterministic basis of the linear-in-N aggregate
+    throughput claim.  Crossings are summed over all shard enclaves
+    (the merged telemetry view would overwrite same-named counters)."""
+    n = max(8, int(32 * scale))
+    groups = 4
+    system = _bench_sharded("shard-create", 2)
+    try:
+        before_bytes = system.telemetry()["metrics"]["cloud.bytes_in"]
+        before_crossings = system.total_crossings()
+        start = time.perf_counter()
+        for k in range(groups):
+            system.create_group(f"g{k}",
+                                [f"g{k}.u{i}" for i in range(n)])
+        elapsed = time.perf_counter() - start
+        after_bytes = system.telemetry()["metrics"]["cloud.bytes_in"]
+        after_crossings = system.total_crossings()
+        return (elapsed / groups, (after_bytes - before_bytes) / groups,
+                (after_crossings - before_crossings) / groups)
+    finally:
+        system.close()
+
+
+def _op_shard_rekey(scale: float) -> Tuple[float, float, float]:
+    """Per-group key rotation through the shard router (the revocation
+    cost driver of Fig. 7, here on a 2-shard fleet): same shared-nothing
+    argument as ``shard.create_group``."""
+    n = max(8, int(32 * scale))
+    groups = 4
+    system = _bench_sharded("shard-rekey", 2)
+    try:
+        for k in range(groups):
+            system.create_group(f"g{k}",
+                                [f"g{k}.u{i}" for i in range(n)])
+        before_bytes = system.telemetry()["metrics"]["cloud.bytes_in"]
+        before_crossings = system.total_crossings()
+        start = time.perf_counter()
+        for k in range(groups):
+            system.rekey(f"g{k}")
+        elapsed = time.perf_counter() - start
+        after_bytes = system.telemetry()["metrics"]["cloud.bytes_in"]
+        after_crossings = system.total_crossings()
+        return (elapsed / groups, (after_bytes - before_bytes) / groups,
+                (after_crossings - before_crossings) / groups)
+    finally:
+        system.close()
+
+
 def _scale_runner(scale: float):
     """A bounded scale-suite scenario (Zipf roster + churn trace), small
     enough for the gate's repeat loop yet exercising the same phases the
@@ -403,6 +463,8 @@ OPS: Dict[str, Callable[[float], Tuple[float, float, float]]] = {
     "net.rpc.commit": _op_net_rpc_commit,
     "scale.churn": _op_scale_churn,
     "scale.sync": _op_scale_sync,
+    "shard.create_group": _op_shard_create_group,
+    "shard.rekey": _op_shard_rekey,
 }
 
 

@@ -26,10 +26,12 @@ Usage overview::
     python -m repro.cli compact      --cloud C
     python -m repro.cli stats        (--state S --cloud C | --store-url U)
                                      [--format table|json|prom] [--out F]
-    python -m repro.cli health       --store-url U [--timeout T] [--json]
+    python -m repro.cli health       --store-url U [--store-url U2 …]
+                                     [--timeout T] [--json]
     python -m repro.cli serve        --cloud C [--state S] [--host H]
                                      [--port P] [--compact-every N]
                                      [--request-log F] [--slow-ms N]
+                                     [--shards N]
 
 ``serve`` exposes the file-backed store over TCP (``repro.net``
 protocol); every command that takes ``--cloud`` alternatively accepts
@@ -570,11 +572,24 @@ def cmd_serve(args) -> int:
     hosted and the whitelisted admin operations become callable via
     ``repro.net.RemoteAdmin``.  With ``--request-log``, every handled
     request appends one JSONL record (see docs/API.md for the schema);
-    ``--slow-ms`` sets the threshold for the record's ``slow`` flag."""
+    ``--slow-ms`` sets the threshold for the record's ``slow`` flag.
+
+    ``--shards N`` starts ``N`` servers over the same store — one
+    ``serving`` line each, in shard order, so a
+    :class:`repro.net.ShardDirectory` built from those urls routes
+    groups exactly like the deployment's own ring.  With an explicit
+    ``--port`` the shards bind consecutive ports; each server's
+    ``ops.stats`` / ``ops.health`` carries its shard identity.
+    """
     import asyncio
 
     from repro.net import AdminBridge, RequestLog, StoreServer
 
+    nshards = max(1, args.shards)
+    if nshards > 1 and args.state:
+        raise ValidationError(
+            "--shards hosts the store fleet only; --state (the hosted "
+            "administrator) requires a single server")
     store = FileCloudStore(Path(args.cloud),
                            compact_every=args.compact_every)
     bridge = None
@@ -586,21 +601,37 @@ def cmd_serve(args) -> int:
         request_log = RequestLog(args.request_log, slow_ms=args.slow_ms)
 
     async def run() -> None:
-        server = StoreServer(store, host=args.host, port=args.port,
-                             admin=bridge, request_log=request_log)
-        await server.start()
-        print(f"serving {server.url}", flush=True)
+        servers = []
+        for index in range(nshards):
+            port = args.port + index if args.port else 0
+            shard_info = None
+            if nshards > 1:
+                shard_info = {"shard_id": f"shard-{index}",
+                              "index": index, "nshards": nshards}
+            server = StoreServer(
+                store, host=args.host, port=port,
+                admin=bridge if index == 0 else None,
+                name=(f"repro-store/shard-{index}" if nshards > 1
+                      else "repro-store"),
+                request_log=request_log, shard_info=shard_info,
+            )
+            await server.start()
+            suffix = f"  (shard {index}/{nshards})" if nshards > 1 else ""
+            print(f"serving {server.url}{suffix}", flush=True)
+            servers.append(server)
         print(f"admin endpoint: {'enabled' if bridge else 'disabled'}",
               flush=True)
         if request_log is not None:
             print(f"request log: {request_log.path} "
                   f"(slow >= {request_log.slow_ms:g} ms)", flush=True)
         try:
-            await server.closed.wait()
+            await asyncio.gather(*(s.closed.wait() for s in servers))
         finally:
-            await server.stop()
-        if server.crashed is not None:
-            raise server.crashed
+            for server in servers:
+                await server.stop()
+        for server in servers:
+            if server.crashed is not None:
+                raise server.crashed
 
     try:
         asyncio.run(run())
@@ -729,33 +760,38 @@ def cmd_stats(args) -> int:
 
 
 def cmd_health(args) -> int:
-    """Probe a running server's ``ops.health`` endpoint.
+    """Probe one or more servers' ``ops.health`` endpoints.
 
     Exit status encodes the verdict so the probe slots straight into CI
     and liveness checks: 0 = ok, 1 = degraded/failing, 2 = unreachable.
+    ``--store-url`` may be repeated (a sharded fleet): every endpoint is
+    probed and the worst answer wins — one dead shard makes the whole
+    fleet unhealthy, which is exactly what a liveness check should see.
     """
-    from repro.net import connect_store
+    from repro.net import aggregate_health
 
-    try:
-        store = connect_store(args.store_url, timeout=args.timeout)
-    except ReproError as exc:
-        print(f"unreachable: {exc}", file=sys.stderr)
-        return 2
-    try:
-        health = store.server_health()
-    except ReproError as exc:
-        print(f"unreachable: {exc}", file=sys.stderr)
-        return 2
-    finally:
-        store.close()
+    report = aggregate_health(args.store_url, timeout=args.timeout)
     if args.json:
-        print(json.dumps(health, indent=2, sort_keys=True))
+        payload = (report if len(args.store_url) > 1
+                   else report["endpoints"][0])
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        checks = health.get("checks", {})
-        detail = "  ".join(f"{k}={v}" for k, v in sorted(checks.items()))
-        print(f"{health.get('status', '?')}  "
-              f"uptime={health.get('uptime_s', 0.0):.1f}s  {detail}")
-    return 0 if health.get("status") == "ok" else 1
+        for health in report["endpoints"]:
+            status = health.get("status", "?")
+            if status == "unreachable":
+                print(f"unreachable: {health.get('error', '')}",
+                      file=sys.stderr)
+                continue
+            checks = health.get("checks", {})
+            detail = "  ".join(
+                f"{k}={v}" for k, v in sorted(checks.items()))
+            prefix = (f"{health.get('url')}  "
+                      if len(report["endpoints"]) > 1 else "")
+            print(f"{prefix}{status}  "
+                  f"uptime={health.get('uptime_s', 0.0):.1f}s  {detail}")
+        if len(report["endpoints"]) > 1:
+            print(f"fleet: {report['status']}")
+    return report["exit_code"]
 
 
 # ---------------------------------------------------------------------------
@@ -923,6 +959,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slow-ms", type=float, default=250.0,
                    help="latency threshold for the request log's `slow` "
                         "flag (default: 250 ms)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="serve N shard endpoints over the same store "
+                        "(one `serving` line each, in shard order; "
+                        "with --port they bind consecutive ports)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("scale",
@@ -952,11 +992,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("health",
-                       help="probe a running server's ops.health "
-                            "endpoint (exit 0 ok / 1 degraded-failing / "
-                            "2 unreachable)")
+                       help="probe running servers' ops.health "
+                            "endpoints (exit 0 ok / 1 degraded-failing / "
+                            "2 unreachable; worst answer wins)")
     p.add_argument("--store-url", required=True, metavar="URL",
-                   help="tcp://host:port of a running `repro serve`")
+                   action="append",
+                   help="tcp://host:port of a running `repro serve`; "
+                        "repeat once per shard to probe a whole fleet")
     p.add_argument("--timeout", type=float, default=5.0,
                    help="connect/request timeout in seconds")
     p.add_argument("--json", action="store_true",

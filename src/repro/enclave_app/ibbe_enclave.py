@@ -24,6 +24,13 @@ crossing):
 ``get_attestation_quote``        Quote committing to the identity key (Fig. 3).
 ``provision_user_key``           Extract a user secret over a secure channel.
 ``extract_user_key_raw``         Extract for benchmarks (bootstrap, Fig. 6b).
+``peer_offer``                   Identity key + fresh nonce (MAGE handshake).
+``peer_quote``                   Quote committing to (identity key, peer nonce).
+``register_peer``                Verify a peer's IAS report; admit the peer.
+``has_peer``                     Whether a key is a mutually attested peer.
+``export_master_secret_to_peer`` ECIES-wrap the MSK for an attested peer.
+``import_master_secret_from_peer`` Install an MSK received from a peer.
+``seal_master_secret``           Seal the installed MSK for this platform.
 ``create_group`` [b]             Algorithm 1 (all partitions, one entry).
 ``create_partition`` [b]         Algorithm 2, new-partition path (lines 3-7).
 ``add_user_to_partition`` [b]    Algorithm 2, existing path (line 11).
@@ -59,7 +66,7 @@ from repro import ibbe
 from repro.core.envelope import GROUP_KEY_SIZE, wrap_group_key
 from repro.crypto import ecies
 from repro.crypto.kdf import sha256
-from repro.errors import EnclaveError
+from repro.errors import AttestationError, EnclaveError
 from repro.mathutils.modular import modinv
 from repro.obs.spans import span as _span
 from repro.pairing.group import PairingGroup
@@ -119,6 +126,14 @@ class IbbeEnclave(Enclave):
         self._counters = getattr(device, "counters", None) \
             or MonotonicCounterService()
         self._seal_counters: Dict[str, int] = {}
+        # MAGE-style peer registry (multi-enclave deployments).  Keyed
+        # by the peer's identity public key bytes; entries are added
+        # only by a completed mutual-attestation handshake
+        # (:meth:`register_peer`) and never cross the boundary.
+        self._peers: Dict[bytes, bool] = {}
+        #: Nonces this enclave issued (:meth:`peer_offer`) and has not
+        #: yet seen answered — the freshness check of the handshake.
+        self._peer_nonces: set = set()
         # Parallel engine configuration (repro.par).  The pool itself is
         # created lazily on first use (it needs the public key) and its
         # par.* metrics ride this enclave's meter registry.
@@ -264,6 +279,134 @@ class IbbeEnclave(Enclave):
             raise EnclaveError("enclave already holds a master secret")
         data = self._identity_key.decrypt(blob, aad=b"msk-migration")
         self._install_msk(self._decode_msk(data), pk)
+
+    # -- MAGE-style mutual attestation (multi-enclave shards, §VIII) -------------
+    #
+    # The certificate path above needs the Auditor/CA as a trusted third
+    # party.  The peer path below removes it (the MAGE construction,
+    # arXiv:2008.09501): two enclaves of the *same build* attest each
+    # other directly, each verifying the other's IAS-signed report under
+    # an IAS report key pinned in the measured configuration and
+    # requiring the peer's measurement to equal its OWN.  The hardware
+    # root of trust (IAS) stays; the auditing middleman goes.
+
+    @ecall
+    def peer_offer(self) -> Dict[str, bytes]:
+        """Step 1 of the peer handshake: this enclave's identity public
+        key plus a fresh nonce the *peer* must echo inside its quote's
+        report data (freshness: a replayed quote carries a nonce this
+        enclave never issued, or one already consumed)."""
+        nonce = self.rng.random_bytes(32)
+        self._peer_nonces.add(nonce)
+        return {
+            "public_key": self._identity_key.public_key().encode(),
+            "nonce": nonce,
+        }
+
+    @ecall
+    def peer_quote(self, peer_nonce: bytes) -> Quote:
+        """Step 2: a quote whose 64-byte report data commits to this
+        enclave's identity key (first half) and echoes the peer's
+        challenge nonce (second half)."""
+        if not isinstance(peer_nonce, bytes) or len(peer_nonce) != 32:
+            raise AttestationError("peer nonce must be 32 bytes")
+        commitment = sha256(self._identity_key.public_key().encode())
+        return self.get_quote(commitment + peer_nonce)
+
+    @ecall
+    def register_peer(self, report, peer_public_key: bytes) -> None:
+        """Step 3, run inside the boundary: admit a peer after checking
+        the full MAGE predicate.
+
+        * the report verifies under the IAS report key pinned in this
+          enclave's *measured* configuration (``ias_report_key``) and
+          says the quote checked out (genuine, non-revoked platform);
+        * the quoted measurement equals OUR measurement — same audited
+          build, no third party needed to say which builds are good;
+        * the report data commits to the presented peer key and echoes
+          a nonce this enclave issued (and consumes it).
+        """
+        from repro.sgx.ias import AttestationReport, IntelAttestationService
+
+        pinned_hex = (self.config or {}).get("ias_report_key")
+        if not pinned_hex:
+            raise AttestationError(
+                "peer attestation requires a pinned 'ias_report_key' in "
+                "the enclave configuration"
+            )
+        if not isinstance(report, AttestationReport):
+            raise AttestationError("malformed attestation report")
+        from repro.crypto import ecdsa
+        ias_key = ecdsa.EcdsaPublicKey.decode(bytes.fromhex(str(pinned_hex)))
+        IntelAttestationService.verify_report(report, ias_key)
+        if not report.is_ok:
+            raise AttestationError(
+                f"peer quote rejected by IAS: {report.quote_status}"
+            )
+        if report.measurement != self.measurement:
+            raise AttestationError(
+                "refusing peer: enclave runs different code"
+            )
+        expected = sha256(peer_public_key)
+        if report.report_data[:32] != expected:
+            raise AttestationError(
+                "peer report does not commit to the presented key"
+            )
+        nonce = report.report_data[32:64]
+        if nonce not in self._peer_nonces:
+            raise AttestationError(
+                "peer report does not answer an outstanding challenge"
+            )
+        self._peer_nonces.discard(nonce)
+        self._peers[bytes(peer_public_key)] = True
+
+    @ecall
+    def has_peer(self, peer_public_key: bytes) -> bool:
+        """Whether a mutual-attestation handshake admitted this key."""
+        return bytes(peer_public_key) in self._peers
+
+    @ecall
+    def export_master_secret_to_peer(self, peer_public_key: bytes) -> bytes:
+        """Encrypt the MSK to a *mutually attested* peer enclave.
+
+        Unlike :meth:`export_master_secret` there is no certificate: the
+        authorisation is membership in the peer registry, which only
+        :meth:`register_peer`'s in-boundary checks can grant."""
+        key = bytes(peer_public_key)
+        if key not in self._peers:
+            raise AttestationError(
+                "refusing MSK export: key is not a mutually attested peer"
+            )
+        msk = self._require_msk()
+        target_key = ecies.EciesPublicKey.decode(key)
+        return target_key.encrypt(self._encode_msk(msk), self.rng,
+                                  aad=b"msk-peer")
+
+    @ecall
+    def import_master_secret_from_peer(self, blob: bytes,
+                                       pk: ibbe.IbbePublicKey,
+                                       sender_public_key: bytes) -> None:
+        """Counterpart of :meth:`export_master_secret_to_peer`.
+
+        The sender must be in OUR peer registry too (the handshake is
+        mutual), so an unattested party cannot feed this enclave a
+        master secret of its choosing."""
+        if self._msk is not None:
+            raise EnclaveError("enclave already holds a master secret")
+        if bytes(sender_public_key) not in self._peers:
+            raise AttestationError(
+                "refusing MSK import: sender is not a mutually attested peer"
+            )
+        data = self._identity_key.decrypt(blob, aad=b"msk-peer")
+        self._install_msk(self._decode_msk(data), pk)
+
+    @ecall
+    def seal_master_secret(self) -> bytes:
+        """Seal the installed MSK for this platform, so a later restart
+        can :meth:`restore_system` without repeating the migration.
+        Byte-compatible with the blob :meth:`setup_system` returns."""
+        msk = self._require_msk()
+        return self.seal_data(self._encode_msk(msk), aad=b"ibbe-msk")
 
     # -- Algorithm 1: create group -------------------------------------------------
 

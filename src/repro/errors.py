@@ -137,6 +137,21 @@ class StoreTimeoutError(UnavailableError):
     code = "timeout"
 
 
+class TransientAttestationError(AttestationError, UnavailableError):
+    """A *transient* attestation failure: the handshake never completed
+    (an IAS round trip dropped, an injected ``attest_fail`` fault fired),
+    so repeating the exchange from the top is always safe.
+
+    Subclasses both :class:`AttestationError` (it *is* an attestation
+    failure, so existing ``except AttestationError`` handlers see it)
+    and :class:`UnavailableError` (the default ``retry_on`` tuple of
+    :class:`~repro.faults.RetryPolicy` covers it, so mutual-attestation
+    drivers retried through a policy absorb these automatically).
+    """
+
+    code = "attest_transient"
+
+
 class ConflictError(StorageError):
     """Optimistic-concurrency version conflict on a storage object."""
 

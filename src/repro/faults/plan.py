@@ -33,7 +33,12 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.crypto.rng import DeterministicRng
-from repro.errors import CrashError, StoreTimeoutError, UnavailableError
+from repro.errors import (
+    CrashError,
+    StoreTimeoutError,
+    TransientAttestationError,
+    UnavailableError,
+)
 from repro.obs.metrics import MetricRegistry
 
 #: Store operations that only read; timeouts are injected on these alone
@@ -49,7 +54,8 @@ class InjectedFault:
     index: int   # 0-based position in the injector's log
     kind: str    # "store.unavailable" | "store.timeout" | "latency.spike"
                  # | "crash" | "worker.kill" | "enclave.restart"
-    site: str    # operation, path or crash-point name
+                 # | "shard.kill" | "attest.fail"
+    site: str    # operation, path, crash-point or handshake-step name
 
     def signature(self) -> Tuple[str, str]:
         return (self.kind, self.site)
@@ -78,6 +84,19 @@ class FaultPlan:
     #: Enclave-restart probability per operation boundary, capped below.
     enclave_restart_rate: float = 0.0
     max_enclave_restarts: int = 1
+    #: Shard-death probability per operation boundary of a sharded
+    #: deployment (:mod:`repro.shard`), capped below.  A killed shard's
+    #: next routed operation triggers the failover path: respawn,
+    #: mutual re-attestation, sync-cursor replay.
+    shard_kill_rate: float = 0.0
+    max_shard_kills: int = 1
+    #: Transient failure probability per mutual-attestation handshake
+    #: step, capped below.  Raises
+    #: :class:`~repro.errors.TransientAttestationError`, which the
+    #: default :class:`~repro.faults.RetryPolicy` classifies as
+    #: retryable, so a capped schedule always lets the handshake land.
+    attest_fail_rate: float = 0.0
+    max_attest_fails: int = 2
 
     @classmethod
     def disabled(cls) -> "FaultPlan":
@@ -99,6 +118,25 @@ class FaultPlan:
                    crash_rate=0.06, max_crashes=3,
                    enclave_restart_rate=0.05, max_enclave_restarts=2)
 
+    @classmethod
+    def shard_chaos(cls, seed: str = "chaos",
+                    nshards: int = 2) -> "FaultPlan":
+        """Sharded-deployment trouble: seeded shard deaths at operation
+        boundaries plus transient mutual-attestation failures during the
+        respawn handshakes.  Store faults stay off so every kill lands
+        at a clean boundary — the shard chaos driver
+        (:func:`repro.workloads.chaos.run_shard_chaos`) adds its own
+        deterministic kill-each-shard-in-turn schedule on top."""
+        return cls(seed=seed, shard_kill_rate=0.04,
+                   max_shard_kills=max(1, nshards),
+                   # The handshake consults the injector at ~4 sites per
+                   # attempt, so the per-site rate stays modest — hot
+                   # enough to exercise the retry path on most runs,
+                   # cool enough that an 8-attempt budget never
+                   # plausibly exhausts.
+                   attest_fail_rate=0.08,
+                   max_attest_fails=2 * max(1, nshards))
+
 
 class FaultInjector:
     """Executes a :class:`FaultPlan`; deterministic given the call sequence.
@@ -109,7 +147,8 @@ class FaultInjector:
     counted in the ``faults.*`` namespace of :attr:`registry`:
     ``faults.injected``, ``faults.store_errors``, ``faults.timeouts``,
     ``faults.latency_spikes``, ``faults.latency_ms``, ``faults.crashes``,
-    ``faults.worker_kills``, ``faults.enclave_restarts``.
+    ``faults.worker_kills``, ``faults.enclave_restarts``,
+    ``faults.shard_kills``, ``faults.attest_failures``.
     """
 
     def __init__(self, plan: FaultPlan,
@@ -124,9 +163,13 @@ class FaultInjector:
         self._crash_rng = master.fork("crash")
         self._kill_rng = master.fork("worker-kill")
         self._restart_rng = master.fork("enclave-restart")
+        self._shard_rng = master.fork("shard-kill")
+        self._attest_rng = master.fork("attest-fail")
         self._crashes = 0
         self._kills = 0
         self._restarts = 0
+        self._shard_kills = 0
+        self._attest_fails = 0
         self._injected = self.registry.counter("faults.injected")
         self._store_errors = self.registry.counter("faults.store_errors")
         self._timeouts = self.registry.counter("faults.timeouts")
@@ -135,6 +178,9 @@ class FaultInjector:
         self._crash_count = self.registry.counter("faults.crashes")
         self._kill_count = self.registry.counter("faults.worker_kills")
         self._restart_count = self.registry.counter("faults.enclave_restarts")
+        self._shard_kill_count = self.registry.counter("faults.shard_kills")
+        self._attest_fail_count = self.registry.counter(
+            "faults.attest_failures")
 
     # -- the decision primitive ------------------------------------------------
 
@@ -223,6 +269,40 @@ class FaultInjector:
         self._record("enclave.restart", "op-boundary")
         self._restart_count.add()
         return True
+
+    def take_shard_kill(self, nshards: int) -> Optional[int]:
+        """Consulted by the sharded deployment's chaos driver at
+        operation boundaries; returns the 0-based index of the shard to
+        kill, or ``None``.  Mirrors :meth:`take_worker_kill`: one
+        Bernoulli draw per consultation, plus one index draw when it
+        fires, all from the dedicated shard-kill stream."""
+        if (self.plan.shard_kill_rate <= 0.0 or nshards <= 0
+                or self._shard_kills >= self.plan.max_shard_kills):
+            return None
+        if not self._decide(self._shard_rng, self.plan.shard_kill_rate):
+            return None
+        self._shard_kills += 1
+        index = self._shard_rng.randint_below(nshards)
+        self._record("shard.kill", f"shard:{index}")
+        self._shard_kill_count.add()
+        return index
+
+    def attestation_fault(self, site: str) -> None:
+        """Consulted by the mutual-attestation drivers at each handshake
+        step.  Raises :class:`~repro.errors.TransientAttestationError`
+        (retryable by the default :class:`~repro.faults.RetryPolicy`)
+        when the schedule says the step fails; the cap guarantees a
+        retried handshake eventually completes."""
+        if (self.plan.attest_fail_rate <= 0.0
+                or self._attest_fails >= self.plan.max_attest_fails):
+            return
+        if self._decide(self._attest_rng, self.plan.attest_fail_rate):
+            self._attest_fails += 1
+            self._record("attest.fail", site)
+            self._attest_fail_count.add()
+            raise TransientAttestationError(
+                f"injected transient attestation failure at {site}"
+            )
 
     # -- replay comparison -----------------------------------------------------
 

@@ -31,6 +31,7 @@ from repro.net.client import (
     parse_store_url,
 )
 from repro.net.reqlog import RequestLog
+from repro.net.router import ShardDirectory, aggregate_health, probe_health
 from repro.net.server import ADMIN_OPS, AdminBridge, ServerThread, StoreServer
 from repro.net.wire import MAX_FRAME_BYTES, PROTOCOL_VERSION
 
@@ -46,4 +47,7 @@ __all__ = [
     "RequestLog",
     "connect_store",
     "parse_store_url",
+    "ShardDirectory",
+    "aggregate_health",
+    "probe_health",
 ]

@@ -136,11 +136,17 @@ class StoreServer:
                  host: str = "127.0.0.1", port: int = 0,
                  admin: Optional[AdminBridge] = None,
                  name: str = "repro-store",
-                 request_log: Optional[RequestLog] = None) -> None:
+                 request_log: Optional[RequestLog] = None,
+                 shard_info: Optional[Dict[str, Any]] = None) -> None:
         self.store = store
         self.admin = admin
         self.name = name
         self.request_log = request_log
+        #: Placement metadata of a sharded deployment (``shard_id``,
+        #: ``index``, ``nshards``, peer urls …), echoed verbatim in
+        #: ``ops.stats`` and ``ops.health`` so clients and the ``repro
+        #: health`` aggregator can see which shard answered.
+        self.shard_info = dict(shard_info) if shard_info else None
         self._host = host
         self._port = port
         self._server: Optional[asyncio.base_events.Server] = None
@@ -502,7 +508,7 @@ class StoreServer:
         except ReproError as exc:
             store_info["error"] = f"{error_code(exc)}: {exc}"
         store_info["recoveries"] = int(metrics.get("cloud.recoveries", 0))
-        return {
+        snapshot: Dict[str, Any] = {
             "server": self.name,
             "pid": os.getpid(),
             "protocol": wire.PROTOCOL_VERSION,
@@ -526,6 +532,9 @@ class StoreServer:
                             if self.request_log is not None
                             else {"enabled": False}),
         }
+        if self.shard_info is not None:
+            snapshot["shard"] = dict(self.shard_info)
+        return snapshot
 
     def health_snapshot(self) -> Dict[str, Any]:
         """The ``ops.health`` payload: cheap liveness + degradation.
@@ -551,6 +560,10 @@ class StoreServer:
         if (status == "ok" and self._slo_all.window_size >= 20
                 and self._slo_all.error_rate > 0.5):
             status = "degraded"
+        if self.shard_info is not None:
+            # Inside ``checks`` so it survives the typed HealthResponse
+            # round trip unchanged.
+            checks["shard"] = dict(self.shard_info)
         return {
             "status": status,
             "uptime_s": round(time.monotonic() - self._started, 3),
@@ -690,13 +703,15 @@ class ServerThread:
                  admin: Optional[AdminBridge] = None,
                  host: str = "127.0.0.1", port: int = 0,
                  name: str = "repro-store",
-                 request_log: Optional[RequestLog] = None) -> None:
+                 request_log: Optional[RequestLog] = None,
+                 shard_info: Optional[Dict[str, Any]] = None) -> None:
         self._store = store
         self._admin = admin
         self._host = host
         self._port = port
         self._name = name
         self._request_log = request_log
+        self._shard_info = shard_info
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -750,7 +765,8 @@ class ServerThread:
         self.server = StoreServer(self._store, host=self._host,
                                   port=self._port, admin=self._admin,
                                   name=self._name,
-                                  request_log=self._request_log)
+                                  request_log=self._request_log,
+                                  shard_info=self._shard_info)
         try:
             await self.server.start()
         except BaseException as exc:

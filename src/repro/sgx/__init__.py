@@ -21,7 +21,12 @@ Attestation             :mod:`repro.sgx.quote`, :mod:`repro.sgx.ias`,
 =====================  =======================================================
 """
 
-from repro.sgx.attestation import provision_user_key, setup_trust
+from repro.sgx.attestation import (
+    mutual_attest,
+    provision_master_secret,
+    provision_user_key,
+    setup_trust,
+)
 from repro.sgx.auditor import Auditor, EnclaveCertificate
 from repro.sgx.device import SgxDevice
 from repro.sgx.enclave import (
@@ -54,4 +59,6 @@ __all__ = [
     "EnclaveCertificate",
     "setup_trust",
     "provision_user_key",
+    "mutual_attest",
+    "provision_master_secret",
 ]

@@ -70,6 +70,72 @@ def provision_user_key(
     return response_key.decrypt(sealed_response, aad=b"usk-response")
 
 
+# ---------------------------------------------------------------------------
+# MAGE-style mutual attestation (no trusted third party)
+# ---------------------------------------------------------------------------
+#
+# The Fig. 3 flow above trusts the Auditor/CA to say which measurements
+# are good.  Multi-enclave shard deployments (repro.shard) drop that
+# third party following MAGE (arXiv:2008.09501): two enclaves of the
+# same build attest *each other*.  The untrusted coordinator below only
+# ferries offers, quotes and IAS reports between the parties — every
+# security-relevant check (report signature under the pinned IAS key,
+# measurement equality with the verifier's OWN measurement, key
+# commitment, nonce freshness) runs inside the enclave boundary in
+# ``register_peer``.  The coordinator consults the ambient fault
+# injector at each step, so seeded chaos plans can break the handshake
+# mid-flight; a TransientAttestationError is retryable by contract.
+
+
+def _attestation_fault(site: str) -> None:
+    from repro.faults import active
+
+    injector = active()
+    if injector is not None:
+        injector.attestation_fault(site)
+
+
+def mutual_attest(enclave_a: Enclave, enclave_b: Enclave, ias) -> None:
+    """Run the MAGE mutual-attestation handshake between two enclaves.
+
+    On return, each enclave holds the other in its peer registry (the
+    precondition for ``export_master_secret_to_peer`` /
+    ``import_master_secret_from_peer``).  Raises
+    :class:`~repro.errors.AttestationError` if either side rejects;
+    raises the *transient* subclass when an injected fault interrupts a
+    step, in which case the whole exchange is safe to rerun (stale
+    issued nonces are simply never answered).
+    """
+    _attestation_fault("peer-offer")
+    offer_a = enclave_a.call("peer_offer")
+    offer_b = enclave_b.call("peer_offer")
+    quote_a = enclave_a.call("peer_quote", offer_b["nonce"])
+    quote_b = enclave_b.call("peer_quote", offer_a["nonce"])
+    _attestation_fault("ias-report")
+    report_a = ias.verify_quote(quote_a)
+    report_b = ias.verify_quote(quote_b)
+    _attestation_fault("register-peer")
+    enclave_a.call("register_peer", report_b, offer_b["public_key"])
+    enclave_b.call("register_peer", report_a, offer_a["public_key"])
+
+
+def provision_master_secret(source: Enclave, target: Enclave, ias,
+                            public_key) -> bytes:
+    """Mutually attest ``source`` and ``target``, migrate the master
+    secret from the former to the latter, and return the target's own
+    sealed copy (so it can later ``restore_system`` after a restart
+    without repeating the migration).
+    """
+    mutual_attest(source, target, ias)
+    source_key = source.call("get_public_key")
+    target_key = target.call("get_public_key")
+    _attestation_fault("msk-transfer")
+    blob = source.call("export_master_secret_to_peer", target_key)
+    target.call("import_master_secret_from_peer", blob, public_key,
+                source_key)
+    return target.call("seal_master_secret")
+
+
 def parse_provision_request(request: bytes) -> Tuple[str, ecies.EciesPublicKey]:
     """Enclave-side helper: decode a provisioning request body."""
     try:

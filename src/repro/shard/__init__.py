@@ -1,0 +1,21 @@
+"""Sharded multi-enclave deployments (kill-any-shard failover).
+
+Consistent-hash group partitioning across ``N`` enclave instances,
+MAGE-style mutual attestation for master-secret provisioning, and a
+respawn/re-attest/roll-forward failover path — byte-identical per group
+to the single-enclave system for any shard count.  See ``DESIGN.md``
+§12 for the topology and trust story.
+"""
+
+from repro.shard.ring import ShardRing, rendezvous_score
+from repro.shard.rng import CONTROL_SCOPE, GroupRoutedRng
+from repro.shard.system import Shard, ShardedSystem
+
+__all__ = [
+    "ShardRing",
+    "rendezvous_score",
+    "GroupRoutedRng",
+    "CONTROL_SCOPE",
+    "Shard",
+    "ShardedSystem",
+]

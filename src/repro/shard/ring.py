@@ -1,0 +1,58 @@
+"""Consistent group-to-shard placement (rendezvous / highest-random-weight).
+
+Every participant — shard routers, network directories, offline tools —
+must agree on which shard owns a group using nothing but the shard-id
+list and the group id.  Rendezvous hashing gives that with no shared
+state: score every ``(shard, group)`` pair with a hash and pick the
+highest.  Unlike ``hash(gid) % n`` the mapping is *stable under
+membership change*: removing one shard reassigns only the groups that
+shard owned, which is what keeps a future resharding path from
+rewriting the whole placement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from repro.errors import ValidationError
+
+
+def rendezvous_score(shard_id: str, group_id: str) -> int:
+    """The HRW weight of ``shard_id`` for ``group_id``."""
+    payload = shard_id.encode("utf-8") + b"\x00" + group_id.encode("utf-8")
+    return int.from_bytes(
+        hashlib.sha256(b"repro-shard-hrw:" + payload).digest(), "big"
+    )
+
+
+class ShardRing:
+    """A fixed roster of shard ids with rendezvous-hash ownership."""
+
+    def __init__(self, shard_ids: Sequence[str]) -> None:
+        if not shard_ids:
+            raise ValidationError("a shard ring needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValidationError("shard ids must be unique")
+        self.shard_ids: List[str] = list(shard_ids)
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def owner(self, group_id: str) -> int:
+        """Index of the shard owning ``group_id`` (deterministic,
+        uniform over shards, stable across processes)."""
+        return max(
+            range(len(self.shard_ids)),
+            key=lambda i: rendezvous_score(self.shard_ids[i], group_id),
+        )
+
+    def owner_id(self, group_id: str) -> str:
+        return self.shard_ids[self.owner(group_id)]
+
+    def assignments(self, group_ids: Sequence[str]) -> List[List[str]]:
+        """Group ids partitioned by owning shard index."""
+        buckets: List[List[str]] = [[] for _ in self.shard_ids]
+        for group_id in group_ids:
+            buckets[self.owner(group_id)].append(group_id)
+        return buckets

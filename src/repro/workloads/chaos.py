@@ -568,6 +568,246 @@ def run_chaos(plan: Optional[FaultPlan] = None, *, ops: int = 30,
     return report
 
 
+# ---------------------------------------------------------------------------
+# Sharded multi-enclave chaos (kill-any-shard failover)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardChaosReport:
+    """Outcome of one :func:`run_shard_chaos` comparison."""
+
+    seed: str
+    nshards: int
+    plan: FaultPlan
+    groups: List[str] = field(default_factory=list)
+    ops_total: int = 0
+    ops_applied: int = 0
+    scheduled_kills: int = 0
+    injected_kills: int = 0
+    respawns: int = 0
+    attest_faults: int = 0
+    revocation_checks: int = 0
+    revocation_failures: int = 0
+    reference_digest: str = ""
+    chaos_digest: str = ""
+    reference_membership_digest: str = ""
+    chaos_membership_digest: str = ""
+    reference_key_hashes: dict = field(default_factory=dict)
+    chaos_key_hashes: dict = field(default_factory=dict)
+    fault_history: List[Tuple[str, str]] = field(default_factory=list)
+    final_health: dict = field(default_factory=dict)
+
+    @property
+    def converged(self) -> bool:
+        """Byte-identical cloud state, identical per-group membership,
+        the byte-identical group key at a surviving member of every
+        group, every revoked user locked out whenever checked, and
+        every shard back up (alive + re-attested) at the end."""
+        shards_ok = self.final_health.get("status") == "ok"
+        return (self.reference_digest == self.chaos_digest
+                and (self.reference_membership_digest
+                     == self.chaos_membership_digest)
+                and self.reference_key_hashes == self.chaos_key_hashes
+                and self.revocation_failures == 0
+                and shards_ok)
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.seed,
+            "nshards": self.nshards,
+            "groups": self.groups,
+            "ops_total": self.ops_total,
+            "ops_applied": self.ops_applied,
+            "scheduled_kills": self.scheduled_kills,
+            "injected_kills": self.injected_kills,
+            "respawns": self.respawns,
+            "attest_faults": self.attest_faults,
+            "revocation_checks": self.revocation_checks,
+            "revocation_failures": self.revocation_failures,
+            "faults_injected": len(self.fault_history),
+            "reference_digest": self.reference_digest,
+            "chaos_digest": self.chaos_digest,
+            "reference_membership_digest": self.reference_membership_digest,
+            "chaos_membership_digest": self.chaos_membership_digest,
+            "reference_key_hashes": self.reference_key_hashes,
+            "chaos_key_hashes": self.chaos_key_hashes,
+            "final_health": self.final_health,
+            "converged": self.converged,
+        }
+
+
+def make_shard_trace(groups: int, ops: int, pool: int, initial: int,
+                     seed: str) -> Tuple[dict, List[Tuple[str, Operation]]]:
+    """Deterministic multi-group churn: one membership trace per group
+    (identities prefixed ``g<k>.u<i>`` so user pools are disjoint),
+    interleaved round-robin.  Returns ``(initial_members_by_group,
+    interleaved_trace)``."""
+    initials: dict = {}
+    per_group: dict = {}
+    for k in range(groups):
+        gid = f"g{k}"
+        members, trace = make_membership_trace(
+            ops, pool, initial, f"{seed}:{gid}")
+        initials[gid] = [f"{gid}.{u}" for u in members]
+        per_group[gid] = [
+            Operation(op.kind, f"{gid}.{op.user}", op.timestamp)
+            for op in trace
+        ]
+    interleaved: List[Tuple[str, Operation]] = []
+    for index in range(ops):
+        for k in range(groups):
+            gid = f"g{k}"
+            if index < len(per_group[gid]):
+                interleaved.append((gid, per_group[gid][index]))
+    return initials, interleaved
+
+
+class _ShardRun:
+    """One sharded deployment driven through an interleaved trace."""
+
+    def __init__(self, nshards: int, seed: str, capacity: int) -> None:
+        from repro.shard import ShardedSystem
+
+        self.system = ShardedSystem(
+            nshards=nshards, partition_capacity=capacity, params="toy64",
+            seed=f"shard-chaos:{seed}",
+        )
+        self.clients = {}
+        self.revocation_checks = 0
+        self.revocation_failures = 0
+
+    def bootstrap(self, initials: dict) -> None:
+        for gid in sorted(initials):
+            self.system.create_group(gid, initials[gid])
+
+    def client(self, gid: str, user: str):
+        # Client construction draws no deployment randomness (key
+        # extraction is deterministic in the MSK), so lazy creation
+        # cannot desynchronise the reference and chaos runs.
+        if (gid, user) not in self.clients:
+            self.clients[(gid, user)] = self.system.make_client(gid, user)
+        return self.clients[(gid, user)]
+
+    def apply(self, gid: str, op: Operation) -> None:
+        if op.kind == OP_ADD:
+            self.system.add_user(gid, op.user)
+        else:
+            self.system.remove_user(gid, op.user)
+            self.check_revoked(gid, op.user)
+
+    def check_revoked(self, gid: str, user: str) -> None:
+        client = self.client(gid, user)
+        self.revocation_checks += 1
+        client.sync()
+        try:
+            client.current_group_key()
+        except RevokedError:
+            return
+        self.revocation_failures += 1
+
+    def membership_digest(self) -> str:
+        digest = hashlib.sha256()
+        for gid in self.system.group_ids():
+            state = self.system.group_state(gid)
+            digest.update(gid.encode("utf-8") + b"\x00")
+            for member in sorted(state.table.all_members()):
+                digest.update(member.encode("utf-8") + b"\x01")
+        return digest.hexdigest()
+
+    def key_hashes(self) -> dict:
+        hashes = {}
+        for gid in self.system.group_ids():
+            state = self.system.group_state(gid)
+            member = sorted(state.table.all_members())[0]
+            client = self.client(gid, member)
+            client.sync()
+            key = client.current_group_key()
+            hashes[gid] = hashlib.sha256(key).hexdigest()
+        return hashes
+
+
+def run_shard_chaos(plan: Optional[FaultPlan] = None, *, nshards: int = 2,
+                    groups: int = 3, ops: int = 16, pool: int = 8,
+                    initial: int = 4, capacity: int = 4,
+                    seed: str = "shard-chaos") -> ShardChaosReport:
+    """Kill-any-shard convergence: drive ``groups`` interleaved
+    membership traces through a ``ShardedSystem(nshards)`` while killing
+    *each shard in turn* mid-churn (plus any extra seeded ``shard.kill``
+    faults from ``plan``), and compare the final cloud bytes, per-group
+    membership and group keys against the fault-free single-enclave run
+    of the same trace.
+
+    Scheduled kills land at evenly spaced operation boundaries so every
+    shard dies at least once while churn is still outstanding; the
+    router respawns a dead shard on the next operation routed to it —
+    sealed-MSK restore, journal roll-forward, mutual re-attestation to a
+    live peer (itself under injected ``attest.fail`` faults, absorbed by
+    the retry layer) — and any shard still down when the trace ends is
+    respawned explicitly, so the final health probe must report every
+    shard alive and re-attested.
+    """
+    if plan is None:
+        plan = FaultPlan.shard_chaos(seed, nshards=nshards)
+    initials, trace = make_shard_trace(groups, ops, pool, initial, seed)
+    report = ShardChaosReport(seed=seed, nshards=nshards, plan=plan,
+                              groups=sorted(initials),
+                              ops_total=len(trace))
+
+    # Reference: the same trace on a single enclave, fault-free.
+    install(None)
+    reference = _ShardRun(1, seed, capacity)
+    reference.bootstrap(initials)
+    for gid, op in trace:
+        reference.apply(gid, op)
+    report.reference_membership_digest = reference.membership_digest()
+    report.reference_key_hashes = reference.key_hashes()
+    report.reference_digest = cloud_digest(reference.system.cloud)
+    report.revocation_checks += reference.revocation_checks
+    report.revocation_failures += reference.revocation_failures
+    reference.system.close()
+
+    # Chaos: N shards, every one of them killed at least once mid-churn.
+    injector = FaultInjector(plan)
+    install(injector)
+    try:
+        chaos = _ShardRun(nshards, seed, capacity)
+        chaos.bootstrap(initials)
+        # Shard i dies just before operation (i+1)*len/(N+1): evenly
+        # spaced, never at the very start or end, deterministic.
+        kill_at = {
+            ((index + 1) * len(trace)) // (nshards + 1): index
+            for index in range(nshards)
+        }
+        for position, (gid, op) in enumerate(trace):
+            victim = kill_at.get(position)
+            if victim is not None:
+                chaos.system.kill_shard(victim)
+                report.scheduled_kills += 1
+            extra = injector.take_shard_kill(nshards)
+            if extra is not None and chaos.system.shards[extra].alive:
+                chaos.system.kill_shard(extra)
+                report.injected_kills += 1
+            chaos.apply(gid, op)
+            report.ops_applied += 1
+        for shard in chaos.system.shards:
+            if not shard.alive:
+                chaos.system.respawn_shard(shard.index)
+    finally:
+        install(None)
+    report.chaos_membership_digest = chaos.membership_digest()
+    report.chaos_key_hashes = chaos.key_hashes()
+    report.chaos_digest = cloud_digest(chaos.system.cloud)
+    report.revocation_checks += chaos.revocation_checks
+    report.revocation_failures += chaos.revocation_failures
+    report.respawns = sum(s.respawns for s in chaos.system.shards)
+    report.fault_history = injector.history()
+    report.attest_faults = sum(
+        1 for kind, _ in report.fault_history if kind == "attest.fail")
+    report.final_health = chaos.system.health()
+    chaos.system.close()
+    return report
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import argparse
     import json
@@ -578,14 +818,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "seeded fault schedule and diff the final cloud bytes "
                     "against a fault-free run.",
     )
-    parser.add_argument("--profile", choices=("store", "full"),
+    parser.add_argument("--profile", choices=("store", "full", "shard"),
                         default="store",
                         help="store: transient store faults only; "
-                             "full: adds crashes and enclave restarts")
+                             "full: adds crashes and enclave restarts; "
+                             "shard: multi-enclave deployment with every "
+                             "shard killed in turn mid-churn")
     parser.add_argument("--seed", default="chaos-ci")
     parser.add_argument("--ops", type=int, default=30)
     parser.add_argument("--pool", type=int, default=12)
     parser.add_argument("--capacity", type=int, default=4)
+    parser.add_argument("--shards", type=int, default=2,
+                        help="with --profile shard: enclave instance "
+                             "count of the chaos deployment")
+    parser.add_argument("--groups", type=int, default=3,
+                        help="with --profile shard: interleaved group "
+                             "count")
     parser.add_argument("--compact-every", type=int, default=None,
                         help="enable automatic snapshot compaction every "
                              "N mutations on both stores and verify "
@@ -600,6 +848,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "convergence verdict also proves tracing "
                              "never perturbs store state")
     args = parser.parse_args(argv)
+
+    if args.profile == "shard":
+        shard_report = run_shard_chaos(
+            FaultPlan.shard_chaos(args.seed, nshards=args.shards),
+            nshards=args.shards, groups=args.groups,
+            ops=max(4, args.ops // max(1, args.groups)),
+            pool=args.pool, capacity=args.capacity, seed=args.seed,
+        )
+        print(json.dumps(shard_report.summary(), indent=2))
+        return 0 if shard_report.converged else 1
 
     plan = (FaultPlan.store_faults(args.seed) if args.profile == "store"
             else FaultPlan.full_chaos(args.seed))

@@ -1013,6 +1013,13 @@ def add_scale_arguments(parser) -> None:
                         help="inject the seeded store-fault profile "
                              "(outages/timeouts/latency spikes); the "
                              "convergence digest must not change")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run the sharded-deployment convergence "
+                             "scenario instead: an N-enclave "
+                             "ShardedSystem under kill-any-shard chaos "
+                             "(sized from --users/--churn-ops) must "
+                             "match the single-enclave run byte for "
+                             "byte")
     parser.add_argument("--store-url", default=None, metavar="URL",
                         help="run against a live repro serve endpoint "
                              "instead of the in-memory store")
@@ -1047,6 +1054,40 @@ def config_from_args(args) -> ScaleConfig:
     )
 
 
+def run_shard_scale(args, nshards: int) -> int:
+    """The sharded-deployment convergence scenario at scale-suite sizing.
+
+    Derives a bounded multi-group churn workload from ``--users`` /
+    ``--churn-ops`` and hands it to
+    :func:`repro.workloads.chaos.run_shard_chaos`: every shard of an
+    ``N``-enclave deployment is killed in turn mid-churn and the final
+    cloud bytes, memberships and group keys must match the fault-free
+    single-enclave run.  Exit 0 on convergence, 1 otherwise.
+    """
+    import json
+
+    from repro.workloads.chaos import run_shard_chaos
+
+    users = int(float(args.users))
+    groups = max(2, min(8, round(users ** (1.0 / 3.0))))
+    pool = max(6, min(32, users // groups))
+    churn = args.churn_ops if args.churn_ops else max(12, min(96, users // 8))
+    report = run_shard_chaos(
+        nshards=nshards,
+        groups=groups,
+        ops=max(4, churn // groups),
+        pool=pool,
+        initial=max(3, pool // 2),
+        seed=args.seed,
+    )
+    payload = report.summary()
+    print(json.dumps(payload, indent=2))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+    return 0 if report.converged else 1
+
+
 def run_from_args(args) -> int:
     """Shared driver behind ``python -m repro.workloads.scale`` and the
     ``repro scale`` CLI subcommand: run the scenario (or calibration),
@@ -1055,6 +1096,9 @@ def run_from_args(args) -> int:
     import os
 
     from repro import obs
+
+    if getattr(args, "shards", None):
+        return run_shard_scale(args, args.shards)
 
     trace_out = getattr(args, "trace_out", None)
     prom_out = getattr(args, "prom_out", None)

@@ -1,0 +1,282 @@
+"""Tests for repro.shard: rendezvous placement, the group-routed RNG,
+N-shard byte-equivalence with the single-enclave deployment (including
+after kill + respawn), attestation gating, the shard fault kinds, and
+the kill-any-shard chaos harness."""
+
+import hashlib
+
+import pytest
+
+from repro.errors import (
+    AttestationError,
+    EnclaveError,
+    TransientAttestationError,
+    UnavailableError,
+    ValidationError,
+)
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy, install
+from repro.shard import (
+    CONTROL_SCOPE,
+    GroupRoutedRng,
+    ShardedSystem,
+    ShardRing,
+    rendezvous_score,
+)
+from repro.workloads.chaos import cloud_digest, run_shard_chaos
+
+GROUPS = {
+    "galois": ["galois.alice", "galois.bob", "galois.carol"],
+    "noether": ["noether.dan", "noether.erin"],
+    "abel": ["abel.frank", "abel.grace", "abel.heidi"],
+}
+
+
+def build(nshards, seed="shard-test"):
+    return ShardedSystem(nshards=nshards, partition_capacity=4,
+                         params="toy64", seed=seed)
+
+
+def churn(system):
+    """A fixed cross-group operation script, deliberately interleaved so
+    per-group sequences cross shard boundaries between draws."""
+    for gid in sorted(GROUPS):
+        system.create_group(gid, GROUPS[gid])
+    system.add_user("galois", "galois.dave")
+    system.add_user("noether", "noether.frank")
+    system.remove_user("galois", "galois.bob")
+    system.rekey("noether")
+    system.add_user("abel", "abel.ivan")
+    system.remove_user("abel", "abel.frank")
+
+
+def key_hashes(system):
+    hashes = {}
+    for gid in system.group_ids():
+        member = sorted(system.group_state(gid).table.all_members())[0]
+        client = system.make_client(gid, member)
+        client.sync()
+        hashes[gid] = hashlib.sha256(client.current_group_key()).hexdigest()
+    return hashes
+
+
+class TestShardRing:
+    def test_owner_is_stable_and_in_range(self):
+        ring = ShardRing([f"shard-{i}" for i in range(4)])
+        owners = {gid: ring.owner(gid) for gid in
+                  (f"group-{n}" for n in range(64))}
+        assert all(0 <= o < 4 for o in owners.values())
+        again = ShardRing([f"shard-{i}" for i in range(4)])
+        assert owners == {gid: again.owner(gid) for gid in owners}
+
+    def test_every_shard_owns_something(self):
+        ring = ShardRing([f"shard-{i}" for i in range(4)])
+        assignments = ring.assignments([f"group-{n}" for n in range(64)])
+        assert len(assignments) == 4
+        assert all(assignments)
+
+    def test_membership_growth_only_moves_groups_to_the_new_shard(self):
+        # The rendezvous property: adding a shard never reshuffles a
+        # group between two pre-existing shards.
+        small = ShardRing(["shard-0", "shard-1"])
+        large = ShardRing(["shard-0", "shard-1", "shard-2"])
+        for n in range(64):
+            gid = f"group-{n}"
+            if large.owner_id(gid) != "shard-2":
+                assert large.owner_id(gid) == small.owner_id(gid)
+
+    def test_scores_differ_by_shard(self):
+        assert rendezvous_score("shard-0", "g") != \
+            rendezvous_score("shard-1", "g")
+
+    def test_invalid_memberships_rejected(self):
+        with pytest.raises(ValidationError):
+            ShardRing([])
+        with pytest.raises(ValidationError):
+            ShardRing(["shard-0", "shard-0"])
+
+
+class TestGroupRoutedRng:
+    def test_group_stream_independent_of_interleaving(self):
+        a = GroupRoutedRng("seed")
+        with a.scoped("group:g1"):
+            first = a.random_bytes(8)
+        with a.scoped("group:g2"):
+            a.random_bytes(8)
+        with a.scoped("group:g1"):
+            second = a.random_bytes(8)
+
+        b = GroupRoutedRng("seed")
+        with b.scoped("group:g1"):
+            assert b.random_bytes(8) == first
+            assert b.random_bytes(8) == second
+
+    def test_control_scope_is_default(self):
+        rng = GroupRoutedRng("seed")
+        assert rng.scope == CONTROL_SCOPE
+        control = rng.random_bytes(8)
+        other = GroupRoutedRng("seed")
+        with other.scoped("group:g1"):
+            pass
+        assert other.random_bytes(8) == control
+
+    def test_state_roundtrip(self):
+        rng = GroupRoutedRng("seed")
+        with rng.scoped("group:g1"):
+            rng.random_bytes(8)
+        state = rng.getstate()
+        with rng.scoped("group:g1"):
+            expected = rng.random_bytes(8)
+        rng.setstate(state)
+        with rng.scoped("group:g1"):
+            assert rng.random_bytes(8) == expected
+
+
+class TestShardedByteEquivalence:
+    def test_shard_count_is_invisible_in_the_cloud(self):
+        digests, hashes = set(), []
+        for nshards in (1, 2, 4):
+            system = build(nshards)
+            try:
+                churn(system)
+                digests.add(cloud_digest(system.cloud))
+                hashes.append(key_hashes(system))
+            finally:
+                system.close()
+        assert len(digests) == 1
+        assert hashes[0] == hashes[1] == hashes[2]
+
+    def test_kill_and_respawn_converges_byte_identically(self):
+        reference = build(1)
+        try:
+            churn(reference)
+            expected = cloud_digest(reference.cloud)
+            expected_keys = key_hashes(reference)
+        finally:
+            reference.close()
+
+        system = build(3)
+        try:
+            for gid in sorted(GROUPS):
+                system.create_group(gid, GROUPS[gid])
+            # Kill every shard in turn mid-churn; routing lazily
+            # respawns + re-attests the owner of the next routed op.
+            system.kill_shard(0)
+            system.add_user("galois", "galois.dave")
+            system.add_user("noether", "noether.frank")
+            system.kill_shard(1)
+            system.remove_user("galois", "galois.bob")
+            system.rekey("noether")
+            system.kill_shard(2)
+            system.add_user("abel", "abel.ivan")
+            system.remove_user("abel", "abel.frank")
+            for shard in system.shards:
+                if not shard.alive:
+                    system.respawn_shard(shard.index)
+            assert cloud_digest(system.cloud) == expected
+            assert key_hashes(system) == expected_keys
+            assert sum(s.respawns for s in system.shards) >= 3
+            assert system.health()["status"] == "ok"
+        finally:
+            system.close()
+
+
+class TestFailover:
+    def test_health_reflects_kill_and_respawn(self):
+        system = build(2)
+        try:
+            system.create_group("galois", GROUPS["galois"])
+            assert system.health()["status"] == "ok"
+            victim = system.owner("galois")
+            system.kill_shard(victim)
+            report = system.health()
+            assert report["status"] == "degraded"
+            assert report["shards"][victim]["alive"] is False
+            system.respawn_shard(victim)
+            report = system.health()
+            assert report["status"] == "ok"
+            assert report["shards"][victim]["respawns"] == 1
+        finally:
+            system.close()
+
+    def test_unattested_shard_refuses_to_serve(self):
+        system = build(2)
+        try:
+            system.create_group("galois", GROUPS["galois"])
+            system.shards[system.owner("galois")].attested = False
+            with pytest.raises(EnclaveError):
+                system.add_user("galois", "galois.dave")
+        finally:
+            system.close()
+
+    def test_provisioning_retries_injected_attestation_faults(self):
+        plan = FaultPlan(seed="attest", attest_fail_rate=1.0,
+                         max_attest_fails=3)
+        injector = FaultInjector(plan)
+        install(injector)
+        try:
+            system = build(2, seed="attest-retry")
+            try:
+                assert all(s.attested for s in system.shards)
+                assert injector.history()
+                assert all(kind == "attest.fail"
+                           for kind, _ in injector.history())
+            finally:
+                system.close()
+        finally:
+            install(None)
+
+
+class TestShardFaultKinds:
+    def test_take_shard_kill_caps_and_replays(self):
+        plan = FaultPlan(seed="kills", shard_kill_rate=1.0,
+                         max_shard_kills=2)
+        injector = FaultInjector(plan)
+        victims = [injector.take_shard_kill(4) for _ in range(10)]
+        assert sum(v is not None for v in victims) == 2
+        assert all(v in range(4) for v in victims if v is not None)
+        again = [FaultInjector(plan).take_shard_kill(4) for _ in range(1)]
+        assert again[0] == victims[0]
+
+    def test_attestation_fault_raises_transient(self):
+        plan = FaultPlan(seed="attest", attest_fail_rate=1.0,
+                         max_attest_fails=1)
+        injector = FaultInjector(plan)
+        with pytest.raises(TransientAttestationError):
+            injector.attestation_fault("peer-offer")
+        injector.attestation_fault("peer-offer")  # capped: no raise
+        assert ("attest.fail", "peer-offer") in injector.history()
+
+    def test_disabled_plan_is_a_noop(self):
+        injector = FaultInjector(FaultPlan.disabled())
+        assert injector.take_shard_kill(4) is None
+        injector.attestation_fault("peer-offer")
+        assert injector.history() == []
+
+    def test_transient_attestation_error_is_retryable(self):
+        # The class sits under both AttestationError (handlers) and
+        # UnavailableError (RetryPolicy's default retry_on).
+        assert issubclass(TransientAttestationError, AttestationError)
+        assert issubclass(TransientAttestationError, UnavailableError)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientAttestationError("handshake dropped")
+            return "attested"
+
+        policy = RetryPolicy(max_attempts=5, seed="retry")
+        assert policy.run(flaky) == "attested"
+        assert len(attempts) == 3
+
+
+class TestShardChaosHarness:
+    def test_small_kill_any_shard_run_converges(self):
+        report = run_shard_chaos(nshards=2, groups=2, ops=6, pool=5,
+                                 initial=3, capacity=4,
+                                 seed="test-shard-chaos")
+        assert report.converged, report.summary()
+        assert report.scheduled_kills == 2
+        assert report.respawns >= report.scheduled_kills
+        assert report.final_health["status"] == "ok"
+        assert report.reference_digest == report.chaos_digest
